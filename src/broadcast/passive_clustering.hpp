@@ -1,0 +1,63 @@
+// Passive clustering (Kwon & Gerla) — cluster formation *during* data
+// propagation, from the paper's §2:
+//
+//   "A clusterhead candidate applies the 'first declaration wins' rule to
+//    become a clusterhead when it successfully transmits a packet. Then,
+//    its neighbor nodes can learn the presence of this clusterhead and
+//    change their states to become gateways if they have more than one
+//    adjacent clusterhead or ordinary (non-clusterhead) nodes otherwise."
+//
+// The structure is built across a *sequence* of broadcasts: nodes start
+// as candidates and forward every first copy; a node that transmits
+// without having overheard any neighboring clusterhead declares itself
+// one; neighbors of two or more clusterheads become gateways, neighbors
+// of exactly one become ordinary. Ordinary nodes stop forwarding later
+// packets — that is where the savings (and, as the paper notes, the
+// "poor delivery rate") come from. No setup phase, no neighborhood
+// knowledge, no maintenance messages.
+#pragma once
+
+#include <vector>
+
+#include "broadcast/stats.hpp"
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::broadcast {
+
+/// Node states of the passive-clustering state machine.
+enum class PassiveState : std::uint8_t {
+  kCandidate,    ///< never constrained; forwards first copies
+  kClusterhead,  ///< declared by first-transmission-wins
+  kGateway,      ///< adjacent to 2+ clusterheads
+  kOrdinary,     ///< adjacent to exactly 1 clusterhead; stays silent
+};
+
+/// Holds the emergent cluster state across consecutive broadcasts.
+///
+/// The session is keyed to a node population, not to one topology: each
+/// broadcast runs on the snapshot passed in, so a stale structure can be
+/// exercised against a moved network — which is where the protocol's
+/// documented delivery weakness ("suffers poor delivery rate") actually
+/// bites; on a static ideal channel the first flood leaves a structure
+/// adequate for the topology it formed on.
+class PassiveClusteringSession {
+ public:
+  explicit PassiveClusteringSession(std::size_t order);
+
+  /// Runs one broadcast from `source` over `g` (order must match),
+  /// updating the cluster structure as packets propagate.
+  BroadcastStats broadcast(const graph::Graph& g, NodeId source);
+
+  const std::vector<PassiveState>& states() const { return states_; }
+  std::size_t clusterhead_count() const;
+  std::size_t gateway_count() const;
+
+ private:
+  void refresh_state(NodeId v);
+
+  std::vector<PassiveState> states_;
+  std::vector<NodeSet> heard_heads_;
+};
+
+}  // namespace manet::broadcast

@@ -1,0 +1,27 @@
+#include "broadcast/stats.hpp"
+
+#include <algorithm>
+
+namespace manet::broadcast {
+
+double BroadcastStats::delivery_ratio() const {
+  if (received.empty()) return 1.0;
+  const auto got = static_cast<double>(
+      std::count(received.begin(), received.end(), char{1}));
+  return got / static_cast<double>(received.size());
+}
+
+std::uint32_t BroadcastStats::latency_hops() const {
+  std::uint32_t worst = 0;
+  for (std::uint32_t h : first_copy_hops)
+    if (h != kUnreachableHops) worst = std::max(worst, h);
+  return worst;
+}
+
+void finalize(BroadcastStats& stats) {
+  stats.delivered_all =
+      std::all_of(stats.received.begin(), stats.received.end(),
+                  [](char c) { return c != 0; });
+}
+
+}  // namespace manet::broadcast

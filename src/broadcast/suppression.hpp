@@ -1,0 +1,41 @@
+// The two generic redundancy-suppression techniques the paper sketches in
+// §3 around Figure 5, as drop-in flooding variants:
+//
+//  * Backoff self-pruning — a node holds its retransmission for a random
+//    delay; if meanwhile the copies it overhears already cover all its
+//    neighbors, it resigns. (Figure 5: w hears v's copy and stays quiet,
+//    saving one transmission.)
+//  * Neighbor piggybacking — each transmission carries the sender's
+//    neighbor list; a receiver whose whole neighborhood is already
+//    covered by received copies never schedules a transmission at all.
+//    (Figure 5: both v and w stay quiet, saving two transmissions.)
+//
+// Both are modeled on the synchronous-slot channel: transmissions
+// scheduled in slot t are heard at slot t+1; the random backoff draws a
+// slot offset, so overhearing genuinely races with the backoff as in the
+// paper's discussion.
+#pragma once
+
+#include "broadcast/stats.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::broadcast {
+
+/// Suppression-flood parameters.
+struct SuppressionOptions {
+  /// Maximum random backoff, in slots (drawn uniformly in [1, max]).
+  std::uint32_t max_backoff_slots = 4;
+  /// Piggyback the sender's neighbor list (the second technique). When
+  /// false, a receiver only learns coverage it can infer from the
+  /// sender's identity (backoff self-pruning alone).
+  bool piggyback_neighbors = false;
+};
+
+/// Flood from `source` where every node applies the suppression rule
+/// before relaying. `rng` drives the backoff draws.
+BroadcastStats suppression_flood(const graph::Graph& g, NodeId source,
+                                 const SuppressionOptions& options, Rng& rng);
+
+}  // namespace manet::broadcast

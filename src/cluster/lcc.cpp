@@ -1,0 +1,136 @@
+#include "cluster/lcc.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::cluster {
+
+Clustering lcc_update(const graph::Graph& g, const Clustering& previous,
+                      LccDelta* delta) {
+  const std::size_t n = g.order();
+  MANET_REQUIRE(previous.head_of.size() == n,
+                "snapshot does not match the previous clustering");
+  LccDelta local;
+
+  // Rule 1: adjacent heads -> the larger id resigns. Ascending scan keeps
+  // the decision deterministic and conflict-free (a head survives iff no
+  // *surviving* smaller head is adjacent).
+  std::vector<char> is_head(n, 0);
+  for (NodeId h : previous.heads) {
+    bool blocked = false;
+    for (NodeId w : g.neighbors(h)) {
+      if (w < h && is_head[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      ++local.heads_resigned;
+    } else {
+      is_head[h] = 1;
+    }
+  }
+
+  // Rule 2: re-affiliate or declare, ascending so freshly declared heads
+  // are visible to later nodes.
+  Clustering c;
+  c.head_of.assign(n, kInvalidNode);
+  c.roles.assign(n, Role::kOrdinary);
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_head[v]) {
+      c.head_of[v] = v;
+      continue;
+    }
+    const NodeId old_head = previous.head_of[v];
+    const bool old_head_ok = old_head != kInvalidNode && old_head != v &&
+                             old_head < n && is_head[old_head] &&
+                             g.has_edge(v, old_head);
+    if (old_head_ok) {
+      c.head_of[v] = old_head;
+      continue;
+    }
+    // Smallest neighboring head, if any (sorted adjacency -> first hit).
+    NodeId joined = kInvalidNode;
+    for (NodeId w : g.neighbors(v)) {
+      if (is_head[w]) {
+        joined = w;
+        break;
+      }
+    }
+    if (joined != kInvalidNode) {
+      c.head_of[v] = joined;
+      ++local.reaffiliations;
+    } else {
+      is_head[v] = 1;
+      c.head_of[v] = v;
+      ++local.heads_declared;
+    }
+  }
+
+  // Rebuild the derived fields.
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.head_of[v] == v) {
+      c.heads.push_back(v);
+      c.roles[v] = Role::kClusterhead;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.head_of[v] == v) continue;
+    for (NodeId w : g.neighbors(v)) {
+      if (c.head_of[w] != c.head_of[v]) {
+        c.roles[v] = Role::kGateway;
+        break;
+      }
+    }
+  }
+  if (delta != nullptr) *delta = local;
+  return c;
+}
+
+std::string validate_cluster_structure(const graph::Graph& g,
+                                       const Clustering& c) {
+  std::ostringstream err;
+  const std::size_t n = g.order();
+  if (c.head_of.size() != n || c.roles.size() != n) {
+    err << "size mismatch: head_of/roles vs graph order";
+    return err.str();
+  }
+  if (!graph::is_independent_set(g, c.heads)) {
+    err << "clusterheads are not an independent set";
+    return err.str();
+  }
+  if (n > 0 && !graph::is_dominating_set(g, c.heads)) {
+    err << "clusterheads are not a dominating set";
+    return err.str();
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId h = c.head_of[v];
+    if (h >= n || c.head_of[h] != h) {
+      err << "node " << v << " points to non-head " << h;
+      return err.str();
+    }
+    if (v != h && !g.has_edge(v, h)) {
+      err << "node " << v << " is not adjacent to its head " << h;
+      return err.str();
+    }
+    const bool is_head = (v == h);
+    if (is_head != (c.roles[v] == Role::kClusterhead)) {
+      err << "role of node " << v << " disagrees with head_of";
+      return err.str();
+    }
+    if (!is_head) {
+      bool crosses = false;
+      for (NodeId w : g.neighbors(v))
+        if (c.head_of[w] != c.head_of[v]) crosses = true;
+      if (crosses != (c.roles[v] == Role::kGateway)) {
+        err << "gateway flag of node " << v << " is wrong";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,53 @@
+// Least Cluster Change (LCC) maintenance (Chiang et al., also used by
+// CBRP) — the incremental repair scheme that keeps a cluster structure
+// alive under mobility without the ripple effect of re-running lowest-ID
+// from scratch.
+//
+// Rules applied per topology snapshot:
+//  1. A clusterhead resigns only when another clusterhead moves into its
+//     range; the larger-id head of an adjacent pair steps down.
+//  2. A member whose head left its range re-affiliates with the smallest
+//     neighboring head, or declares itself a head when it has none.
+//  3. Nothing else changes (members do not chase smaller-id heads, heads
+//     do not resign for newly arrived smaller-id candidates).
+//
+// The result keeps the structural invariants the backbone machinery
+// needs — heads form an independent dominating set and every member is
+// adjacent to its head — but deliberately abandons the lowest-ID
+// invariant in exchange for fewer role changes. The mobility bench
+// quantifies that trade against full re-clustering.
+#pragma once
+
+#include <string>
+
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::cluster {
+
+/// Churn produced by one LCC update.
+struct LccDelta {
+  std::size_t heads_resigned = 0;    ///< rule 1 resignations
+  std::size_t heads_declared = 0;    ///< rule 2 self-declarations
+  std::size_t reaffiliations = 0;    ///< members that switched heads
+
+  std::size_t total() const {
+    return heads_resigned + heads_declared + reaffiliations;
+  }
+};
+
+/// Repairs `previous` (valid for an older snapshot) against the new
+/// topology `g`. Returns the repaired clustering and, via `delta`, the
+/// churn it cost. `previous` and `g` must agree on the node count.
+Clustering lcc_update(const graph::Graph& g, const Clustering& previous,
+                      LccDelta* delta = nullptr);
+
+/// Structural validity for *any* cluster structure (weaker than
+/// validate_clustering, which additionally pins the lowest-ID
+/// invariants): heads independent and dominating, members adjacent to
+/// their heads, roles consistent. Empty string when valid.
+std::string validate_cluster_structure(const graph::Graph& g,
+                                       const Clustering& c);
+
+}  // namespace manet::cluster

@@ -1,0 +1,125 @@
+#include "cluster/lowest_id.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::cluster {
+
+NodeSet Clustering::members_of(NodeId h) const {
+  MANET_REQUIRE(h < head_of.size() && head_of[h] == h,
+                "members_of expects a clusterhead");
+  NodeSet out;
+  for (NodeId v = 0; v < head_of.size(); ++v)
+    if (head_of[v] == h) out.push_back(v);
+  return out;
+}
+
+Clustering lowest_id_clustering(const graph::Graph& g) {
+  const std::size_t n = g.order();
+  Clustering c;
+  c.head_of.assign(n, kInvalidNode);
+  c.roles.assign(n, Role::kOrdinary);
+
+  // Sequential fixed point of the distributed protocol: ascending-ID scan;
+  // v declares itself head iff no smaller-ID neighbor already did.
+  for (NodeId v = 0; v < n; ++v) {
+    bool dominated_by_smaller_head = false;
+    for (NodeId w : g.neighbors(v)) {
+      if (w < v && c.head_of[w] == w) {
+        dominated_by_smaller_head = true;
+        break;
+      }
+    }
+    if (!dominated_by_smaller_head) {
+      c.head_of[v] = v;
+      c.heads.push_back(v);  // ascending scan keeps `heads` sorted
+      c.roles[v] = Role::kClusterhead;
+    }
+  }
+
+  // Non-heads join the smallest-ID neighboring head (sorted adjacency
+  // makes the first head neighbor the smallest).
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.head_of[v] == v) continue;
+    for (NodeId w : g.neighbors(v)) {
+      if (c.head_of[w] == w) {
+        c.head_of[v] = w;
+        break;
+      }
+    }
+    MANET_ASSERT(c.head_of[v] != kInvalidNode,
+                 "maximal independence guarantees every node a head");
+  }
+
+  // Gateways: non-heads with a neighbor belonging to a different cluster.
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.is_head(v)) continue;
+    for (NodeId w : g.neighbors(v)) {
+      if (c.head_of[w] != c.head_of[v]) {
+        c.roles[v] = Role::kGateway;
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+std::string validate_clustering(const graph::Graph& g, const Clustering& c) {
+  std::ostringstream err;
+  const std::size_t n = g.order();
+  if (c.head_of.size() != n || c.roles.size() != n) {
+    err << "size mismatch: head_of/roles vs graph order";
+    return err.str();
+  }
+  if (!graph::is_independent_set(g, c.heads)) {
+    err << "clusterheads are not an independent set";
+    return err.str();
+  }
+  if (n > 0 && !graph::is_dominating_set(g, c.heads)) {
+    err << "clusterheads are not a dominating set";
+    return err.str();
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId h = c.head_of[v];
+    if (h >= n || c.head_of[h] != h) {
+      err << "node " << v << " points to non-head " << h;
+      return err.str();
+    }
+    if (v != h && !g.has_edge(v, h)) {
+      err << "node " << v << " is not adjacent to its head " << h;
+      return err.str();
+    }
+    // Lowest-ID rule: v's head is the smallest-ID head among v's
+    // neighbors.
+    if (v != h) {
+      for (NodeId w : g.neighbors(v)) {
+        if (c.head_of[w] == w && w < h) {
+          err << "node " << v << " joined head " << h
+              << " but has smaller head neighbor " << w;
+          return err.str();
+        }
+      }
+    }
+    // Role consistency.
+    const bool is_head = (v == h);
+    if (is_head != (c.roles[v] == Role::kClusterhead)) {
+      err << "role of node " << v << " disagrees with head_of";
+      return err.str();
+    }
+    if (!is_head) {
+      bool crosses = false;
+      for (NodeId w : g.neighbors(v))
+        if (c.head_of[w] != c.head_of[v]) crosses = true;
+      const bool marked_gateway = c.roles[v] == Role::kGateway;
+      if (crosses != marked_gateway) {
+        err << "gateway flag of node " << v << " is wrong";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace manet::cluster

@@ -1,0 +1,62 @@
+// Lowest-ID clustering (Ephremides, Wieselthier & Baker).
+//
+// The distributed protocol: every node starts as a candidate; a candidate
+// that holds the locally smallest ID among its *candidate* neighbors
+// declares itself clusterhead; a candidate that hears a clusterhead
+// declaration joins the announcing cluster (the smallest-ID clusterhead if
+// it hears several). The fixed point of that protocol is exactly the
+// sequential greedy below — process nodes in ascending ID; a node becomes
+// a clusterhead iff none of its smaller-ID neighbors already is one — so
+// this module is the centralized reference implementation; the `net`
+// module replays the real message protocol and must agree with it
+// (asserted in the integration tests).
+//
+// Resulting structure:
+//  * clusterheads form a maximal independent set (hence a dominating set);
+//  * every non-clusterhead joins its smallest-ID neighboring clusterhead;
+//  * non-clusterheads adjacent to a member of *another* cluster (or to
+//    another cluster's head) are gateways in the classical sense.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::cluster {
+
+/// Role a node ends up with after clustering.
+enum class Role : std::uint8_t {
+  kClusterhead,
+  kGateway,   ///< non-clusterhead with a neighbor in a different cluster
+  kOrdinary,  ///< non-clusterhead entirely inside its own cluster
+};
+
+/// Output of the clustering pass.
+struct Clustering {
+  /// head_of[v] = clusterhead of v's cluster (head_of[h] == h for heads).
+  std::vector<NodeId> head_of;
+  /// Sorted list of clusterheads.
+  NodeSet heads;
+  /// Role per node.
+  std::vector<Role> roles;
+
+  bool is_head(NodeId v) const { return head_of[v] == v; }
+
+  /// Sorted members of head `h`'s cluster, including `h` itself.
+  NodeSet members_of(NodeId h) const;
+
+  /// Number of clusters.
+  std::size_t cluster_count() const { return heads.size(); }
+};
+
+/// Runs lowest-ID clustering on a (not necessarily connected) graph.
+Clustering lowest_id_clustering(const graph::Graph& g);
+
+/// Validates the lowest-ID invariants against `g`; returns a human-readable
+/// violation description, or an empty string when valid. Used by tests and
+/// by debug assertions in higher layers.
+std::string validate_clustering(const graph::Graph& g, const Clustering& c);
+
+}  // namespace manet::cluster

@@ -1,0 +1,63 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace manet {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_format(const CsvCell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return csv_escape(*s);
+  if (const auto* i = std::get_if<long long>(&cell))
+    return std::to_string(*i);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(cell));
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  MANET_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  std::vector<CsvCell> cells;
+  cells.reserve(header.size());
+  for (const auto& h : header) cells.emplace_back(h);
+  write_raw(cells);
+}
+
+void CsvWriter::row(const std::vector<CsvCell>& cells) {
+  MANET_REQUIRE(cells.size() == arity_, "CSV row arity mismatch");
+  write_raw(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_raw(const std::vector<CsvCell>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_format(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace manet

@@ -1,0 +1,52 @@
+// Minimal CSV emission for experiment results.
+//
+// Benches print human-readable tables to stdout and, when asked, mirror the
+// same rows into a CSV file so figures can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace manet {
+
+/// One CSV cell: text, integer or real.
+using CsvCell = std::variant<std::string, long long, double>;
+
+/// Streams rows into a CSV file with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must have the same arity as the header.
+  void row(const std::vector<CsvCell>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_raw(const std::vector<CsvCell>& cells);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes one cell per RFC 4180 (quotes fields containing , " or newline).
+std::string csv_escape(const std::string& field);
+
+/// Formats a CsvCell as its CSV text (doubles use %.6g).
+std::string csv_format(const CsvCell& cell);
+
+}  // namespace manet

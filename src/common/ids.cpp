@@ -1,0 +1,75 @@
+#include "common/ids.hpp"
+
+#include <algorithm>
+
+namespace manet {
+
+bool insert_sorted(NodeSet& s, NodeId v) {
+  auto it = std::lower_bound(s.begin(), s.end(), v);
+  if (it != s.end() && *it == v) return false;
+  s.insert(it, v);
+  return true;
+}
+
+bool contains_sorted(const NodeSet& s, NodeId v) {
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+bool erase_sorted(NodeSet& s, NodeId v) {
+  auto it = std::lower_bound(s.begin(), s.end(), v);
+  if (it == s.end() || *it != v) return false;
+  s.erase(it);
+  return true;
+}
+
+void normalize(NodeSet& s) {
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+}
+
+NodeSet set_difference(const NodeSet& a, const NodeSet& b) {
+  NodeSet out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+NodeSet set_intersection(const NodeSet& a, const NodeSet& b) {
+  NodeSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+NodeSet set_union(const NodeSet& a, const NodeSet& b) {
+  NodeSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::size_t intersection_size(const NodeSet& a, const NodeSet& b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+bool is_subset(const NodeSet& a, const NodeSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace manet

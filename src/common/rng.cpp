@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include "common/assert.hpp"
+
+namespace manet {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state would be a fixed point; SplitMix64 cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  MANET_REQUIRE(bound > 0, "below() needs a positive bound");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  MANET_REQUIRE(lo <= hi, "between() needs lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MANET_REQUIRE(lo <= hi, "uniform() needs lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  MANET_REQUIRE(n > 0, "index() needs a non-empty container");
+  return static_cast<std::size_t>(below(n));
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  // Jump by drawing fresh state; child streams derived this way are
+  // statistically independent for simulation purposes.
+  for (auto& s : child.s_) s = (*this)();
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0)
+    child.s_[0] = 1;
+  return child;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t replication,
+                          std::uint64_t stream) {
+  std::uint64_t x = base ^ (replication * 0xd1342543de82ef95ULL) ^
+                    (stream * 0xaf251af3b0f025b5ULL);
+  // Final SplitMix64-style avalanche so adjacent replications differ in
+  // every bit.
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace manet

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms,
+// so the library carries its own xoshiro256** generator (public-domain
+// algorithm by Blackman & Vigna) seeded through SplitMix64, instead of
+// relying on implementation-defined std::default_random_engine behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace manet {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire's rejection method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// A uniformly random element index for a container of size n (n > 0).
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel replications).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Stable 64-bit mix of (base seed, replication index, stream tag) used to
+/// give every experiment replication an independent, reproducible stream.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t replication,
+                          std::uint64_t stream);
+
+}  // namespace manet

@@ -1,0 +1,31 @@
+// Fixed-width console tables, used by every bench to print the
+// paper-figure series in a shape directly comparable to the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace manet {
+
+/// Collects rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row (arity must match the header).
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table, header first, separated by a rule.
+  std::string render() const;
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manet

@@ -1,0 +1,78 @@
+#include "core/coverage.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::core {
+
+Coverage build_coverage(const graph::Graph& g, const cluster::Clustering& c,
+                        const NeighborTables& tables, NodeId head) {
+  MANET_REQUIRE(head < g.order(), "node id out of range");
+  MANET_REQUIRE(c.is_head(head), "coverage is defined for clusterheads");
+
+  Coverage cov;
+  // C²: union of the neighbors' CH_HOP1 reports, minus u itself.
+  for (NodeId v : g.neighbors(head))
+    for (NodeId w : tables.ch_hop1[v])
+      if (w != head) insert_sorted(cov.two_hop, w);
+
+  // C³: union of the neighbors' CH_HOP2 heads, minus C² duplicates and u.
+  for (NodeId v : g.neighbors(head))
+    for (const auto& e : tables.ch_hop2[v])
+      if (e.head != head && !contains_sorted(cov.two_hop, e.head))
+        insert_sorted(cov.three_hop, e.head);
+  return cov;
+}
+
+std::vector<Coverage> build_all_coverage(const graph::Graph& g,
+                                         const cluster::Clustering& c,
+                                         const NeighborTables& tables) {
+  std::vector<Coverage> out(g.order());
+  for (NodeId h : c.heads) out[h] = build_coverage(g, c, tables, h);
+  return out;
+}
+
+std::string validate_coverage(const graph::Graph& g,
+                              const cluster::Clustering& c,
+                              const NeighborTables& tables, NodeId head,
+                              const Coverage& coverage) {
+  std::ostringstream err;
+  const auto dist = graph::bfs_distances_bounded(g, head, 3);
+
+  // Ground truth C²: heads at distance exactly 2.
+  NodeSet true_two;
+  for (NodeId w : c.heads)
+    if (dist[w] == 2) true_two.push_back(w);
+  if (coverage.two_hop != true_two) {
+    err << "C2 of head " << head << " mismatches the distance-2 heads";
+    return err.str();
+  }
+
+  // Ground truth C³ depends on the mode.
+  NodeSet true_three;
+  for (NodeId w : c.heads) {
+    if (w == head || dist[w] != 3) continue;
+    if (tables.mode == CoverageMode::kThreeHop) {
+      true_three.push_back(w);
+      continue;
+    }
+    // 2.5-hop: w qualifies iff one of its members sits in N²(head).
+    for (NodeId m : g.neighbors(w)) {
+      if (c.head_of[m] == w && dist[m] != graph::kUnreachable &&
+          dist[m] <= 2) {
+        true_three.push_back(w);
+        break;
+      }
+    }
+  }
+  if (coverage.three_hop != true_three) {
+    err << "C3 of head " << head << " mismatches the "
+        << to_string(tables.mode) << " definition";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace manet::core

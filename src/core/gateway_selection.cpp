@@ -1,0 +1,176 @@
+#include "core/gateway_selection.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "common/assert.hpp"
+
+namespace manet::core {
+namespace {
+
+/// Distinct heads among `entries` that appear in `remaining`.
+std::size_t distinct_covered_heads(const std::vector<Hop2Entry>& entries,
+                                   const NodeSet& remaining) {
+  std::size_t count = 0;
+  NodeId last = kInvalidNode;
+  for (const auto& e : entries) {  // entries sorted by (head, via)
+    if (e.head != last && contains_sorted(remaining, e.head)) {
+      ++count;
+      last = e.head;
+    }
+  }
+  return count;
+}
+
+/// Adapts the centralized graph + tables to the local-view interface.
+class TablesView final : public LocalSelectionView {
+ public:
+  TablesView(const graph::Graph& g, const NeighborTables& tables,
+             NodeId head)
+      : tables_(tables) {
+    const auto nb = g.neighbors(head);
+    neighbors_.assign(nb.begin(), nb.end());
+  }
+  const NodeSet& neighbors() const override { return neighbors_; }
+  const NodeSet& hop1(NodeId v) const override { return tables_.ch_hop1[v]; }
+  const std::vector<Hop2Entry>& hop2(NodeId v) const override {
+    return tables_.ch_hop2[v];
+  }
+
+ private:
+  const NeighborTables& tables_;
+  NodeSet neighbors_;
+};
+
+}  // namespace
+
+GatewaySelection select_gateways_local(const LocalSelectionView& view,
+                                       const Coverage& targets) {
+  GatewaySelection sel;
+  NodeSet remaining2 = targets.two_hop;
+  NodeSet remaining3 = targets.three_hop;
+  const NodeSet& neighbors = view.neighbors();
+
+  // Phase 1: greedy max-direct-cover over the 2-hop targets.
+  while (!remaining2.empty()) {
+    NodeId best = kInvalidNode;
+    std::size_t best_direct = 0;
+    std::size_t best_indirect = 0;
+    for (NodeId v : neighbors) {  // ascending ids: first win = smallest id
+      const std::size_t direct = intersection_size(view.hop1(v), remaining2);
+      if (direct == 0) continue;
+      const std::size_t indirect =
+          distinct_covered_heads(view.hop2(v), remaining3);
+      if (best == kInvalidNode || direct > best_direct ||
+          (direct == best_direct && indirect > best_indirect)) {
+        best = v;
+        best_direct = direct;
+        best_indirect = indirect;
+      }
+    }
+    MANET_ASSERT(best != kInvalidNode,
+                 "every 2-hop coverage target has a witness neighbor");
+
+    SelectionStep step;
+    step.gateway = best;
+    step.direct_covered = set_intersection(view.hop1(best), remaining2);
+    remaining2 = set_difference(remaining2, step.direct_covered);
+    insert_sorted(sel.gateways, best);
+
+    // Indirectly covered 3-hop targets come along for free; their
+    // via-nodes become second-hop gateways. For a head reachable through
+    // several via-nodes of `best`, take the smallest via (entries are
+    // sorted by (head, via), so the first hit wins).
+    NodeId last_head = kInvalidNode;
+    for (const auto& e : view.hop2(best)) {
+      if (e.head == last_head) continue;
+      if (!contains_sorted(remaining3, e.head)) continue;
+      last_head = e.head;
+      step.indirect_covered.push_back(e);
+      erase_sorted(remaining3, e.head);
+      insert_sorted(sel.gateways, e.via);
+    }
+    sel.steps.push_back(std::move(step));
+  }
+
+  // Phase 2: leftover 3-hop targets get an explicit connector pair
+  // (first-hop neighbor v of head, second-hop via x). Prefer pairs that
+  // reuse already-selected gateways, then the smallest (v, x).
+  for (NodeId w : NodeSet(remaining3)) {
+    ConnectorPair best_pair{w, kInvalidNode, kInvalidNode};
+    int best_score = -1;
+    for (NodeId v : neighbors) {
+      for (const auto& e : view.hop2(v)) {
+        if (e.head != w) continue;
+        const int score = (contains_sorted(sel.gateways, v) ? 1 : 0) +
+                          (contains_sorted(sel.gateways, e.via) ? 1 : 0);
+        if (score > best_score ||
+            (score == best_score &&
+             std::tie(v, e.via) <
+                 std::tie(best_pair.first_hop, best_pair.second_hop))) {
+          best_score = score;
+          best_pair.first_hop = v;
+          best_pair.second_hop = e.via;
+        }
+      }
+    }
+    MANET_ASSERT(best_score >= 0,
+                 "every 3-hop coverage target has a witness pair");
+    sel.leftover_pairs.push_back(best_pair);
+    insert_sorted(sel.gateways, best_pair.first_hop);
+    insert_sorted(sel.gateways, best_pair.second_hop);
+    erase_sorted(remaining3, w);
+  }
+  MANET_ASSERT(remaining3.empty(), "all 3-hop targets resolved");
+  return sel;
+}
+
+GatewaySelection select_gateways(const graph::Graph& g,
+                                 const cluster::Clustering& c,
+                                 const NeighborTables& tables, NodeId head,
+                                 const Coverage& targets) {
+  MANET_REQUIRE(head < g.order(), "node id out of range");
+  MANET_REQUIRE(c.is_head(head), "selection runs on clusterheads");
+  return select_gateways_local(TablesView(g, tables, head), targets);
+}
+
+std::string validate_selection(const graph::Graph& g,
+                               const cluster::Clustering& c, NodeId head,
+                               const Coverage& targets,
+                               const GatewaySelection& selection) {
+  std::ostringstream err;
+  // No clusterheads among gateways, and all gateways within 2 hops.
+  for (NodeId v : selection.gateways) {
+    if (c.is_head(v)) {
+      err << "selected gateway " << v << " is a clusterhead";
+      return err.str();
+    }
+  }
+  // Every 2-hop target must be adjacent to a selected neighbor of head.
+  for (NodeId w : targets.two_hop) {
+    bool covered = false;
+    for (NodeId v : selection.gateways)
+      if (g.has_edge(head, v) && g.has_edge(v, w)) covered = true;
+    if (!covered) {
+      err << "2-hop target " << w << " of head " << head << " uncovered";
+      return err.str();
+    }
+  }
+  // Every 3-hop target must be reached by a selected (v, x) chain.
+  for (NodeId w : targets.three_hop) {
+    bool covered = false;
+    for (NodeId v : selection.gateways) {
+      if (!g.has_edge(head, v)) continue;
+      for (NodeId x : selection.gateways)
+        if (g.has_edge(v, x) && g.has_edge(x, w)) covered = true;
+    }
+    if (!covered) {
+      err << "3-hop target " << w << " of head " << head << " uncovered";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace manet::core

@@ -1,0 +1,70 @@
+#include "core/neighbor_tables.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace manet::core {
+
+const char* to_string(CoverageMode mode) {
+  switch (mode) {
+    case CoverageMode::kTwoPointFiveHop:
+      return "2.5-hop";
+    case CoverageMode::kThreeHop:
+      return "3-hop";
+  }
+  return "?";
+}
+
+NodeSet NeighborTables::hop2_heads(NodeId v) const {
+  MANET_REQUIRE(v < ch_hop2.size(), "node id out of range");
+  NodeSet out;
+  for (const auto& e : ch_hop2[v]) out.push_back(e.head);
+  normalize(out);
+  return out;
+}
+
+NeighborTables build_neighbor_tables(const graph::Graph& g,
+                                     const cluster::Clustering& c,
+                                     CoverageMode mode) {
+  const std::size_t n = g.order();
+  MANET_REQUIRE(c.head_of.size() == n, "clustering does not match graph");
+
+  NeighborTables t;
+  t.mode = mode;
+  t.ch_hop1.resize(n);
+  t.ch_hop2.resize(n);
+
+  // CH_HOP1(v): clusterheads adjacent to v. Heads do not broadcast
+  // CH_HOP1 (and by independence have no head neighbors anyway).
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.is_head(v)) continue;
+    for (NodeId w : g.neighbors(v))
+      if (c.is_head(w)) t.ch_hop1[v].push_back(w);  // sorted adjacency
+  }
+
+  // CH_HOP2(v): built from the CH_HOP1 messages of v's non-clusterhead
+  // neighbors x. A head reported by x is recorded unless it is already
+  // v's own neighbor ("If the clusterhead of x is a neighbor of v, v
+  // ignores the message").
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.is_head(v)) continue;
+    auto& entries = t.ch_hop2[v];
+    for (NodeId x : g.neighbors(v)) {
+      if (c.is_head(x)) continue;  // heads send no CH_HOP1
+      if (mode == CoverageMode::kTwoPointFiveHop) {
+        const NodeId head = c.head_of[x];
+        if (!g.has_edge(v, head)) entries.push_back({head, x});
+      } else {
+        for (NodeId head : t.ch_hop1[x])
+          if (!g.has_edge(v, head)) entries.push_back({head, x});
+      }
+    }
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()),
+                  entries.end());
+  }
+  return t;
+}
+
+}  // namespace manet::core

@@ -1,0 +1,53 @@
+#include "core/static_backbone.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::core {
+
+StaticBackbone build_static_backbone(const graph::Graph& g,
+                                     CoverageMode mode) {
+  return build_static_backbone(g, cluster::lowest_id_clustering(g), mode);
+}
+
+StaticBackbone build_static_backbone(const graph::Graph& g,
+                                     const cluster::Clustering& c,
+                                     CoverageMode mode) {
+  StaticBackbone b;
+  b.mode = mode;
+  b.clustering = c;
+  b.tables = build_neighbor_tables(g, b.clustering, mode);
+  b.coverage = build_all_coverage(g, b.clustering, b.tables);
+  b.selection.resize(g.order());
+  b.cds = b.clustering.heads;
+  for (NodeId h : b.clustering.heads) {
+    b.selection[h] = select_gateways(g, b.clustering, b.tables, h,
+                                     b.coverage[h]);
+    for (NodeId v : b.selection[h].gateways) {
+      insert_sorted(b.gateways, v);
+      insert_sorted(b.cds, v);
+    }
+  }
+  return b;
+}
+
+std::string validate_static_backbone(const graph::Graph& g,
+                                     const StaticBackbone& backbone) {
+  std::ostringstream err;
+  for (NodeId h : backbone.clustering.heads) {
+    const auto msg = validate_selection(g, backbone.clustering, h,
+                                        backbone.coverage[h],
+                                        backbone.selection[h]);
+    if (!msg.empty()) return msg;
+  }
+  if (graph::is_connected(g) &&
+      !graph::is_connected_dominating_set(g, backbone.cds)) {
+    err << "static backbone is not a CDS";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace manet::core

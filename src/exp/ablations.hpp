@@ -1,0 +1,50 @@
+// Ablation runners: the row computations behind the ablation benches,
+// kept in the library so they are unit-tested (the bench binaries are
+// thin printers over these).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace manet::exp {
+
+/// One row of the SD-CDS pruning ablation: mean forward-node counts per
+/// pruning-rule combination (2.5-hop coverage).
+struct PruningAblationRow {
+  std::size_t nodes;
+  double degree;
+  double forward_none;       ///< no pruning
+  double forward_piggyback;  ///< piggyback only
+  double forward_relay;      ///< relay exclusion only
+  double forward_both;       ///< the paper's algorithm
+  bool all_delivered;        ///< every variant reached every node
+};
+
+std::vector<PruningAblationRow> run_pruning_ablation(
+    const std::vector<std::size_t>& sizes, const std::vector<double>& degrees,
+    std::size_t replications, std::uint64_t seed);
+
+/// One row of the message-complexity experiment (distributed
+/// construction + one distributed data broadcast).
+struct MsgComplexityRow {
+  std::size_t nodes;
+  double degree;
+  double hello;
+  double roles;     ///< CLUSTER_HEAD + NON_CLUSTER_HEAD
+  double ch_hop1;
+  double ch_hop2;
+  double gateway;
+  double construction_total;
+  double per_node;  ///< construction_total / n — flat <=> O(n)
+  double rounds;
+  double data;      ///< data messages of one SD broadcast from node 0
+};
+
+std::vector<MsgComplexityRow> run_msg_complexity(
+    const std::vector<std::size_t>& sizes, const std::vector<double>& degrees,
+    std::size_t replications, std::uint64_t seed);
+
+}  // namespace manet::exp

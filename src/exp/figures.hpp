@@ -1,0 +1,69 @@
+// Figure runners: one function per figure of the paper's §4, each
+// returning the rows the paper plots. The bench binaries print these and
+// mirror them to CSV; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "stats/replicator.hpp"
+
+namespace manet::exp {
+
+/// A measured series value: mean with its achieved CI half-width.
+struct Measurement {
+  double mean = 0.0;
+  double ci_halfwidth = 0.0;  ///< at the policy's confidence level
+};
+
+/// Figure 6 — average CDS size of the static backbone (both coverage
+/// modes) vs MO_CDS, as a function of n, per degree.
+struct Fig6Row {
+  std::size_t nodes;
+  double degree;
+  Measurement static_25;  ///< static backbone, 2.5-hop coverage
+  Measurement static_3;   ///< static backbone, 3-hop coverage
+  Measurement mo_cds;     ///< MO_CDS baseline
+  std::size_t replications;
+  bool converged;
+};
+
+std::vector<Fig6Row> run_fig6(const PaperScenario& scenario,
+                              const stats::ReplicationPolicy& policy,
+                              std::uint64_t seed);
+
+/// Figure 7 — average forward-node-set size per broadcast: dynamic
+/// backbone (both modes) vs broadcasting over the MO_CDS. One uniformly
+/// random source per replication.
+struct Fig7Row {
+  std::size_t nodes;
+  double degree;
+  Measurement dynamic_25;
+  Measurement dynamic_3;
+  Measurement mo_cds_broadcast;
+  std::size_t replications;
+  bool converged;
+};
+
+std::vector<Fig7Row> run_fig7(const PaperScenario& scenario,
+                              const stats::ReplicationPolicy& policy,
+                              std::uint64_t seed);
+
+/// Figure 8 — forward-node sets of the static vs dynamic backbones.
+struct Fig8Row {
+  std::size_t nodes;
+  double degree;
+  Measurement static_25;
+  Measurement static_3;
+  Measurement dynamic_25;
+  Measurement dynamic_3;
+  std::size_t replications;
+  bool converged;
+};
+
+std::vector<Fig8Row> run_fig8(const PaperScenario& scenario,
+                              const stats::ReplicationPolicy& policy,
+                              std::uint64_t seed);
+
+}  // namespace manet::exp

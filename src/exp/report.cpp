@@ -1,0 +1,120 @@
+#include "exp/report.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace manet::exp {
+namespace {
+
+std::string fmt(const Measurement& m) {
+  std::ostringstream os;
+  os << TextTable::num(m.mean, 2) << " ±" << TextTable::num(m.ci_halfwidth, 2);
+  return os.str();
+}
+
+std::set<double> degrees_of(const auto& rows) {
+  std::set<double> ds;
+  for (const auto& r : rows) ds.insert(r.degree);
+  return ds;
+}
+
+}  // namespace
+
+std::string render_fig6(const std::vector<Fig6Row>& rows) {
+  std::ostringstream os;
+  for (double d : degrees_of(rows)) {
+    os << "Figure 6 — average CDS size (d = " << d << ")\n";
+    TextTable t({"n", "static 2.5-hop", "static 3-hop", "MO_CDS", "reps"});
+    for (const auto& r : rows) {
+      if (r.degree != d) continue;
+      t.row({std::to_string(r.nodes), fmt(r.static_25), fmt(r.static_3),
+             fmt(r.mo_cds),
+             std::to_string(r.replications) + (r.converged ? "" : "*")});
+    }
+    os << t.render() << '\n';
+  }
+  return os.str();
+}
+
+std::string render_fig7(const std::vector<Fig7Row>& rows) {
+  std::ostringstream os;
+  for (double d : degrees_of(rows)) {
+    os << "Figure 7 — average forward-node-set size (d = " << d << ")\n";
+    TextTable t({"n", "dynamic 2.5-hop", "dynamic 3-hop", "MO_CDS", "reps"});
+    for (const auto& r : rows) {
+      if (r.degree != d) continue;
+      t.row({std::to_string(r.nodes), fmt(r.dynamic_25), fmt(r.dynamic_3),
+             fmt(r.mo_cds_broadcast),
+             std::to_string(r.replications) + (r.converged ? "" : "*")});
+    }
+    os << t.render() << '\n';
+  }
+  return os.str();
+}
+
+std::string render_fig8(const std::vector<Fig8Row>& rows) {
+  std::ostringstream os;
+  for (double d : degrees_of(rows)) {
+    os << "Figure 8 — static vs dynamic forward-node sets (d = " << d
+       << ")\n";
+    TextTable t({"n", "static 2.5-hop", "static 3-hop", "dynamic 2.5-hop",
+                 "dynamic 3-hop", "reps"});
+    for (const auto& r : rows) {
+      if (r.degree != d) continue;
+      t.row({std::to_string(r.nodes), fmt(r.static_25), fmt(r.static_3),
+             fmt(r.dynamic_25), fmt(r.dynamic_3),
+             std::to_string(r.replications) + (r.converged ? "" : "*")});
+    }
+    os << t.render() << '\n';
+  }
+  return os.str();
+}
+
+void write_fig6_csv(const std::vector<Fig6Row>& rows,
+                    const std::string& path) {
+  CsvWriter csv(path, {"nodes", "degree", "static25_mean", "static25_ci",
+                       "static3_mean", "static3_ci", "mocds_mean",
+                       "mocds_ci", "replications", "converged"});
+  for (const auto& r : rows)
+    csv.row({static_cast<long long>(r.nodes), r.degree, r.static_25.mean,
+             r.static_25.ci_halfwidth, r.static_3.mean,
+             r.static_3.ci_halfwidth, r.mo_cds.mean, r.mo_cds.ci_halfwidth,
+             static_cast<long long>(r.replications),
+             static_cast<long long>(r.converged)});
+}
+
+void write_fig7_csv(const std::vector<Fig7Row>& rows,
+                    const std::string& path) {
+  CsvWriter csv(path, {"nodes", "degree", "dynamic25_mean", "dynamic25_ci",
+                       "dynamic3_mean", "dynamic3_ci", "mocds_mean",
+                       "mocds_ci", "replications", "converged"});
+  for (const auto& r : rows)
+    csv.row({static_cast<long long>(r.nodes), r.degree, r.dynamic_25.mean,
+             r.dynamic_25.ci_halfwidth, r.dynamic_3.mean,
+             r.dynamic_3.ci_halfwidth, r.mo_cds_broadcast.mean,
+             r.mo_cds_broadcast.ci_halfwidth,
+             static_cast<long long>(r.replications),
+             static_cast<long long>(r.converged)});
+}
+
+void write_fig8_csv(const std::vector<Fig8Row>& rows,
+                    const std::string& path) {
+  CsvWriter csv(path,
+                {"nodes", "degree", "static25_mean", "static25_ci",
+                 "static3_mean", "static3_ci", "dynamic25_mean",
+                 "dynamic25_ci", "dynamic3_mean", "dynamic3_ci",
+                 "replications", "converged"});
+  for (const auto& r : rows)
+    csv.row({static_cast<long long>(r.nodes), r.degree, r.static_25.mean,
+             r.static_25.ci_halfwidth, r.static_3.mean,
+             r.static_3.ci_halfwidth, r.dynamic_25.mean,
+             r.dynamic_25.ci_halfwidth, r.dynamic_3.mean,
+             r.dynamic_3.ci_halfwidth,
+             static_cast<long long>(r.replications),
+             static_cast<long long>(r.converged)});
+}
+
+}  // namespace manet::exp

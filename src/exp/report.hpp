@@ -1,0 +1,29 @@
+// Rendering helpers shared by the bench binaries: paper-style console
+// tables plus CSV mirrors of every figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/figures.hpp"
+
+namespace manet::exp {
+
+/// Renders the Figure 6 series, one table per degree.
+std::string render_fig6(const std::vector<Fig6Row>& rows);
+
+/// Renders the Figure 7 series.
+std::string render_fig7(const std::vector<Fig7Row>& rows);
+
+/// Renders the Figure 8 series.
+std::string render_fig8(const std::vector<Fig8Row>& rows);
+
+/// Writes each figure's rows to `path` as CSV.
+void write_fig6_csv(const std::vector<Fig6Row>& rows,
+                    const std::string& path);
+void write_fig7_csv(const std::vector<Fig7Row>& rows,
+                    const std::string& path);
+void write_fig8_csv(const std::vector<Fig8Row>& rows,
+                    const std::string& path);
+
+}  // namespace manet::exp

@@ -1,0 +1,30 @@
+#include "geom/layout_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace manet::geom {
+
+void write_positions(std::ostream& out,
+                     const std::vector<Point>& positions) {
+  out << positions.size() << '\n';
+  for (const auto& p : positions) out << p.x << ' ' << p.y << '\n';
+}
+
+std::vector<Point> read_positions(std::istream& in) {
+  std::size_t count = 0;
+  if (!(in >> count))
+    throw std::invalid_argument("positions: missing count header");
+  std::vector<Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point p;
+    if (!(in >> p.x >> p.y))
+      throw std::invalid_argument("positions: truncated input");
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace manet::geom

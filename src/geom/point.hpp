@@ -1,0 +1,28 @@
+// 2D geometry primitives for node placement in the confined working space.
+#pragma once
+
+#include <cmath>
+
+namespace manet::geom {
+
+/// A point in the simulation plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops).
+inline double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+}  // namespace manet::geom

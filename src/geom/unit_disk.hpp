@@ -1,0 +1,56 @@
+// Unit-disk graph generation — the paper's simulation workload.
+//
+// The paper places n nodes uniformly at random in a 100 x 100 working
+// space, gives every node the same transmission range r, links nodes whose
+// distance is below r, and *discards disconnected topologies*. Networks
+// are generated for two target average degrees (d = 6 and d = 18); we
+// derive r from d with the standard area argument E[deg] ~= n * pi * r^2 /
+// A and keep the generator honest with tests on the achieved degree.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "geom/point.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::geom {
+
+/// Parameters of the random-placement workload.
+struct UnitDiskConfig {
+  double width = 100.0;        ///< working space width (paper: 100)
+  double height = 100.0;       ///< working space height (paper: 100)
+  std::size_t nodes = 50;      ///< network size n
+  double range = 25.0;         ///< transmission range r
+};
+
+/// A generated topology: positions plus the induced unit-disk graph.
+struct UnitDiskNetwork {
+  UnitDiskConfig config;
+  std::vector<Point> positions;
+  graph::Graph graph;
+};
+
+/// Transmission range that yields expected average degree `d` for `n`
+/// nodes uniform in a `width` x `height` area (border effects ignored):
+/// r = sqrt(d * A / (n * pi)).
+double range_for_average_degree(double d, std::size_t n, double width,
+                                double height);
+
+/// Places nodes uniformly at random and links pairs closer than range.
+UnitDiskNetwork generate_unit_disk(const UnitDiskConfig& config, Rng& rng);
+
+/// Builds the unit-disk graph induced by fixed positions (used by the
+/// mobility module after each movement step).
+graph::Graph unit_disk_graph(const std::vector<Point>& positions,
+                             double range);
+
+/// Rejection-samples topologies until one is connected, or gives up after
+/// `max_attempts` (returns nullopt). The paper: "If the generated network
+/// is not connected, it is discarded."
+std::optional<UnitDiskNetwork> generate_connected_unit_disk(
+    const UnitDiskConfig& config, Rng& rng, std::size_t max_attempts = 10000);
+
+}  // namespace manet::geom

@@ -1,0 +1,106 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace manet::graph {
+
+void Digraph::add_arc(NodeId u, NodeId v) {
+  MANET_REQUIRE(u < order() && v < order(), "arc endpoint out of range");
+  MANET_REQUIRE(u != v, "self-loops are not allowed");
+  insert_sorted(out_[u], v);
+}
+
+bool Digraph::has_arc(NodeId u, NodeId v) const {
+  MANET_REQUIRE(u < order() && v < order(), "arc endpoint out of range");
+  return contains_sorted(out_[u], v);
+}
+
+std::span<const NodeId> Digraph::successors(NodeId v) const {
+  MANET_REQUIRE(v < order(), "vertex id out of range");
+  return out_[v];
+}
+
+std::size_t Digraph::arc_count() const {
+  std::size_t total = 0;
+  for (const auto& row : out_) total += row.size();
+  return total;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::arcs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(arc_count());
+  for (NodeId u = 0; u < order(); ++u)
+    for (NodeId v : out_[u]) out.emplace_back(u, v);
+  return out;
+}
+
+std::pair<std::vector<std::uint32_t>, std::uint32_t>
+strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.order();
+  constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+  std::vector<std::uint32_t> index(n, kUnset);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint32_t> scc(n, kUnset);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t scc_count = 0;
+
+  // Iterative Tarjan: each frame tracks (vertex, next successor position).
+  struct Frame {
+    NodeId v;
+    std::size_t next_child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.back();
+      const auto succ = g.successors(frame.v);
+      if (frame.next_child < succ.size()) {
+        const NodeId w = succ[frame.next_child++];
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+      } else {
+        const NodeId v = frame.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc[w] = scc_count;
+          } while (w != v);
+          ++scc_count;
+        }
+      }
+    }
+  }
+  return {std::move(scc), scc_count};
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.order() <= 1) return true;
+  return strongly_connected_components(g).second == 1;
+}
+
+}  // namespace manet::graph

@@ -1,0 +1,52 @@
+// Small directed graph used for the *cluster graph* G' of the paper:
+// vertices are clusterheads, and a directed edge (v, w) exists when w is in
+// v's coverage set. Theorem 1 rests on G' being strongly connected, so the
+// module ships a Tarjan SCC implementation and a strong-connectivity check.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace manet::graph {
+
+/// Mutable directed simple graph (adjacency lists kept sorted-unique).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t order) : out_(order) {}
+
+  std::size_t order() const { return out_.size(); }
+
+  /// Adds arc u -> v (idempotent). Self-loops are rejected.
+  void add_arc(NodeId u, NodeId v);
+
+  /// True if arc u -> v exists.
+  bool has_arc(NodeId u, NodeId v) const;
+
+  /// Sorted successors of `v`.
+  std::span<const NodeId> successors(NodeId v) const;
+
+  /// Total number of arcs.
+  std::size_t arc_count() const;
+
+  /// All arcs as (u, v), lexicographically sorted.
+  std::vector<std::pair<NodeId, NodeId>> arcs() const;
+
+ private:
+  std::vector<NodeSet> out_;
+};
+
+/// Strongly connected component label per vertex (reverse topological
+/// order labels) and the component count, via Tarjan's algorithm
+/// (iterative, so deep graphs don't overflow the stack).
+std::pair<std::vector<std::uint32_t>, std::uint32_t> strongly_connected_components(
+    const Digraph& g);
+
+/// True if the digraph is strongly connected (empty/singleton are).
+bool is_strongly_connected(const Digraph& g);
+
+}  // namespace manet::graph

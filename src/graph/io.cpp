@@ -1,0 +1,44 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace manet::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.order() << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::size_t order = 0;
+  if (!(in >> order))
+    throw std::invalid_argument("edge list: missing order header");
+  GraphBuilder builder(order);
+  NodeId u, v;
+  while (in >> u >> v) builder.edge(u, v);  // builder validates endpoints
+  if (!in.eof() && in.fail())
+    throw std::invalid_argument("edge list: malformed edge line");
+  return builder.build();
+}
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph \"" << options.label << "\" {\n";
+  os << "  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.order(); ++v) {
+    os << "  n" << v;
+    if (contains_sorted(options.highlight, v))
+      os << " [style=filled, fillcolor=black, fontcolor=white]";
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.edges())
+    os << "  n" << u << " -- n" << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace manet::graph

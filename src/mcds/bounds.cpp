@@ -1,0 +1,30 @@
+#include "mcds/bounds.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::mcds {
+
+std::size_t domination_lower_bound(const graph::Graph& g) {
+  MANET_REQUIRE(g.order() > 0, "bound needs a non-empty graph");
+  const std::size_t cap = g.max_degree() + 1;
+  return (g.order() + cap - 1) / cap;
+}
+
+std::size_t diameter_lower_bound(const graph::Graph& g) {
+  MANET_REQUIRE(g.order() > 0, "bound needs a non-empty graph");
+  const auto diam = graph::diameter(g);
+  MANET_REQUIRE(diam != graph::kUnreachable, "bound needs a connected graph");
+  // Endpoints of a diametral path need diam-1 internal connectors; any
+  // CDS contains a connected dominating path for them of at least that
+  // many vertices. Every non-empty CDS has >= 1 member.
+  return std::max<std::size_t>(1, diam > 0 ? diam - 1 : 1);
+}
+
+std::size_t mcds_lower_bound(const graph::Graph& g) {
+  return std::max(domination_lower_bound(g), diameter_lower_bound(g));
+}
+
+}  // namespace manet::mcds

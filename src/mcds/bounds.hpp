@@ -1,0 +1,33 @@
+// Lower bounds on the minimum CDS size.
+//
+// The exact solver caps out around 20 nodes, but approximation ratios at
+// paper scale (n = 100) still need a denominator. Two classical sound
+// bounds, cheap to compute on any connected graph:
+//
+//  * domination bound — a vertex dominates at most Δ+1 vertices, so any
+//    dominating set has at least ceil(n / (Δ+1)) members;
+//  * diameter bound — a CDS must contain an internal vertex of some
+//    shortest path between any two vertices, and the subgraph it induces
+//    must span their distance: |CDS| >= diam(G) - 1.
+//
+// mcds_lower_bound returns the max of the two; every ratio reported by
+// bench/approx_ratio at large n divides by this certificate.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace manet::mcds {
+
+/// ceil(n / (max_degree + 1)); sound for any dominating set.
+std::size_t domination_lower_bound(const graph::Graph& g);
+
+/// diameter - 1 (>= 1 for non-complete connected graphs); requires a
+/// connected, non-empty graph.
+std::size_t diameter_lower_bound(const graph::Graph& g);
+
+/// max of the two bounds; requires a connected, non-empty graph.
+std::size_t mcds_lower_bound(const graph::Graph& g);
+
+}  // namespace manet::mcds

@@ -1,0 +1,171 @@
+#include "mcds/exact.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+#include "mcds/greedy.hpp"
+
+namespace manet::mcds {
+namespace {
+
+class Solver {
+ public:
+  Solver(const graph::Graph& g, const ExactOptions& options)
+      : g_(g),
+        options_(options),
+        in_set_(g.order(), 0),
+        dominator_count_(g.order(), 0) {
+    best_ = greedy_cds(g);  // incumbent upper bound
+  }
+
+  NodeSet solve() {
+    branch();
+    return best_;
+  }
+
+ private:
+  void add(NodeId u) {
+    in_set_[u] = 1;
+    chosen_.push_back(u);
+    ++dominator_count_[u];
+    for (NodeId w : g_.neighbors(u)) ++dominator_count_[w];
+  }
+
+  void remove(NodeId u) {
+    in_set_[u] = 0;
+    chosen_.pop_back();
+    --dominator_count_[u];
+    for (NodeId w : g_.neighbors(u)) --dominator_count_[w];
+  }
+
+  NodeId first_undominated() const {
+    for (NodeId v = 0; v < g_.order(); ++v)
+      if (dominator_count_[v] == 0) return v;
+    return kInvalidNode;
+  }
+
+  /// Components of the chosen set, as (component index per chosen node).
+  std::size_t chosen_component_count(std::vector<NodeId>* of_first = nullptr)
+      const {
+    std::size_t comps = 0;
+    std::vector<char> seen(g_.order(), 0);
+    NodeId first_comp_member = kInvalidNode;
+    for (NodeId s : chosen_) {
+      if (seen[s]) continue;
+      if (comps == 0) first_comp_member = s;
+      ++comps;
+      std::vector<NodeId> stack{s};
+      seen[s] = 1;
+      while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        for (NodeId w : g_.neighbors(v)) {
+          if (in_set_[w] && !seen[w]) {
+            seen[w] = 1;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    if (of_first != nullptr && first_comp_member != kInvalidNode) {
+      // Re-walk the first component to report its members.
+      std::vector<char> seen2(g_.order(), 0);
+      std::vector<NodeId> stack{first_comp_member};
+      seen2[first_comp_member] = 1;
+      while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        of_first->push_back(v);
+        for (NodeId w : g_.neighbors(v)) {
+          if (in_set_[w] && !seen2[w]) {
+            seen2[w] = 1;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    return comps;
+  }
+
+  /// Lower bound on extra vertices needed from here.
+  std::size_t remaining_lower_bound(std::size_t comps) const {
+    std::size_t undominated = 0;
+    for (NodeId v = 0; v < g_.order(); ++v)
+      if (dominator_count_[v] == 0) ++undominated;
+    const std::size_t dom_lb =
+        undominated == 0
+            ? 0
+            : (undominated + g_.max_degree()) / (g_.max_degree() + 1);
+    const std::size_t conn_lb = comps > 1 ? comps - 1 : 0;
+    return std::max(dom_lb, conn_lb);
+  }
+
+  void branch() {
+    if (++search_nodes_ > options_.max_search_nodes)
+      throw std::runtime_error("exact_mcds: search-node budget exceeded");
+
+    const std::size_t comps = chosen_.empty() ? 0 : chosen_component_count();
+    if (chosen_.size() + remaining_lower_bound(comps) >= best_.size())
+      return;  // cannot improve the incumbent
+
+    const NodeId v = first_undominated();
+    if (v != kInvalidNode) {
+      // Some member of N[v] must be in any dominating set.
+      add(v);
+      branch();
+      remove(v);
+      for (NodeId u : g_.neighbors(v)) {
+        add(u);
+        branch();
+        remove(u);
+      }
+      return;
+    }
+
+    // Everything dominated. Connected?
+    if (comps <= 1) {
+      if (chosen_.size() < best_.size()) {
+        best_.assign(chosen_.begin(), chosen_.end());
+        std::sort(best_.begin(), best_.end());
+      }
+      return;
+    }
+    // Merge components: any connected superset must pick a neighbor of
+    // the first component that is not yet chosen.
+    std::vector<NodeId> first_comp;
+    chosen_component_count(&first_comp);
+    NodeSet frontier;
+    for (NodeId s : first_comp)
+      for (NodeId w : g_.neighbors(s))
+        if (!in_set_[w]) insert_sorted(frontier, w);
+    for (NodeId u : frontier) {
+      add(u);
+      branch();
+      remove(u);
+    }
+  }
+
+  const graph::Graph& g_;
+  ExactOptions options_;
+  std::vector<char> in_set_;
+  std::vector<std::uint32_t> dominator_count_;
+  std::vector<NodeId> chosen_;
+  NodeSet best_;
+  std::size_t search_nodes_ = 0;
+};
+
+}  // namespace
+
+NodeSet exact_mcds(const graph::Graph& g, const ExactOptions& options) {
+  MANET_REQUIRE(g.order() > 0, "exact_mcds needs a non-empty graph");
+  MANET_REQUIRE(graph::is_connected(g), "exact_mcds needs a connected graph");
+  if (g.order() == 1) return {0};
+  NodeSet result = Solver(g, options).solve();
+  MANET_ASSERT(graph::is_connected_dominating_set(g, result),
+               "solver returned a non-CDS");
+  return result;
+}
+
+}  // namespace manet::mcds

@@ -1,0 +1,33 @@
+// Exact minimum connected dominating set by branch and bound.
+//
+// Finding an MCDS is NP-complete (also on unit disk graphs), so this
+// solver is for small instances only — it exists to measure the *actual*
+// approximation ratios of the static/dynamic backbones and MO_CDS against
+// the true optimum (the paper's "constant approximation ratio" claim).
+//
+// Search: branch on the lowest-id undominated vertex (some member of its
+// closed neighborhood must join the set); once dominating, branch on
+// frontier vertices to connect the components. Bounds: the greedy CDS
+// seeds the incumbent; |S| + (#components(S) - 1) prunes connectivity
+// work; a lower bound from disjoint closed neighborhoods prunes
+// domination work.
+#pragma once
+
+#include <cstddef>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::mcds {
+
+/// Exact-solver knobs.
+struct ExactOptions {
+  /// Hard cap on explored search nodes (throws std::runtime_error when
+  /// exceeded, so callers never hang on an oversized instance).
+  std::size_t max_search_nodes = 50'000'000;
+};
+
+/// An exact MCDS of a connected, non-empty graph.
+NodeSet exact_mcds(const graph::Graph& g, const ExactOptions& options = {});
+
+}  // namespace manet::mcds

@@ -1,0 +1,58 @@
+#include "mcds/greedy.hpp"
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::mcds {
+
+NodeSet greedy_cds(const graph::Graph& g) {
+  const std::size_t n = g.order();
+  MANET_REQUIRE(n > 0, "greedy_cds needs a non-empty graph");
+  MANET_REQUIRE(graph::is_connected(g), "greedy_cds needs a connected graph");
+  if (n == 1) return {0};
+
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(n, kWhite);
+  NodeSet cds;
+
+  auto blacken = [&](NodeId v) {
+    color[v] = kBlack;
+    insert_sorted(cds, v);
+    for (NodeId w : g.neighbors(v))
+      if (color[w] == kWhite) color[w] = kGray;
+  };
+
+  // Seed with the max-degree vertex.
+  NodeId seed = 0;
+  for (NodeId v = 1; v < n; ++v)
+    if (g.degree(v) > g.degree(seed)) seed = v;
+  blacken(seed);
+
+  std::size_t white_left = 0;
+  for (char c : color)
+    if (c == kWhite) ++white_left;
+
+  while (white_left > 0) {
+    NodeId best = kInvalidNode;
+    std::size_t best_gain = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (color[v] != kGray) continue;
+      std::size_t gain = 0;
+      for (NodeId w : g.neighbors(v))
+        if (color[w] == kWhite) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    MANET_ASSERT(best != kInvalidNode,
+                 "connected graph always has a helpful gray vertex");
+    white_left -= best_gain;
+    blacken(best);
+  }
+  // A singleton dominating tree can appear when the seed dominates
+  // everything; that is still a CDS.
+  return cds;
+}
+
+}  // namespace manet::mcds

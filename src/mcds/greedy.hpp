@@ -1,0 +1,18 @@
+// Greedy connected dominating set (Guha–Khuller flavor).
+//
+// Grows one black tree: start from the maximum-degree vertex; repeatedly
+// blacken the gray (covered, tree-adjacent) vertex that whitens the most
+// uncovered vertices. Used as the upper bound seeding the exact solver
+// and as an extra comparison point in the approximation-ratio bench.
+#pragma once
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::mcds {
+
+/// Greedy CDS of a connected graph (singleton for order <= 1; the whole
+/// dominating tree otherwise). Requires a connected, non-empty graph.
+NodeSet greedy_cds(const graph::Graph& g);
+
+}  // namespace manet::mcds

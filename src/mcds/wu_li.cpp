@@ -1,0 +1,88 @@
+#include "mcds/wu_li.hpp"
+
+#include "common/assert.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::mcds {
+namespace {
+
+/// N[v] as a sorted set.
+NodeSet closed(const graph::Graph& g, NodeId v) {
+  const auto nb = g.neighbors(v);
+  NodeSet out(nb.begin(), nb.end());
+  insert_sorted(out, v);
+  return out;
+}
+
+}  // namespace
+
+NodeSet wu_li_marked(const graph::Graph& g) {
+  NodeSet marked;
+  for (NodeId v = 0; v < g.order(); ++v) {
+    const auto nb = g.neighbors(v);
+    bool has_unconnected_pair = false;
+    for (std::size_t i = 0; i < nb.size() && !has_unconnected_pair; ++i)
+      for (std::size_t j = i + 1; j < nb.size(); ++j)
+        if (!g.has_edge(nb[i], nb[j])) {
+          has_unconnected_pair = true;
+          break;
+        }
+    if (has_unconnected_pair) marked.push_back(v);
+  }
+  if (marked.empty() && g.order() > 0) marked.push_back(0);  // complete graph
+  return marked;
+}
+
+NodeSet wu_li_cds(const graph::Graph& g, const WuLiOptions& options) {
+  MANET_REQUIRE(g.order() > 0, "wu_li_cds needs a non-empty graph");
+  MANET_REQUIRE(graph::is_connected(g), "wu_li_cds needs a connected graph");
+  const NodeSet marked = wu_li_marked(g);
+  if (marked.size() <= 1) return marked;
+
+  // Both rules are evaluated against the *original* marking, so the
+  // unmark decisions are order-independent (as in the paper).
+  std::vector<char> unmark(g.order(), 0);
+  for (NodeId v : marked) {
+    const NodeSet nv_closed = closed(g, v);
+    const auto nb = g.neighbors(v);
+
+    if (options.rule1) {
+      for (NodeId u : nb) {
+        if (!contains_sorted(marked, u) || v >= u) continue;
+        if (is_subset(nv_closed, closed(g, u))) {
+          unmark[v] = 1;
+          break;
+        }
+      }
+    }
+    if (options.rule2 && !unmark[v]) {
+      NodeSet nv_open(nb.begin(), nb.end());
+      for (std::size_t i = 0; i < nb.size() && !unmark[v]; ++i) {
+        const NodeId u = nb[i];
+        if (!contains_sorted(marked, u) || v >= u) continue;
+        for (std::size_t j = i + 1; j < nb.size(); ++j) {
+          const NodeId w = nb[j];
+          if (!contains_sorted(marked, w) || v >= w) continue;
+          const auto nu = g.neighbors(u);
+          const auto nw = g.neighbors(w);
+          const NodeSet cover = set_union(NodeSet(nu.begin(), nu.end()),
+                                          NodeSet(nw.begin(), nw.end()));
+          if (is_subset(nv_open, cover)) {
+            unmark[v] = 1;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  NodeSet cds;
+  for (NodeId v : marked)
+    if (!unmark[v]) cds.push_back(v);
+  // Degenerate safeguard: pruning rules never empty a valid marking, but
+  // keep the invariant explicit for the CDS contract.
+  MANET_ASSERT(!cds.empty(), "pruning rules must leave a non-empty CDS");
+  return cds;
+}
+
+}  // namespace manet::mcds

@@ -1,0 +1,34 @@
+// The Wu & Li marking process with Rules 1 and 2 (DIALM'99) — the
+// classical localized SI-CDS construction cited in the paper's §2.
+//
+// Marking: a node is marked iff it has two neighbors that are not
+// adjacent to each other. For a connected graph the marked set is a CDS
+// (or empty when the graph is complete, in which case any single vertex
+// serves). Two pruning rules shrink it, evaluated simultaneously against
+// the original marking:
+//   Rule 1: unmark v if N[v] ⊆ N[u] for some marked neighbor u with
+//           id(v) < id(u).
+//   Rule 2: unmark v if N(v) ⊆ N(u) ∪ N(w) for two marked neighbors
+//           u, w and id(v) = min(id(v), id(u), id(w)).
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::mcds {
+
+/// Which pruning rules to apply after marking.
+struct WuLiOptions {
+  bool rule1 = true;
+  bool rule2 = true;
+};
+
+/// The marked set before pruning (plus the complete-graph fallback {0}).
+NodeSet wu_li_marked(const graph::Graph& g);
+
+/// The Wu–Li CDS of a connected, non-empty graph.
+NodeSet wu_li_cds(const graph::Graph& g, const WuLiOptions& options = {});
+
+}  // namespace manet::mcds

@@ -1,0 +1,44 @@
+#include "mobility/maintenance.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace manet::mobility {
+
+MaintenanceDelta compare_snapshots(const graph::Graph& before,
+                                   const graph::Graph& after,
+                                   core::CoverageMode mode) {
+  MANET_REQUIRE(before.order() == after.order(),
+                "snapshots must share the node population");
+  MaintenanceDelta delta;
+
+  // Symmetric difference of the edge sets.
+  const auto eb = before.edges();
+  const auto ea = after.edges();
+  std::vector<std::pair<NodeId, NodeId>> diff;
+  std::set_symmetric_difference(eb.begin(), eb.end(), ea.begin(), ea.end(),
+                                std::back_inserter(diff));
+  delta.link_changes = diff.size();
+
+  const auto bb_before = core::build_static_backbone(before, mode);
+  const auto bb_after = core::build_static_backbone(after, mode);
+
+  for (NodeId v = 0; v < before.order(); ++v) {
+    if (bb_before.clustering.head_of[v] != bb_after.clustering.head_of[v])
+      ++delta.head_changes;
+    if (bb_before.clustering.roles[v] != bb_after.clustering.roles[v])
+      ++delta.role_changes;
+    if (bb_before.in_backbone(v) != bb_after.in_backbone(v))
+      ++delta.backbone_changes;
+  }
+  for (NodeId h : bb_after.clustering.heads) {
+    const bool was_head = bb_before.clustering.is_head(h);
+    if (!was_head ||
+        bb_before.coverage[h].all() != bb_after.coverage[h].all())
+      ++delta.coverage_changes;
+  }
+  return delta;
+}
+
+}  // namespace manet::mobility

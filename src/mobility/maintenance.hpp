@@ -1,0 +1,48 @@
+// Backbone maintenance-cost metrics under mobility.
+//
+// The paper's closing argument: "maintaining a static backbone at all
+// times for broadcasting is costly and unnecessary", because the static
+// backbone must repair both the clusters *and* the gateway selections
+// after every topology change, whereas the dynamic backbone only keeps
+// the cluster structure (gateways are re-derived per broadcast for free).
+// This module quantifies that: given consecutive topology snapshots it
+// reports how much of each structure churned.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "core/neighbor_tables.hpp"
+#include "core/static_backbone.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::mobility {
+
+/// Structure churn between two consecutive snapshots.
+struct MaintenanceDelta {
+  std::size_t link_changes = 0;      ///< edges appearing or disappearing
+  std::size_t head_changes = 0;      ///< nodes whose clusterhead changed
+  std::size_t role_changes = 0;      ///< nodes whose cluster role changed
+  std::size_t backbone_changes = 0;  ///< static-CDS membership flips
+  std::size_t coverage_changes = 0;  ///< heads whose coverage set changed
+
+  /// Cost proxy for keeping the *static* backbone correct: every head or
+  /// membership flip plus every gateway reselection must be signalled.
+  std::size_t static_maintenance() const {
+    return head_changes + backbone_changes + coverage_changes;
+  }
+  /// Cost proxy for the *dynamic* backbone: only clustering (plus the
+  /// coverage tables every head keeps either way) needs repair.
+  std::size_t dynamic_maintenance() const {
+    return head_changes + coverage_changes;
+  }
+};
+
+/// Compares the clustering/backbone structures of two snapshots of the
+/// same node population.
+MaintenanceDelta compare_snapshots(const graph::Graph& before,
+                                   const graph::Graph& after,
+                                   core::CoverageMode mode);
+
+}  // namespace manet::mobility

@@ -1,0 +1,86 @@
+#include "mobility/random_direction.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace manet::mobility {
+
+RandomDirectionModel::RandomDirectionModel(std::vector<geom::Point> initial,
+                                           RandomDirectionConfig config,
+                                           Rng rng)
+    : positions_(std::move(initial)),
+      motion_(positions_.size()),
+      config_(config),
+      rng_(rng) {
+  MANET_REQUIRE(!positions_.empty(), "mobility model needs nodes");
+  MANET_REQUIRE(config_.min_speed > 0.0 &&
+                    config_.max_speed >= config_.min_speed,
+                "speeds must satisfy 0 < min <= max");
+  MANET_REQUIRE(config_.pause_time >= 0.0, "pause time must be >= 0");
+  MANET_REQUIRE(config_.max_leg_time > 0.0, "leg time must be positive");
+  for (std::size_t i = 0; i < positions_.size(); ++i) pick_heading(i);
+}
+
+void RandomDirectionModel::pick_heading(std::size_t i) {
+  const double heading = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double speed = rng_.uniform(config_.min_speed, config_.max_speed);
+  motion_[i].vx = std::cos(heading) * speed;
+  motion_[i].vy = std::sin(heading) * speed;
+  motion_[i].leg_left = rng_.uniform(0.0, config_.max_leg_time);
+  motion_[i].pause_left = 0.0;
+}
+
+void RandomDirectionModel::step(double dt) {
+  MANET_REQUIRE(dt > 0.0, "time step must be positive");
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    double remaining = dt;
+    while (remaining > 1e-12) {
+      auto& m = motion_[i];
+      auto& p = positions_[i];
+      if (m.pause_left > 0.0) {
+        const double wait = std::min(m.pause_left, remaining);
+        m.pause_left -= wait;
+        remaining -= wait;
+        if (m.pause_left <= 0.0) pick_heading(i);
+        continue;
+      }
+      const double travel = std::min(m.leg_left, remaining);
+      if (travel <= 0.0) {
+        m.pause_left = config_.pause_time;
+        if (config_.pause_time == 0.0) pick_heading(i);
+        continue;
+      }
+      p.x += m.vx * travel;
+      p.y += m.vy * travel;
+      // Reflect at the walls (billiard model keeps density uniform).
+      auto reflect = [](double& coord, double& velocity, double hi) {
+        while (coord < 0.0 || coord > hi) {
+          if (coord < 0.0) {
+            coord = -coord;
+            velocity = -velocity;
+          }
+          if (coord > hi) {
+            coord = 2 * hi - coord;
+            velocity = -velocity;
+          }
+        }
+      };
+      reflect(p.x, m.vx, config_.width);
+      reflect(p.y, m.vy, config_.height);
+      m.leg_left -= travel;
+      remaining -= travel;
+      if (m.leg_left <= 0.0) {
+        m.pause_left = config_.pause_time;
+        if (config_.pause_time == 0.0) pick_heading(i);
+      }
+    }
+  }
+}
+
+graph::Graph RandomDirectionModel::snapshot(double range) const {
+  return geom::unit_disk_graph(positions_, range);
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,62 @@
+// Random-direction mobility — the second standard MANET movement model.
+//
+// Each node picks a uniform heading and speed, travels until it hits the
+// area boundary (or its travel-time budget expires), pauses, and picks a
+// fresh heading. Compared to random waypoint, node density stays uniform
+// over the area (waypoint concentrates nodes in the middle), which makes
+// it the fairer model for churn experiments near the border.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "geom/point.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::mobility {
+
+/// Random-direction parameters.
+struct RandomDirectionConfig {
+  double width = 100.0;
+  double height = 100.0;
+  double min_speed = 0.5;
+  double max_speed = 2.0;
+  double pause_time = 1.0;
+  /// Maximum travel time before re-drawing a heading even without
+  /// hitting a wall.
+  double max_leg_time = 20.0;
+};
+
+/// Mutable random-direction state for a set of nodes.
+class RandomDirectionModel {
+ public:
+  RandomDirectionModel(std::vector<geom::Point> initial,
+                       RandomDirectionConfig config, Rng rng);
+
+  /// Advances every node by `dt` time units (reflecting at walls).
+  void step(double dt);
+
+  const std::vector<geom::Point>& positions() const { return positions_; }
+  std::size_t size() const { return positions_.size(); }
+
+  /// Unit-disk graph of the current positions.
+  graph::Graph snapshot(double range) const;
+
+ private:
+  struct NodeMotion {
+    double vx = 0.0;          ///< velocity components (reflected at walls)
+    double vy = 0.0;
+    double leg_left = 0.0;    ///< remaining travel time on this heading
+    double pause_left = 0.0;
+  };
+  void pick_heading(std::size_t i);
+
+  std::vector<geom::Point> positions_;
+  std::vector<NodeMotion> motion_;
+  RandomDirectionConfig config_;
+  Rng rng_;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,66 @@
+#include "mobility/waypoint.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace manet::mobility {
+
+WaypointModel::WaypointModel(std::vector<geom::Point> initial,
+                             WaypointConfig config, Rng rng)
+    : positions_(std::move(initial)),
+      motion_(positions_.size()),
+      config_(config),
+      rng_(rng) {
+  MANET_REQUIRE(!positions_.empty(), "mobility model needs nodes");
+  MANET_REQUIRE(config_.min_speed > 0.0 &&
+                    config_.max_speed >= config_.min_speed,
+                "speeds must satisfy 0 < min <= max");
+  MANET_REQUIRE(config_.pause_time >= 0.0, "pause time must be >= 0");
+  for (std::size_t i = 0; i < positions_.size(); ++i) pick_waypoint(i);
+}
+
+void WaypointModel::pick_waypoint(std::size_t i) {
+  motion_[i].waypoint = {rng_.uniform(0.0, config_.width),
+                         rng_.uniform(0.0, config_.height)};
+  motion_[i].speed = rng_.uniform(config_.min_speed, config_.max_speed);
+  motion_[i].pause_left = 0.0;
+}
+
+void WaypointModel::step(double dt) {
+  MANET_REQUIRE(dt > 0.0, "time step must be positive");
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    double remaining = dt;
+    while (remaining > 0.0) {
+      auto& m = motion_[i];
+      auto& p = positions_[i];
+      if (m.pause_left > 0.0) {
+        const double wait = std::min(m.pause_left, remaining);
+        m.pause_left -= wait;
+        remaining -= wait;
+        if (m.pause_left == 0.0) pick_waypoint(i);
+        continue;
+      }
+      const double dist = geom::distance(p, m.waypoint);
+      const double step_len = m.speed * remaining;
+      if (step_len >= dist) {
+        // Arrive and start pausing within this step.
+        p = m.waypoint;
+        remaining -= (m.speed > 0.0 ? dist / m.speed : remaining);
+        m.pause_left = config_.pause_time;
+        if (config_.pause_time == 0.0) pick_waypoint(i);
+      } else {
+        const double scale = step_len / dist;
+        p.x += (m.waypoint.x - p.x) * scale;
+        p.y += (m.waypoint.y - p.y) * scale;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+graph::Graph WaypointModel::snapshot(double range) const {
+  return geom::unit_disk_graph(positions_, range);
+}
+
+}  // namespace manet::mobility

@@ -1,0 +1,60 @@
+// Random-waypoint mobility — the standard MANET movement model.
+//
+// Each node repeatedly: picks a uniform destination in the working space
+// and a uniform speed in [min_speed, max_speed], travels there in a
+// straight line, pauses, and repeats. The paper's simulations are static
+// snapshots; this module supports the maintenance-cost story its
+// conclusions draw ("maintaining a static backbone at all times for
+// broadcasting is costly") by generating correlated topology sequences.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "geom/point.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::mobility {
+
+/// Random-waypoint parameters.
+struct WaypointConfig {
+  double width = 100.0;
+  double height = 100.0;
+  double min_speed = 0.5;   ///< distance units per time unit
+  double max_speed = 2.0;
+  double pause_time = 1.0;  ///< time units to wait at each waypoint
+};
+
+/// Mutable mobility state for a set of nodes.
+class WaypointModel {
+ public:
+  /// Starts from the given positions (e.g. a generated unit-disk layout).
+  WaypointModel(std::vector<geom::Point> initial, WaypointConfig config,
+                Rng rng);
+
+  /// Advances every node by `dt` time units.
+  void step(double dt);
+
+  const std::vector<geom::Point>& positions() const { return positions_; }
+  std::size_t size() const { return positions_.size(); }
+
+  /// Unit-disk graph of the current positions.
+  graph::Graph snapshot(double range) const;
+
+ private:
+  struct NodeMotion {
+    geom::Point waypoint;
+    double speed = 0.0;
+    double pause_left = 0.0;
+  };
+  void pick_waypoint(std::size_t i);
+
+  std::vector<geom::Point> positions_;
+  std::vector<NodeMotion> motion_;
+  WaypointConfig config_;
+  Rng rng_;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,83 @@
+// Wire messages of the distributed backbone-construction protocol
+// (paper §3): HELLO, CLUSTER_HEAD, NON_CLUSTER_HEAD, CH_HOP1, CH_HOP2
+// and GATEWAY.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/neighbor_tables.hpp"
+
+namespace manet::net {
+
+/// Round-0 neighbor discovery beacon.
+struct HelloMsg {};
+
+/// "I am a clusterhead."
+struct ClusterHeadMsg {};
+
+/// "I joined cluster `head`."
+struct NonClusterHeadMsg {
+  NodeId head;
+};
+
+/// A non-clusterhead's 1-hop neighboring clusterheads.
+struct ChHop1Msg {
+  NodeSet heads;
+};
+
+/// A non-clusterhead's 2-hop clusterhead entries (head, via).
+struct ChHop2Msg {
+  std::vector<core::Hop2Entry> entries;
+};
+
+/// A clusterhead's gateway announcement, flooded 2 hops by the selected
+/// nodes themselves (TTL counts remaining forwards).
+struct GatewayMsg {
+  NodeId origin;     ///< selecting clusterhead
+  NodeSet selected;  ///< its gateways (first- and second-hop)
+  std::uint8_t ttl;
+};
+
+/// A broadcast data packet of the SD-CDS dynamic backbone: the upstream
+/// clusterhead's identity, coverage set and forward-node set ride on the
+/// packet (paper §3, "Broadcasting in a Cluster-Based SD-CDS Backbone").
+struct DataMsg {
+  NodeId origin_head;   ///< upstream head (kInvalidNode for a handoff)
+  NodeSet coverage;     ///< C(origin) piggyback
+  NodeSet forward_set;  ///< F(origin) piggyback
+};
+
+/// Message body (one alternative per protocol message type).
+using MessageBody = std::variant<HelloMsg, ClusterHeadMsg, NonClusterHeadMsg,
+                                 ChHop1Msg, ChHop2Msg, GatewayMsg, DataMsg>;
+
+/// A transmission on the (ideal, collision-free) broadcast medium.
+struct Message {
+  NodeId from;
+  MessageBody body;
+};
+
+/// Per-type transmission counters — the material for the paper's O(n)
+/// communication-complexity claim.
+struct MessageCounts {
+  std::size_t hello = 0;
+  std::size_t cluster_head = 0;
+  std::size_t non_cluster_head = 0;
+  std::size_t ch_hop1 = 0;
+  std::size_t ch_hop2 = 0;
+  std::size_t gateway = 0;
+  std::size_t data = 0;
+
+  /// Construction-phase total (HELLO through GATEWAY).
+  std::size_t total() const {
+    return hello + cluster_head + non_cluster_head + ch_hop1 + ch_hop2 +
+           gateway;
+  }
+
+  void count(const MessageBody& body);
+};
+
+}  // namespace manet::net

@@ -1,0 +1,111 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace manet::net {
+namespace {
+
+/// Collects one node's outgoing transmissions for the current round.
+class QueueMailbox final : public Mailbox {
+ public:
+  explicit QueueMailbox(NodeId from) : from_(from) {}
+  void send(MessageBody body) override {
+    queued_.push_back({from_, std::move(body)});
+  }
+  std::vector<Message> take() { return std::move(queued_); }
+
+ private:
+  NodeId from_;
+  std::vector<Message> queued_;
+};
+
+}  // namespace
+
+void MessageCounts::count(const MessageBody& body) {
+  struct Visitor {
+    MessageCounts& c;
+    void operator()(const HelloMsg&) { ++c.hello; }
+    void operator()(const ClusterHeadMsg&) { ++c.cluster_head; }
+    void operator()(const NonClusterHeadMsg&) { ++c.non_cluster_head; }
+    void operator()(const ChHop1Msg&) { ++c.ch_hop1; }
+    void operator()(const ChHop2Msg&) { ++c.ch_hop2; }
+    void operator()(const GatewayMsg&) { ++c.gateway; }
+    void operator()(const DataMsg&) { ++c.data; }
+  };
+  std::visit(Visitor{*this}, body);
+}
+
+Simulator::Simulator(const graph::Graph& g, const Factory& factory) : g_(g) {
+  MANET_REQUIRE(factory != nullptr, "node factory required");
+  nodes_.reserve(g.order());
+  for (NodeId v = 0; v < g.order(); ++v) nodes_.push_back(factory(v));
+}
+
+NodeProcess& Simulator::process(NodeId v) {
+  MANET_REQUIRE(v < nodes_.size(), "node id out of range");
+  return *nodes_[v];
+}
+
+const NodeProcess& Simulator::process(NodeId v) const {
+  MANET_REQUIRE(v < nodes_.size(), "node id out of range");
+  return *nodes_[v];
+}
+
+void Simulator::inject(NodeId from, MessageBody body) {
+  MANET_REQUIRE(from < g_.order(), "inject source out of range");
+  Message m{from, std::move(body)};
+  counts_.count(m.body);
+  if (observer_) observer_(round_, m);
+  in_flight_.push_back(std::move(m));
+}
+
+std::uint32_t Simulator::run(std::uint32_t max_rounds) {
+  const std::size_t n = g_.order();
+
+  if (!started_) {
+    // start(): nodes queue their round-0 transmissions (HELLO).
+    started_ = true;
+    for (NodeId v = 0; v < n; ++v) {
+      QueueMailbox mb(v);
+      nodes_[v]->start(mb);
+      for (auto& m : mb.take()) {
+        counts_.count(m.body);
+        if (observer_) observer_(round_, m);
+        in_flight_.push_back(std::move(m));
+      }
+    }
+  }
+
+  std::uint32_t executed = 0;
+  std::vector<std::vector<Message>> inboxes(n);
+  while (true) {
+    // Deliver last round's transmissions to every neighbor.
+    for (auto& box : inboxes) box.clear();
+    for (const auto& m : in_flight_)
+      for (NodeId w : g_.neighbors(m.from)) inboxes[w].push_back(m);
+    const bool had_traffic = !in_flight_.empty();
+    in_flight_.clear();
+
+    // Let every node react (and possibly transmit for next round).
+    ++round_;
+    ++executed;
+    for (NodeId v = 0; v < n; ++v) {
+      QueueMailbox mb(v);
+      nodes_[v]->on_round(round_, inboxes[v], mb);
+      for (auto& m : mb.take()) {
+        counts_.count(m.body);
+        if (observer_) observer_(round_, m);
+        in_flight_.push_back(std::move(m));
+      }
+    }
+
+    if (in_flight_.empty() && !had_traffic) break;  // quiescent
+    if (executed >= max_rounds)
+      throw std::runtime_error("simulator exceeded max_rounds (livelock?)");
+  }
+  return executed;
+}
+
+}  // namespace manet::net

@@ -1,0 +1,89 @@
+// Synchronous-round discrete-event simulator over an ideal broadcast
+// medium.
+//
+// Time advances in rounds (the unit-time model the paper's complexity
+// analysis uses). A message sent in round r is delivered to every
+// neighbor of the sender at the start of round r+1 — the paper assumes
+// collisions and contention are resolved below the network layer, so the
+// medium is lossless. Each node is a protocol state machine; the
+// simulation runs until no messages are in flight and no node wants to
+// transmit.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "net/message.hpp"
+
+namespace manet::net {
+
+/// Interface handed to a node when it may transmit.
+class Mailbox {
+ public:
+  virtual ~Mailbox() = default;
+  /// Queues a local broadcast for delivery next round.
+  virtual void send(MessageBody body) = 0;
+};
+
+/// A protocol state machine living on one node.
+class NodeProcess {
+ public:
+  virtual ~NodeProcess() = default;
+
+  /// Called once before round 0.
+  virtual void start(Mailbox& out) = 0;
+
+  /// Called every round with the messages delivered this round (possibly
+  /// none). May transmit via `out`.
+  virtual void on_round(std::uint32_t round,
+                        const std::vector<Message>& inbox, Mailbox& out) = 0;
+
+  /// True once the node will never transmit again regardless of input
+  /// (used only as a liveness diagnostic).
+  virtual bool done() const = 0;
+};
+
+/// Runs a set of NodeProcesses over the topology until quiescence.
+class Simulator {
+ public:
+  using Factory = std::function<std::unique_ptr<NodeProcess>(NodeId)>;
+
+  /// Creates one process per vertex of `g` via `factory`.
+  Simulator(const graph::Graph& g, const Factory& factory);
+
+  /// Runs to quiescence; returns the number of rounds executed by this
+  /// call. Throws std::runtime_error if `max_rounds` elapse first
+  /// (livelock guard). The first call invokes every process's start();
+  /// later calls resume — inject() then run() models multi-phase
+  /// protocols (e.g. backbone construction followed by data broadcasts).
+  std::uint32_t run(std::uint32_t max_rounds = 100000);
+
+  /// Queues a transmission from `from` for the next run() (an external
+  /// stimulus, e.g. a data packet handed to the network layer).
+  void inject(NodeId from, MessageBody body);
+
+  /// Observer invoked for every transmission (round, message) — used by
+  /// the trace example and available for custom instrumentation.
+  using Observer = std::function<void(std::uint32_t, const Message&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  const MessageCounts& counts() const { return counts_; }
+
+  /// Access to a node's process (for result extraction after run()).
+  NodeProcess& process(NodeId v);
+  const NodeProcess& process(NodeId v) const;
+
+ private:
+  const graph::Graph& g_;
+  std::vector<std::unique_ptr<NodeProcess>> nodes_;
+  MessageCounts counts_;
+  Observer observer_;
+  std::vector<Message> in_flight_;
+  bool started_ = false;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace manet::net

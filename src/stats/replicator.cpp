@@ -1,0 +1,47 @@
+#include "stats/replicator.hpp"
+
+#include "common/assert.hpp"
+
+namespace manet::stats {
+
+ReplicationResult replicate(
+    const ReplicationPolicy& policy, std::size_t metric_count,
+    const std::function<void(std::size_t, std::vector<double>&)>& sample) {
+  MANET_REQUIRE(metric_count > 0, "at least one metric is required");
+  MANET_REQUIRE(policy.min_replications >= 2,
+                "need >= 2 replications for a confidence interval");
+  MANET_REQUIRE(policy.min_replications <= policy.max_replications,
+                "min_replications must not exceed max_replications");
+
+  ReplicationResult result;
+  result.metrics.resize(metric_count);
+  std::vector<double> values;
+  values.reserve(metric_count);
+
+  for (std::size_t rep = 0; rep < policy.max_replications; ++rep) {
+    values.clear();
+    sample(rep, values);
+    MANET_REQUIRE(values.size() == metric_count,
+                  "sample callback produced wrong metric arity");
+    for (std::size_t m = 0; m < metric_count; ++m)
+      result.metrics[m].add(values[m]);
+    result.replications = rep + 1;
+
+    if (result.replications < policy.min_replications) continue;
+    bool all_tight = true;
+    for (const auto& stat : result.metrics) {
+      if (stat.relative_halfwidth(policy.confidence) >
+          policy.relative_halfwidth) {
+        all_tight = false;
+        break;
+      }
+    }
+    if (all_tight) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace manet::stats

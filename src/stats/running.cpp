@@ -1,0 +1,61 @@
+#include "stats/running.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/student_t.hpp"
+
+namespace manet::stats {
+
+void RunningStats::add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci_halfwidth(double confidence) const {
+  if (count_ < 2) return std::numeric_limits<double>::infinity();
+  const double t = student_t_critical(confidence, count_ - 1);
+  return t * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::relative_halfwidth(double confidence) const {
+  const double hw = ci_halfwidth(confidence);
+  if (hw == 0.0) return 0.0;
+  if (mean_ == 0.0) return std::numeric_limits<double>::infinity();
+  return hw / std::fabs(mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace manet::stats

@@ -1,0 +1,45 @@
+// Numerically stable running statistics (Welford) with Student-t
+// confidence intervals — the paper's stopping rule is "repeat the
+// simulation until the 99% confidence interval of the result is within
+// +-5%", which maps to RunningStats::relative_halfwidth().
+#pragma once
+
+#include <cstddef>
+
+namespace manet::stats {
+
+/// Accumulates samples with Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Half-width of the `confidence` CI around the mean (Student-t).
+  /// Returns +inf with fewer than 2 samples.
+  double ci_halfwidth(double confidence) const;
+
+  /// ci_halfwidth / |mean| (inf when mean == 0 and halfwidth > 0; 0 when
+  /// both are 0, e.g. a degenerate all-equal sample stream).
+  double relative_halfwidth(double confidence) const;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace manet::stats

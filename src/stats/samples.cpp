@@ -1,0 +1,58 @@
+#include "stats/samples.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace manet::stats {
+
+void SampleSet::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = samples_.size() <= 1;
+}
+
+double SampleSet::mean() const {
+  MANET_REQUIRE(!samples_.empty(), "mean of an empty sample set");
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  MANET_REQUIRE(!samples_.empty(), "quantile of an empty sample set");
+  MANET_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::trimmed_mean(double trim) const {
+  MANET_REQUIRE(!samples_.empty(), "trimmed mean of an empty sample set");
+  MANET_REQUIRE(trim >= 0.0 && trim < 0.5, "trim must be in [0, 0.5)");
+  ensure_sorted();
+  const auto n = samples_.size();
+  const auto drop = static_cast<std::size_t>(
+      std::floor(trim * static_cast<double>(n)));
+  double sum = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = drop; i < n - drop; ++i) {
+    sum += samples_[i];
+    ++kept;
+  }
+  MANET_ASSERT(kept > 0, "trim always keeps the middle");
+  return sum / static_cast<double>(kept);
+}
+
+}  // namespace manet::stats

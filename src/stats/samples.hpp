@@ -1,0 +1,39 @@
+// Exact sample-set statistics (quantiles, median, trimmed mean) for
+// metrics whose distribution matters — e.g. broadcast latency, where the
+// tail (p95) tells a different story than the mean. Keeps all samples;
+// fine for the experiment sizes this library runs at.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manet::stats {
+
+/// Accumulates samples and answers exact order statistics.
+class SampleSet {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+
+  /// Exact q-quantile (linear interpolation between order statistics),
+  /// q in [0, 1]. Requires at least one sample.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  /// Mean after dropping the `trim` fraction from each tail (trim in
+  /// [0, 0.5)). trimmed_mean(0) == mean().
+  double trimmed_mean(double trim) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace manet::stats

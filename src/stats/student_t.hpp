@@ -1,0 +1,23 @@
+// Student-t critical values for two-sided confidence intervals.
+//
+// Self-contained (no external math library): exact-enough tables for small
+// degrees of freedom at the confidence levels experiments actually use
+// (90/95/99%), with the normal quantile as the asymptotic fallback and a
+// Cornish–Fisher style df correction in between.
+#pragma once
+
+#include <cstddef>
+
+namespace manet::stats {
+
+/// Two-sided critical value t*(confidence, df): P(|T_df| <= t*) =
+/// confidence. Supports confidence in (0, 1); accuracy is ~1e-3 for the
+/// tabulated levels {0.90, 0.95, 0.99} and ~1e-2 elsewhere, which is ample
+/// for a CI stopping rule.
+double student_t_critical(double confidence, std::size_t df);
+
+/// Standard normal two-sided critical value z*: P(|Z| <= z*) = confidence.
+/// (Acklam's inverse-CDF approximation, |error| < 1.15e-9.)
+double normal_critical(double confidence);
+
+}  // namespace manet::stats

@@ -1,0 +1,67 @@
+// Tests for the ablation runners (the library behind the ablation
+// benches).
+#include "exp/ablations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manet::exp {
+namespace {
+
+TEST(PruningAblationTest, RowsCoverTheGridAndDeliver) {
+  const auto rows = run_pruning_ablation({20, 40}, {6.0, 18.0}, 6, 321);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_TRUE(r.all_delivered) << "n=" << r.nodes << " d=" << r.degree;
+    // Pruning only removes forwards; the full algorithm is the smallest.
+    EXPECT_LE(r.forward_both, r.forward_none + 1e-9);
+    EXPECT_LE(r.forward_piggyback, r.forward_none + 1e-9);
+    EXPECT_GT(r.forward_both, 0.0);
+  }
+}
+
+TEST(PruningAblationTest, PiggybackDoesTheHeavyLifting) {
+  // The ablation's headline finding at density 18: the piggyback rule
+  // accounts for nearly all of the savings.
+  const auto rows = run_pruning_ablation({60}, {18.0}, 10, 322);
+  ASSERT_EQ(rows.size(), 1u);
+  const auto& r = rows[0];
+  const double total_saving = r.forward_none - r.forward_both;
+  const double piggy_saving = r.forward_none - r.forward_piggyback;
+  ASSERT_GT(total_saving, 0.0);
+  EXPECT_GE(piggy_saving, 0.8 * total_saving);
+}
+
+TEST(PruningAblationTest, Deterministic) {
+  const auto a = run_pruning_ablation({30}, {6.0}, 5, 99);
+  const auto b = run_pruning_ablation({30}, {6.0}, 5, 99);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].forward_both, b[0].forward_both);
+}
+
+TEST(PruningAblationTest, RejectsZeroReplications) {
+  EXPECT_THROW(run_pruning_ablation({20}, {6.0}, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(MsgComplexityTest, PerNodeStaysFlat) {
+  const auto rows = run_msg_complexity({20, 60, 100}, {6.0}, 5, 323);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.hello, static_cast<double>(r.nodes));  // one HELLO each
+    EXPECT_EQ(r.roles, static_cast<double>(r.nodes));  // one role each
+    EXPECT_GT(r.data, 0.0);
+  }
+  // O(n): per-node total does not grow with n (allow small noise).
+  EXPECT_LE(rows[2].per_node, rows[0].per_node * 1.15);
+}
+
+TEST(MsgComplexityTest, DataPhaseIsAlsoLinear) {
+  const auto rows = run_msg_complexity({20, 100}, {18.0}, 5, 324);
+  ASSERT_EQ(rows.size(), 2u);
+  // SD broadcast data messages scale sub-linearly with n (bounded by the
+  // forward-node set, which is well below n at this density).
+  EXPECT_LT(rows[1].data, static_cast<double>(rows[1].nodes));
+}
+
+}  // namespace
+}  // namespace manet::exp

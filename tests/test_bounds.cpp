@@ -1,0 +1,74 @@
+// Tests for the MCDS lower-bound certificates.
+#include "mcds/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geom/unit_disk.hpp"
+#include "mcds/exact.hpp"
+#include "paper_fixtures.hpp"
+
+namespace manet::mcds {
+namespace {
+
+TEST(BoundsTest, KnownGraphs) {
+  // Path of 7: Δ=2 -> domination bound ceil(7/3)=3; diameter bound
+  // 6-1=5; exact MCDS = 5.
+  const auto p = graph::make_path(7);
+  EXPECT_EQ(domination_lower_bound(p), 3u);
+  EXPECT_EQ(diameter_lower_bound(p), 5u);
+  EXPECT_EQ(mcds_lower_bound(p), 5u);
+  EXPECT_EQ(exact_mcds(p).size(), 5u);
+
+  // Star: center dominates all -> both bounds give 1; exact is 1.
+  const auto s = graph::make_star(9);
+  EXPECT_EQ(mcds_lower_bound(s), 1u);
+
+  // Complete graph: diam 1 -> bound 1.
+  EXPECT_EQ(mcds_lower_bound(graph::make_complete(5)), 1u);
+
+  // Singleton.
+  EXPECT_EQ(mcds_lower_bound(graph::GraphBuilder(1).build()), 1u);
+}
+
+TEST(BoundsTest, CycleBoundsAreSound) {
+  // Cycle of 8: Δ=2 -> ceil(8/3)=3; diam=4 -> 3; exact = 6.
+  const auto c = graph::make_cycle(8);
+  EXPECT_EQ(mcds_lower_bound(c), 3u);
+  EXPECT_EQ(exact_mcds(c).size(), 6u);
+}
+
+TEST(BoundsTest, RejectsBadInputs) {
+  EXPECT_THROW(mcds_lower_bound(graph::Graph{}), std::invalid_argument);
+  EXPECT_THROW(diameter_lower_bound(graph::make_graph(3, {{0, 1}})),
+               std::invalid_argument);
+}
+
+TEST(BoundsTest, NeverExceedsTheExactOptimumOnRandomGraphs) {
+  Rng rng(44);
+  for (int i = 0; i < 15; ++i) {
+    geom::UnitDiskConfig cfg;
+    cfg.nodes = 14 + static_cast<std::size_t>(i % 5);
+    cfg.range = geom::range_for_average_degree(6.0, cfg.nodes, cfg.width,
+                                               cfg.height);
+    const auto net = geom::generate_connected_unit_disk(cfg, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_LE(mcds_lower_bound(net->graph), exact_mcds(net->graph).size());
+  }
+}
+
+TEST(BoundsTest, UsableAtPaperScale) {
+  // The whole point: a non-trivial certificate at n=100 where the exact
+  // solver is hopeless.
+  Rng rng(45);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 100;
+  cfg.range = geom::range_for_average_degree(6.0, 100, cfg.width,
+                                             cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  EXPECT_GE(mcds_lower_bound(net->graph), 5u);
+}
+
+}  // namespace
+}  // namespace manet::mcds

@@ -1,0 +1,173 @@
+// Unit + property tests for lowest-ID clustering.
+#include "cluster/lowest_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "paper_fixtures.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::cluster {
+namespace {
+
+using graph::Graph;
+using graph::make_graph;
+
+TEST(LowestIdTest, SingletonIsItsOwnHead) {
+  const auto c = lowest_id_clustering(graph::GraphBuilder(1).build());
+  EXPECT_EQ(c.heads, (NodeSet{0}));
+  EXPECT_TRUE(c.is_head(0));
+  EXPECT_EQ(c.roles[0], Role::kClusterhead);
+}
+
+TEST(LowestIdTest, EdgeMakesOneCluster) {
+  const auto c = lowest_id_clustering(make_graph(2, {{0, 1}}));
+  EXPECT_EQ(c.heads, (NodeSet{0}));
+  EXPECT_EQ(c.head_of[1], 0u);
+  EXPECT_EQ(c.roles[1], Role::kOrdinary);
+}
+
+TEST(LowestIdTest, PathAlternatesHeads) {
+  // Path 0-1-2-3-4: head 0 covers 1; 2 is smallest remaining -> head;
+  // 3 joins 2; 4 has no head neighbor -> head.
+  const auto c = lowest_id_clustering(graph::make_path(5));
+  EXPECT_EQ(c.heads, (NodeSet{0, 2, 4}));
+  EXPECT_EQ(c.head_of[1], 0u);
+  EXPECT_EQ(c.head_of[3], 2u);
+}
+
+TEST(LowestIdTest, MonotoneChainWorstCase) {
+  // The paper's worst case: a chain with monotone IDs clusters greedily
+  // from the low end.
+  const auto c = lowest_id_clustering(graph::make_path(9));
+  EXPECT_EQ(c.heads, (NodeSet{0, 2, 4, 6, 8}));
+}
+
+TEST(LowestIdTest, JoinsSmallestHeadNeighbor) {
+  // Node 3 is adjacent to heads 0 and 1 (0 and 1 not adjacent).
+  const auto g = make_graph(4, {{0, 3}, {1, 3}, {1, 2}});
+  const auto c = lowest_id_clustering(g);
+  EXPECT_EQ(c.heads, (NodeSet{0, 1}));
+  EXPECT_EQ(c.head_of[3], 0u);
+  EXPECT_EQ(c.head_of[2], 1u);
+}
+
+TEST(LowestIdTest, LargerIdDeclaresWhenLocallySmallest) {
+  // Star center 2 with leaves 3,4: node 2 is locally smallest.
+  const auto g = make_graph(5, {{2, 3}, {2, 4}, {0, 1}});
+  const auto c = lowest_id_clustering(g);
+  EXPECT_EQ(c.heads, (NodeSet{0, 2}));
+}
+
+TEST(LowestIdTest, GatewayRolesOnTwoClusters) {
+  // 0-1-2: 0 head, 1 joins 0; 2 heads its own cluster. Then 1 borders
+  // cluster 2 and 2's cluster borders 1 -> 1 is a gateway.
+  const auto c = lowest_id_clustering(graph::make_path(3));
+  EXPECT_EQ(c.heads, (NodeSet{0, 2}));
+  EXPECT_EQ(c.roles[1], Role::kGateway);
+}
+
+TEST(LowestIdTest, MembersOf) {
+  const auto c = lowest_id_clustering(graph::make_star(4));
+  EXPECT_EQ(c.members_of(0), (NodeSet{0, 1, 2, 3}));
+  EXPECT_THROW(c.members_of(1), std::invalid_argument);
+  EXPECT_EQ(c.cluster_count(), 1u);
+}
+
+TEST(LowestIdTest, CompleteGraphHasOneHead) {
+  const auto c = lowest_id_clustering(graph::make_complete(7));
+  EXPECT_EQ(c.heads, (NodeSet{0}));
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(c.head_of[v], 0u);
+}
+
+TEST(LowestIdTest, DisconnectedGraphClusteredPerComponent) {
+  const auto g = make_graph(4, {{0, 1}, {2, 3}});
+  const auto c = lowest_id_clustering(g);
+  EXPECT_EQ(c.heads, (NodeSet{0, 2}));
+}
+
+TEST(LowestIdTest, PaperFigure3Network) {
+  // The 10-node example of Figure 3 (ids shifted down by one: paper node
+  // k = our node k-1). Edges read off the figure; heads must be paper
+  // nodes 1,2,3,4 = ours 0,1,2,3 and memberships match the text:
+  // "nodes 5, 6 and 7 join in cluster C1, node 8 joins in C2, nodes 9 and
+  // 10 join in C3".
+  const auto g = make_graph(10, {
+      {0, 4}, {0, 5}, {0, 6},          // head 1's members 5,6,7
+      {1, 5}, {1, 7},                  // head 2: 6 and 8 adjacent
+      {2, 6}, {2, 7}, {2, 8}, {2, 9},  // head 3: 7,8,9,10 adjacent
+      {3, 8}, {3, 9},                  // head 4: 9,10 adjacent
+      {4, 8},                          // 5-9 link (gives CH_HOP2 entries)
+  });
+  const auto c = lowest_id_clustering(g);
+  EXPECT_EQ(c.heads, (NodeSet{0, 1, 2, 3}));
+  EXPECT_EQ(c.head_of[4], 0u);
+  EXPECT_EQ(c.head_of[5], 0u);
+  EXPECT_EQ(c.head_of[6], 0u);
+  EXPECT_EQ(c.head_of[7], 1u);
+  EXPECT_EQ(c.head_of[8], 2u);
+  EXPECT_EQ(c.head_of[9], 2u);
+  EXPECT_TRUE(validate_clustering(g, c).empty());
+}
+
+TEST(LowestIdTest, ValidateDetectsCorruption) {
+  const auto g = graph::make_path(5);
+  auto c = lowest_id_clustering(g);
+  EXPECT_TRUE(validate_clustering(g, c).empty());
+  auto broken = c;
+  broken.head_of[1] = 4;  // not adjacent and not a head of 1's neighborhood
+  EXPECT_FALSE(validate_clustering(g, broken).empty());
+  auto wrong_role = c;
+  wrong_role.roles[1] = Role::kClusterhead;
+  EXPECT_FALSE(validate_clustering(g, wrong_role).empty());
+}
+
+// ---- Property sweep: invariants over random unit-disk graphs ----------
+
+struct SweepParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed);
+  }
+};
+
+class ClusteringSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ClusteringSweep, InvariantsHold) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto c = lowest_id_clustering(net->graph);
+
+  EXPECT_TRUE(validate_clustering(net->graph, c).empty())
+      << validate_clustering(net->graph, c);
+  EXPECT_TRUE(graph::is_maximal_independent_set(net->graph, c.heads));
+  // Node 0 is always a clusterhead under the lowest-ID rule.
+  EXPECT_TRUE(c.is_head(0));
+  // Clusters partition the vertex set.
+  std::size_t members = 0;
+  for (NodeId h : c.heads) members += c.members_of(h).size();
+  EXPECT_EQ(members, net->graph.order());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, ClusteringSweep,
+    ::testing::Values(
+        SweepParam{20, 6, 1}, SweepParam{20, 6, 2}, SweepParam{20, 18, 3},
+        SweepParam{40, 6, 4}, SweepParam{40, 18, 5}, SweepParam{60, 6, 6},
+        SweepParam{60, 18, 7}, SweepParam{80, 6, 8}, SweepParam{80, 18, 9},
+        SweepParam{100, 6, 10}, SweepParam{100, 18, 11},
+        SweepParam{100, 12, 12}, SweepParam{50, 10, 13},
+        SweepParam{30, 8, 14}, SweepParam{70, 14, 15}));
+
+}  // namespace
+}  // namespace manet::cluster

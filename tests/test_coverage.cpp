@@ -1,0 +1,170 @@
+// Unit + property tests for coverage sets (paper §1/§3, Figure 1).
+#include "core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "paper_fixtures.hpp"
+
+namespace manet::core {
+namespace {
+
+class Figure3Coverage : public ::testing::Test {
+ protected:
+  graph::Graph g_ = testing::paper_figure3_network();
+  cluster::Clustering c_ = cluster::lowest_id_clustering(g_);
+  NeighborTables t25_ =
+      build_neighbor_tables(g_, c_, CoverageMode::kTwoPointFiveHop);
+  NeighborTables t3_ = build_neighbor_tables(g_, c_, CoverageMode::kThreeHop);
+};
+
+TEST_F(Figure3Coverage, TwoPointFiveHopMatchesPaper) {
+  // Paper: C(1)={2,3}, C(2)={1,3}, C(3)={1,2,4}, C(4)={3} ∪ {1}.
+  const auto cov = build_all_coverage(g_, c_, t25_);
+  EXPECT_EQ(cov[0].two_hop, (NodeSet{1, 2}));
+  EXPECT_TRUE(cov[0].three_hop.empty());
+  EXPECT_EQ(cov[1].two_hop, (NodeSet{0, 2}));
+  EXPECT_TRUE(cov[1].three_hop.empty());
+  EXPECT_EQ(cov[2].two_hop, (NodeSet{0, 1, 3}));
+  EXPECT_TRUE(cov[2].three_hop.empty());
+  EXPECT_EQ(cov[3].two_hop, (NodeSet{2}));
+  EXPECT_EQ(cov[3].three_hop, (NodeSet{0}));
+}
+
+TEST_F(Figure3Coverage, ThreeHopAddsTheFigure1Case) {
+  // With the 3-hop coverage set, head 0 also covers head 3 (distance 3
+  // but no member of 3 inside N^2(0)) — the distinction Figure 1
+  // illustrates with clusterhead c'.
+  const auto cov25 = build_all_coverage(g_, c_, t25_);
+  const auto cov3 = build_all_coverage(g_, c_, t3_);
+  EXPECT_TRUE(cov25[0].three_hop.empty());
+  EXPECT_EQ(cov3[0].three_hop, (NodeSet{3}));
+  // 2.5-hop coverage is never larger than 3-hop coverage.
+  for (NodeId h : c_.heads) {
+    EXPECT_EQ(cov25[h].two_hop, cov3[h].two_hop);
+    EXPECT_TRUE(is_subset(cov25[h].three_hop, cov3[h].three_hop));
+  }
+}
+
+TEST_F(Figure3Coverage, AllAndSizeHelpers) {
+  const auto cov = build_coverage(g_, c_, t25_, 3);
+  EXPECT_EQ(cov.all(), (NodeSet{0, 2}));
+  EXPECT_EQ(cov.size(), 2u);
+  EXPECT_FALSE(cov.empty());
+  EXPECT_TRUE(Coverage{}.empty());
+}
+
+TEST_F(Figure3Coverage, ValidatesAgainstGroundTruth) {
+  for (NodeId h : c_.heads) {
+    EXPECT_EQ(validate_coverage(g_, c_, t25_, h,
+                                build_coverage(g_, c_, t25_, h)),
+              "");
+    EXPECT_EQ(validate_coverage(g_, c_, t3_, h,
+                                build_coverage(g_, c_, t3_, h)),
+              "");
+  }
+}
+
+TEST_F(Figure3Coverage, ValidateDetectsCorruption) {
+  auto cov = build_coverage(g_, c_, t25_, 0);
+  cov.two_hop.pop_back();
+  EXPECT_NE(validate_coverage(g_, c_, t25_, 0, cov), "");
+}
+
+TEST_F(Figure3Coverage, RejectsNonHead) {
+  EXPECT_THROW(build_coverage(g_, c_, t25_, 4), std::invalid_argument);
+}
+
+TEST(CoverageEdgeCases, IsolatedClusterHasEmptyCoverage) {
+  const auto g = graph::make_star(5);
+  const auto c = cluster::lowest_id_clustering(g);
+  const auto t = build_neighbor_tables(g, c, CoverageMode::kThreeHop);
+  const auto cov = build_coverage(g, c, t, 0);
+  EXPECT_TRUE(cov.empty());
+}
+
+TEST(CoverageEdgeCases, PathCoverageChains) {
+  // Path 0..8 clusters at heads 0,2,4,6,8; C2 of interior heads holds
+  // both neighbors' heads, C3 nothing (all heads are 2 apart).
+  const auto g = graph::make_path(9);
+  const auto c = cluster::lowest_id_clustering(g);
+  const auto t = build_neighbor_tables(g, c, CoverageMode::kThreeHop);
+  const auto cov = build_all_coverage(g, c, t);
+  EXPECT_EQ(cov[4].two_hop, (NodeSet{2, 6}));
+  EXPECT_TRUE(cov[4].three_hop.empty());
+  EXPECT_EQ(cov[0].two_hop, (NodeSet{2}));
+}
+
+TEST(CoverageEdgeCases, LongPathGetsThreeHopEntries) {
+  // Path 0-1-2-3-4-5-6 with ids arranged so heads are 3 hops apart:
+  // relabel via explicit edges 0-2-4-1-5-3-6 (a path in that visit
+  // order). Heads: 0; 1? neighbors {4,5}: no smaller head adjacent -> 1
+  // is head; 3: neighbors {5,6} -> head. dist(0,1): 0-2? path edges:
+  // (0,2),(2,4),(4,1),(1,5),(5,3),(3,6). dist(0,1)=3.
+  const auto g = graph::make_graph(
+      7, {{0, 2}, {2, 4}, {4, 1}, {1, 5}, {5, 3}, {3, 6}});
+  const auto c = cluster::lowest_id_clustering(g);
+  ASSERT_EQ(c.heads, (NodeSet{0, 1, 3}));
+  const auto t25 =
+      build_neighbor_tables(g, c, CoverageMode::kTwoPointFiveHop);
+  const auto cov = build_all_coverage(g, c, t25);
+  // Head 1 has a member (4) in N^2(0), so 1 is in 0's 2.5-hop coverage.
+  EXPECT_EQ(cov[0].three_hop, (NodeSet{1}));
+  EXPECT_EQ(validate_coverage(g, c, t25, 0, cov[0]), "");
+}
+
+// ---- Property sweep: message-built coverage equals BFS ground truth ----
+
+struct CovParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+  CoverageMode mode;
+
+  friend std::ostream& operator<<(std::ostream& os, const CovParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed,
+                                    core::to_string(p.mode));
+  }
+};
+
+class CoverageSweep : public ::testing::TestWithParam<CovParam> {};
+
+TEST_P(CoverageSweep, MatchesGroundTruthDefinition) {
+  const auto [n, d, seed, mode] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto c = cluster::lowest_id_clustering(net->graph);
+  const auto t = build_neighbor_tables(net->graph, c, mode);
+  for (NodeId h : c.heads) {
+    const auto cov = build_coverage(net->graph, c, t, h);
+    EXPECT_EQ(validate_coverage(net->graph, c, t, h, cov), "")
+        << "head " << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, CoverageSweep,
+    ::testing::Values(
+        CovParam{20, 6, 1, CoverageMode::kTwoPointFiveHop},
+        CovParam{20, 6, 1, CoverageMode::kThreeHop},
+        CovParam{40, 6, 2, CoverageMode::kTwoPointFiveHop},
+        CovParam{40, 6, 2, CoverageMode::kThreeHop},
+        CovParam{60, 18, 3, CoverageMode::kTwoPointFiveHop},
+        CovParam{60, 18, 3, CoverageMode::kThreeHop},
+        CovParam{80, 6, 4, CoverageMode::kTwoPointFiveHop},
+        CovParam{80, 6, 4, CoverageMode::kThreeHop},
+        CovParam{100, 18, 5, CoverageMode::kTwoPointFiveHop},
+        CovParam{100, 18, 5, CoverageMode::kThreeHop},
+        CovParam{100, 6, 6, CoverageMode::kTwoPointFiveHop},
+        CovParam{100, 6, 6, CoverageMode::kThreeHop},
+        CovParam{50, 12, 7, CoverageMode::kTwoPointFiveHop},
+        CovParam{50, 12, 7, CoverageMode::kThreeHop}));
+
+}  // namespace
+}  // namespace manet::core

@@ -1,0 +1,74 @@
+// Unit tests for CSV escaping and the CsvWriter.
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manet {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "manetcast_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST(CsvEscapeTest, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvFormatTest, FormatsAllCellKinds) {
+  EXPECT_EQ(csv_format(CsvCell{std::string("x")}), "x");
+  EXPECT_EQ(csv_format(CsvCell{42LL}), "42");
+  EXPECT_EQ(csv_format(CsvCell{2.5}), "2.5");
+}
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"n", "algorithm", "size"});
+    w.row({20LL, std::string("static"), 9.25});
+    w.row({40LL, std::string("mo_cds"), 11.0});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path_), "n,algorithm,size\n20,static,9.25\n40,mo_cds,11\n");
+}
+
+TEST_F(CsvWriterTest, RejectsArityMismatch) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({1LL}), std::invalid_argument);
+}
+
+TEST_F(CsvWriterTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter(path_, {}), std::invalid_argument);
+}
+
+TEST(CsvWriterErrorTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace manet

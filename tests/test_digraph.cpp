@@ -1,0 +1,99 @@
+// Unit tests for the directed cluster-graph support (Digraph + SCC).
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace manet::graph {
+namespace {
+
+TEST(DigraphTest, AddAndQueryArcs) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(0, 1);  // idempotent
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_EQ(g.arc_count(), 2u);
+  const auto s = g.successors(0);
+  EXPECT_EQ(NodeSet(s.begin(), s.end()), (NodeSet{1, 2}));
+}
+
+TEST(DigraphTest, RejectsSelfLoopAndOutOfRange) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_arc(0, 2), std::invalid_argument);
+  EXPECT_THROW(g.has_arc(2, 0), std::invalid_argument);
+}
+
+TEST(DigraphTest, ArcsListSorted) {
+  Digraph g(3);
+  g.add_arc(2, 0);
+  g.add_arc(0, 2);
+  g.add_arc(0, 1);
+  const auto a = g.arcs();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], std::make_pair(NodeId{0}, NodeId{1}));
+  EXPECT_EQ(a[1], std::make_pair(NodeId{0}, NodeId{2}));
+  EXPECT_EQ(a[2], std::make_pair(NodeId{2}, NodeId{0}));
+}
+
+TEST(SccTest, DirectedCycleIsOneComponent) {
+  Digraph g(4);
+  for (NodeId v = 0; v < 4; ++v) g.add_arc(v, (v + 1) % 4);
+  const auto [label, count] = strongly_connected_components(g);
+  EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  (void)label;
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  const auto [label, count] = strongly_connected_components(g);
+  EXPECT_EQ(count, 3u);
+  EXPECT_FALSE(is_strongly_connected(g));
+  // Tarjan labels come out in reverse topological order: sinks first.
+  EXPECT_LT(label[2], label[1]);
+  EXPECT_LT(label[1], label[0]);
+}
+
+TEST(SccTest, TwoCyclesJoinedByOneArc) {
+  Digraph g(6);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  g.add_arc(3, 4);
+  g.add_arc(4, 5);
+  g.add_arc(5, 3);
+  g.add_arc(2, 3);  // one-way bridge
+  const auto [label, count] = strongly_connected_components(g);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+}
+
+TEST(SccTest, EmptyAndSingletonAreStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(Digraph{}));
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+}
+
+TEST(SccTest, TwoIsolatedVerticesAreNot) {
+  EXPECT_FALSE(is_strongly_connected(Digraph(2)));
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 200k-vertex cycle: recursion-based Tarjan would blow the stack.
+  const std::size_t n = 200000;
+  Digraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_arc(v, v + 1);
+  g.add_arc(static_cast<NodeId>(n - 1), 0);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+}  // namespace
+}  // namespace manet::graph

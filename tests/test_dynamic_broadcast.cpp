@@ -1,0 +1,216 @@
+// Unit + property tests for the SD-CDS dynamic broadcast (Theorem 2 and
+// the paper's §3 illustration).
+#include "core/dynamic_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/static_backbone.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "paper_fixtures.hpp"
+
+namespace manet::core {
+namespace {
+
+class Figure3Dynamic : public ::testing::Test {
+ protected:
+  graph::Graph g_ = testing::paper_figure3_network();
+  DynamicBackbone bb_ =
+      build_dynamic_backbone(g_, CoverageMode::kTwoPointFiveHop);
+};
+
+TEST_F(Figure3Dynamic, PaperIllustrationSevenForwardNodes) {
+  // Paper §3 illustration, source = clusterhead 1 (ours 0): "In total, 7
+  // nodes (nodes 1, 2, 3, 4, 6, 7 and 9) will forward the packets."
+  const auto r = dynamic_broadcast(g_, bb_, 0);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.forward_nodes, (NodeSet{0, 1, 2, 3, 5, 6, 8}));
+  EXPECT_EQ(r.forward_count(), 7u);
+}
+
+TEST_F(Figure3Dynamic, SourceSelectionMatchesPaper) {
+  // F(1) = {6,7} (ours {5,6}) rides on the source head's transmission.
+  const auto r = dynamic_broadcast(g_, bb_, 0);
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace[0].sender, 0u);
+  EXPECT_EQ(r.trace[0].origin_head, 0u);
+  EXPECT_EQ(r.trace[0].forward_set, (NodeSet{5, 6}));
+}
+
+TEST_F(Figure3Dynamic, Head3SelectsOnlyNode9) {
+  // Paper: clusterhead 3 (ours 2) prunes C(3) down to {4} and selects
+  // only node 9 (ours 8): F(3) = {9}.
+  const auto r = dynamic_broadcast(g_, bb_, 0);
+  for (const auto& t : r.trace) {
+    if (t.sender == 2u && t.origin_head == 2u) {
+      EXPECT_EQ(t.forward_set, (NodeSet{8}));
+    }
+  }
+}
+
+TEST_F(Figure3Dynamic, DynamicBeatsStaticOnThePaperExample) {
+  // Static backbone broadcast uses all 9 backbone nodes; dynamic uses 7.
+  const auto st = build_static_backbone(g_, CoverageMode::kTwoPointFiveHop);
+  const auto r = dynamic_broadcast(g_, bb_, 0);
+  EXPECT_EQ(st.cds.size(), 9u);
+  EXPECT_LT(r.forward_count(), st.cds.size());
+}
+
+TEST_F(Figure3Dynamic, NonHeadSourceHandsOffToItsHead) {
+  // Source 9 (paper 10) is a member of cluster 2: its transmission plus
+  // its head's processing must still flood the network.
+  const auto r = dynamic_broadcast(g_, bb_, 9);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_TRUE(contains_sorted(r.forward_nodes, 9));
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace[0].sender, 9u);
+  EXPECT_EQ(r.trace[0].origin_head, kInvalidNode);
+}
+
+TEST_F(Figure3Dynamic, EveryHeadForwardsExactlyOnce) {
+  const auto r = dynamic_broadcast(g_, bb_, 0);
+  for (NodeId h : bb_.clustering.heads) {
+    int count = 0;
+    for (const auto& t : r.trace)
+      if (t.sender == h) ++count;
+    EXPECT_EQ(count, 1) << "head " << h;
+  }
+}
+
+TEST_F(Figure3Dynamic, PruningOffForwardsMore) {
+  DynamicBroadcastOptions off;
+  off.piggyback_pruning = false;
+  off.relay_exclusion = false;
+  const auto pruned = dynamic_broadcast(g_, bb_, 0);
+  const auto unpruned = dynamic_broadcast(g_, bb_, 0, off);
+  EXPECT_TRUE(unpruned.delivered_all);
+  EXPECT_GE(unpruned.forward_count(), pruned.forward_count());
+}
+
+TEST_F(Figure3Dynamic, RejectsBadSource) {
+  EXPECT_THROW(dynamic_broadcast(g_, bb_, 10), std::invalid_argument);
+}
+
+TEST(DynamicEdgeCases, SingletonNetwork) {
+  const auto g = graph::GraphBuilder(1).build();
+  const auto bb = build_dynamic_backbone(g, CoverageMode::kThreeHop);
+  const auto r = dynamic_broadcast(g, bb, 0);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(r.forward_nodes, (NodeSet{0}));
+}
+
+TEST(DynamicEdgeCases, TriangleOfFigure5) {
+  // Figure 5: three mutually adjacent nodes. One cluster, head 0; a
+  // broadcast from any node needs at most the source + head.
+  const auto g = testing::paper_figure5_triangle();
+  const auto bb = build_dynamic_backbone(g, CoverageMode::kTwoPointFiveHop);
+  const auto from_head = dynamic_broadcast(g, bb, 0);
+  EXPECT_TRUE(from_head.delivered_all);
+  EXPECT_EQ(from_head.forward_count(), 1u);
+  const auto from_member = dynamic_broadcast(g, bb, 2);
+  EXPECT_TRUE(from_member.delivered_all);
+  EXPECT_EQ(from_member.forward_count(), 2u);  // source + its head
+}
+
+TEST(DynamicEdgeCases, PathBroadcastReachesBothEnds) {
+  const auto g = graph::make_path(9);
+  const auto bb = build_dynamic_backbone(g, CoverageMode::kTwoPointFiveHop);
+  for (NodeId s = 0; s < 9; ++s) {
+    const auto r = dynamic_broadcast(g, bb, s);
+    EXPECT_TRUE(r.delivered_all) << "source " << s;
+  }
+}
+
+// ---- Property sweep: delivery + dynamic <= static (Figure 8 shape) -----
+
+struct DynParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+  CoverageMode mode;
+
+  friend std::ostream& operator<<(std::ostream& os, const DynParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed,
+                                    core::to_string(p.mode));
+  }
+};
+
+class DynamicSweep : public ::testing::TestWithParam<DynParam> {};
+
+TEST_P(DynamicSweep, FullDeliveryFromEverySource) {
+  const auto [n, d, seed, mode] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto bb = build_dynamic_backbone(net->graph, mode);
+  for (NodeId s = 0; s < net->graph.order(); ++s) {
+    const auto r = dynamic_broadcast(net->graph, bb, s);
+    ASSERT_TRUE(r.delivered_all) << "source " << s;
+    // All heads forward; forward count at least covers the heads.
+    EXPECT_GE(r.forward_count(), bb.clustering.heads.size());
+  }
+}
+
+TEST_P(DynamicSweep, PruningVariantsAllDeliver) {
+  const auto [n, d, seed, mode] = GetParam();
+  Rng rng(seed + 1000);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto bb = build_dynamic_backbone(net->graph, mode);
+  for (int variant = 0; variant < 4; ++variant) {
+    DynamicBroadcastOptions opt;
+    opt.piggyback_pruning = (variant & 1) != 0;
+    opt.relay_exclusion = (variant & 2) != 0;
+    const auto r = dynamic_broadcast(net->graph, bb, 0, opt);
+    EXPECT_TRUE(r.delivered_all) << "variant " << variant;
+  }
+}
+
+TEST_P(DynamicSweep, DynamicForwardSetWithinStaticBackbonePlusSource) {
+  // Dynamic gateways are drawn per-broadcast, so the forward set is not
+  // literally a subset of the static CDS, but its *size* must not exceed
+  // the static broadcast's forward count (Figure 8's claim), modulo the
+  // non-head source handoff (+1).
+  const auto [n, d, seed, mode] = GetParam();
+  Rng rng(seed + 2000);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto c = cluster::lowest_id_clustering(net->graph);
+  const auto st = build_static_backbone(net->graph, c, mode);
+  const auto bb = build_dynamic_backbone(net->graph, c, mode);
+  Rng pick(seed);
+  for (int i = 0; i < 5; ++i) {
+    const auto s = static_cast<NodeId>(pick.index(net->graph.order()));
+    const auto r = dynamic_broadcast(net->graph, bb, s);
+    EXPECT_LE(r.forward_count(), st.cds.size() + 1) << "source " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, DynamicSweep,
+    ::testing::Values(
+        DynParam{20, 6, 51, CoverageMode::kTwoPointFiveHop},
+        DynParam{20, 6, 51, CoverageMode::kThreeHop},
+        DynParam{40, 6, 52, CoverageMode::kTwoPointFiveHop},
+        DynParam{40, 6, 52, CoverageMode::kThreeHop},
+        DynParam{60, 18, 53, CoverageMode::kTwoPointFiveHop},
+        DynParam{60, 18, 53, CoverageMode::kThreeHop},
+        DynParam{80, 6, 54, CoverageMode::kTwoPointFiveHop},
+        DynParam{80, 6, 54, CoverageMode::kThreeHop},
+        DynParam{100, 18, 55, CoverageMode::kTwoPointFiveHop},
+        DynParam{100, 18, 55, CoverageMode::kThreeHop},
+        DynParam{100, 6, 56, CoverageMode::kTwoPointFiveHop},
+        DynParam{100, 6, 56, CoverageMode::kThreeHop}));
+
+}  // namespace
+}  // namespace manet::core

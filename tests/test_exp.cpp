@@ -1,0 +1,139 @@
+// Tests for the experiment harness: scenario generation, the figure
+// runners (on a reduced grid), and the paper's qualitative shapes.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "exp/figures.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::exp {
+namespace {
+
+stats::ReplicationPolicy test_policy() {
+  stats::ReplicationPolicy p;
+  p.min_replications = 8;
+  p.max_replications = 40;
+  return p;
+}
+
+PaperScenario small_scenario() {
+  PaperScenario s;
+  s.sizes = {20, 40};
+  s.degrees = {6.0, 18.0};
+  return s;
+}
+
+TEST(ScenarioTest, PointsAreTheFullGrid) {
+  const PaperScenario s;
+  const auto pts = s.points();
+  EXPECT_EQ(pts.size(), 18u);  // 9 sizes x 2 degrees
+  EXPECT_EQ(pts.front().nodes, 20u);
+  EXPECT_DOUBLE_EQ(pts.front().degree, 6.0);
+  EXPECT_EQ(pts.back().nodes, 100u);
+  EXPECT_DOUBLE_EQ(pts.back().degree, 18.0);
+}
+
+TEST(ScenarioTest, NetworksAreConnectedAndSized) {
+  const PaperScenario s;
+  for (std::size_t rep = 0; rep < 5; ++rep) {
+    const auto net = make_network(s, {50, 6.0}, 42, rep);
+    EXPECT_EQ(net.graph.order(), 50u);
+    EXPECT_TRUE(graph::is_connected(net.graph));
+  }
+}
+
+TEST(ScenarioTest, ReplicationsAreIndependentButDeterministic) {
+  const PaperScenario s;
+  const auto a = make_network(s, {30, 6.0}, 7, 0);
+  const auto b = make_network(s, {30, 6.0}, 7, 1);
+  const auto a_again = make_network(s, {30, 6.0}, 7, 0);
+  EXPECT_NE(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.graph.edges(), a_again.graph.edges());
+}
+
+TEST(Fig6RunnerTest, ShapesMatchThePaper) {
+  const auto rows = run_fig6(small_scenario(), test_policy(), 2026);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    // Figure 6's qualitative content: all three algorithms are close;
+    // the static backbone does not exceed MO_CDS (it shares gateways).
+    EXPECT_LE(r.static_25.mean, r.mo_cds.mean * 1.05)
+        << "n=" << r.nodes << " d=" << r.degree;
+    EXPECT_LE(r.static_3.mean, r.mo_cds.mean * 1.05);
+    // The paper: 2.5-hop vs 3-hop differ by <2%; allow noise headroom.
+    EXPECT_NEAR(r.static_25.mean, r.static_3.mean,
+                0.12 * r.static_3.mean + 0.5);
+    EXPECT_GT(r.static_25.mean, 0.0);
+  }
+  // CDS size grows with n within one degree series.
+  EXPECT_LT(rows[0].static_25.mean, rows[1].static_25.mean);  // d=6
+  // Denser networks need a smaller fraction of nodes.
+  const auto& sparse40 = rows[1];
+  const auto& dense40 = rows[3];
+  EXPECT_LT(dense40.static_25.mean, sparse40.static_25.mean);
+}
+
+TEST(Fig7RunnerTest, DynamicBeatsMoCds) {
+  const auto rows = run_fig7(small_scenario(), test_policy(), 2027);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_LT(r.dynamic_25.mean, r.mo_cds_broadcast.mean)
+        << "n=" << r.nodes << " d=" << r.degree;
+    EXPECT_LT(r.dynamic_3.mean, r.mo_cds_broadcast.mean);
+  }
+}
+
+TEST(Fig8RunnerTest, DynamicBeatsStatic) {
+  const auto rows = run_fig8(small_scenario(), test_policy(), 2028);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_LE(r.dynamic_25.mean, r.static_25.mean * 1.01)
+        << "n=" << r.nodes << " d=" << r.degree;
+    EXPECT_LE(r.dynamic_3.mean, r.static_3.mean * 1.01);
+  }
+}
+
+TEST(ReportTest, RendersAllSeries) {
+  const auto policy = test_policy();
+  const auto scenario = small_scenario();
+  const auto r6 = run_fig6(scenario, policy, 1);
+  const auto out6 = render_fig6(r6);
+  EXPECT_NE(out6.find("Figure 6"), std::string::npos);
+  EXPECT_NE(out6.find("MO_CDS"), std::string::npos);
+  EXPECT_NE(out6.find("d = 6"), std::string::npos);
+  EXPECT_NE(out6.find("d = 18"), std::string::npos);
+
+  const auto r7 = run_fig7(scenario, policy, 1);
+  EXPECT_NE(render_fig7(r7).find("dynamic 2.5-hop"), std::string::npos);
+  const auto r8 = run_fig8(scenario, policy, 1);
+  EXPECT_NE(render_fig8(r8).find("static 3-hop"), std::string::npos);
+}
+
+TEST(ReportTest, CsvMirrorsRows) {
+  const auto policy = test_policy();
+  PaperScenario tiny;
+  tiny.sizes = {20};
+  tiny.degrees = {6.0};
+  const auto dir = ::testing::TempDir();
+  const auto r6 = run_fig6(tiny, policy, 3);
+  write_fig6_csv(r6, dir + "fig6.csv");
+  const auto r7 = run_fig7(tiny, policy, 3);
+  write_fig7_csv(r7, dir + "fig7.csv");
+  const auto r8 = run_fig8(tiny, policy, 3);
+  write_fig8_csv(r8, dir + "fig8.csv");
+  std::ifstream in(dir + "fig6.csv");
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "nodes,degree,static25_mean,static25_ci,static3_mean,"
+            "static3_ci,mocds_mean,mocds_ci,replications,converged");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row.substr(0, 5), "20,6,");
+}
+
+}  // namespace
+}  // namespace manet::exp

@@ -1,0 +1,203 @@
+// Unit + property tests for the greedy gateway selection process, pinned
+// to the paper's GATEWAY(1..4) walkthrough.
+#include "core/gateway_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geom/unit_disk.hpp"
+#include "paper_fixtures.hpp"
+
+namespace manet::core {
+namespace {
+
+class Figure3Selection : public ::testing::Test {
+ protected:
+  graph::Graph g_ = testing::paper_figure3_network();
+  cluster::Clustering c_ = cluster::lowest_id_clustering(g_);
+  NeighborTables t_ =
+      build_neighbor_tables(g_, c_, CoverageMode::kTwoPointFiveHop);
+  std::vector<Coverage> cov_ = build_all_coverage(g_, c_, t_);
+
+  GatewaySelection select(NodeId head) {
+    return select_gateways(g_, c_, t_, head, cov_[head]);
+  }
+};
+
+TEST_F(Figure3Selection, Gateway1MatchesPaper) {
+  // Paper: GATEWAY(1) = {6, 7} -> ours {5, 6}.
+  EXPECT_EQ(select(0).gateways, (NodeSet{5, 6}));
+}
+
+TEST_F(Figure3Selection, Gateway2MatchesPaper) {
+  // Paper: GATEWAY(2) = {6, 8} -> ours {5, 7}.
+  EXPECT_EQ(select(1).gateways, (NodeSet{5, 7}));
+}
+
+TEST_F(Figure3Selection, Gateway3MatchesPaper) {
+  // Paper: GATEWAY(3) = {7, 8, 9} -> ours {6, 7, 8}.
+  EXPECT_EQ(select(2).gateways, (NodeSet{6, 7, 8}));
+}
+
+TEST_F(Figure3Selection, Gateway4UsesIndirectTieBreak) {
+  // Paper: "node 4 selects node 9, not node 10, as a gateway to directly
+  // cover node 3 because node 9 can also indirectly cover node 1."
+  // Ours: head 3 picks 8 (not 9) and via-node 4 -> GATEWAY(4)={5,9}
+  // becomes {4, 8}.
+  const auto sel = select(3);
+  EXPECT_EQ(sel.gateways, (NodeSet{4, 8}));
+  ASSERT_EQ(sel.steps.size(), 1u);
+  EXPECT_EQ(sel.steps[0].gateway, 8u);
+  EXPECT_EQ(sel.steps[0].direct_covered, (NodeSet{2}));
+  ASSERT_EQ(sel.steps[0].indirect_covered.size(), 1u);
+  EXPECT_EQ(sel.steps[0].indirect_covered[0].head, 0u);
+  EXPECT_EQ(sel.steps[0].indirect_covered[0].via, 4u);
+  EXPECT_TRUE(sel.leftover_pairs.empty());
+}
+
+TEST_F(Figure3Selection, SelectionsValidate) {
+  for (NodeId h : c_.heads)
+    EXPECT_EQ(validate_selection(g_, c_, h, cov_[h], select(h)), "")
+        << "head " << h;
+}
+
+TEST_F(Figure3Selection, EmptyTargetsSelectNothing) {
+  const auto sel = select_gateways(g_, c_, t_, 0, Coverage{});
+  EXPECT_TRUE(sel.gateways.empty());
+  EXPECT_TRUE(sel.steps.empty());
+}
+
+TEST_F(Figure3Selection, PrunedTargetsSelectSubset) {
+  // Head 2 with only target {3} remaining (the dynamic-broadcast case
+  // from the paper's illustration) selects exactly node 8 (paper 9).
+  Coverage pruned;
+  pruned.two_hop = {3};
+  EXPECT_EQ(select_gateways(g_, c_, t_, 2, pruned).gateways, (NodeSet{8}));
+}
+
+TEST_F(Figure3Selection, RejectsNonHead) {
+  EXPECT_THROW(select_gateways(g_, c_, t_, 9, cov_[2]),
+               std::invalid_argument);
+}
+
+TEST(SelectionGreedyTest, PrefersLargerDirectCover) {
+  // Head 0 with leaves 1,2; heads 5,6,7 two hops away. Node 1 reaches
+  // 5 and 6; node 2 reaches 7 only. Wait—5,6,7 must be heads: build a
+  // graph where clustering yields that shape:
+  //   0-1, 0-2, 1-5, 1-6, 2-6, 2-7; 5,6,7 pairwise non-adjacent.
+  // Clustering: 0 head; 1,2 join 0; 5? neighbors {1}: no head < 5
+  // adjacent -> head... 5's neighbors: {1}; 1 is not head -> 5 head.
+  // Likewise 6,7 heads. Node 3,4 unused -> isolated heads (allowed).
+  const auto g = graph::make_graph(
+      8, {{0, 1}, {0, 2}, {1, 5}, {1, 6}, {2, 6}, {2, 7}});
+  const auto c = cluster::lowest_id_clustering(g);
+  ASSERT_TRUE(c.is_head(0));
+  ASSERT_TRUE(c.is_head(5) && c.is_head(6) && c.is_head(7));
+  const auto t = build_neighbor_tables(g, c, CoverageMode::kThreeHop);
+  const auto cov = build_coverage(g, c, t, 0);
+  ASSERT_EQ(cov.two_hop, (NodeSet{5, 6, 7}));
+  const auto sel = select_gateways(g, c, t, 0, cov);
+  // Greedy: node 1 covers {5,6} (2 heads) first, then node 2 covers 7.
+  ASSERT_EQ(sel.steps.size(), 2u);
+  EXPECT_EQ(sel.steps[0].gateway, 1u);
+  EXPECT_EQ(sel.steps[0].direct_covered, (NodeSet{5, 6}));
+  EXPECT_EQ(sel.steps[1].gateway, 2u);
+  EXPECT_EQ(sel.gateways, (NodeSet{1, 2}));
+}
+
+TEST(SelectionGreedyTest, LeftoverThreeHopPairSelected) {
+  // Head 0 -- 1 -- 2 -- 3(head): no 2-hop heads at all, one 3-hop head.
+  // Ids arranged so 3 hops apart: 0-4-5-1? Let's use explicit shape:
+  // edges 0-4, 4-5, 5-1; heads: 0; 1? neighbors {5}: none smaller is
+  // head -> 1 head. dist(0,1)=3.
+  const auto g = graph::make_graph(6, {{0, 4}, {4, 5}, {5, 1}});
+  const auto c = cluster::lowest_id_clustering(g);
+  ASSERT_TRUE(c.is_head(0));
+  ASSERT_TRUE(c.is_head(1));
+  const auto t = build_neighbor_tables(g, c, CoverageMode::kThreeHop);
+  const auto cov = build_coverage(g, c, t, 0);
+  EXPECT_TRUE(cov.two_hop.empty());
+  EXPECT_EQ(cov.three_hop, (NodeSet{1}));
+  const auto sel = select_gateways(g, c, t, 0, cov);
+  ASSERT_EQ(sel.leftover_pairs.size(), 1u);
+  EXPECT_EQ(sel.leftover_pairs[0].target, 1u);
+  EXPECT_EQ(sel.leftover_pairs[0].first_hop, 4u);
+  EXPECT_EQ(sel.leftover_pairs[0].second_hop, 5u);
+  EXPECT_EQ(sel.gateways, (NodeSet{4, 5}));
+  EXPECT_EQ(validate_selection(g, c, 0, cov, sel), "");
+}
+
+TEST(SelectionGreedyTest, LeftoverPairPrefersReuse) {
+  // Two 3-hop heads reachable through a shared first hop: after covering
+  // one, the pair for the second should reuse the selected first hop
+  // even when a smaller-id fresh pair exists.
+  //   0-5, 0-4; 5-6, 6-1(head); 5-7, 7-2(head); 4-8, 8-2.
+  // Heads: 0,1,2 (1: nbrs {6}; 2: nbrs {7,8}).
+  const auto g = graph::make_graph(
+      9, {{0, 5}, {0, 4}, {5, 6}, {6, 1}, {5, 7}, {7, 2}, {4, 8}, {8, 2}});
+  const auto c = cluster::lowest_id_clustering(g);
+  ASSERT_TRUE(c.is_head(1) && c.is_head(2));
+  const auto t = build_neighbor_tables(g, c, CoverageMode::kThreeHop);
+  const auto cov = build_coverage(g, c, t, 0);
+  EXPECT_EQ(cov.three_hop, (NodeSet{1, 2}));
+  const auto sel = select_gateways(g, c, t, 0, cov);
+  // Target 1 forces pair (5,6). Target 2 could use fresh pair (4,8) but
+  // (5,7) reuses gateway 5.
+  EXPECT_EQ(sel.gateways, (NodeSet{5, 6, 7}));
+  EXPECT_EQ(validate_selection(g, c, 0, cov, sel), "");
+}
+
+// ---- Property sweep: selections always cover their targets -------------
+
+struct SelParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+  CoverageMode mode;
+
+  friend std::ostream& operator<<(std::ostream& os, const SelParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed,
+                                    core::to_string(p.mode));
+  }
+};
+
+class SelectionSweep : public ::testing::TestWithParam<SelParam> {};
+
+TEST_P(SelectionSweep, EverySelectionCoversItsCoverageSet) {
+  const auto [n, d, seed, mode] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto c = cluster::lowest_id_clustering(net->graph);
+  const auto t = build_neighbor_tables(net->graph, c, mode);
+  for (NodeId h : c.heads) {
+    const auto cov = build_coverage(net->graph, c, t, h);
+    const auto sel = select_gateways(net->graph, c, t, h, cov);
+    EXPECT_EQ(validate_selection(net->graph, c, h, cov, sel), "")
+        << "head " << h;
+    // Selected gateways are never clusterheads.
+    for (NodeId v : sel.gateways) EXPECT_FALSE(c.is_head(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, SelectionSweep,
+    ::testing::Values(
+        SelParam{20, 6, 21, CoverageMode::kTwoPointFiveHop},
+        SelParam{20, 6, 21, CoverageMode::kThreeHop},
+        SelParam{40, 18, 22, CoverageMode::kTwoPointFiveHop},
+        SelParam{40, 18, 22, CoverageMode::kThreeHop},
+        SelParam{60, 6, 23, CoverageMode::kTwoPointFiveHop},
+        SelParam{60, 6, 23, CoverageMode::kThreeHop},
+        SelParam{80, 18, 24, CoverageMode::kTwoPointFiveHop},
+        SelParam{80, 18, 24, CoverageMode::kThreeHop},
+        SelParam{100, 6, 25, CoverageMode::kTwoPointFiveHop},
+        SelParam{100, 6, 25, CoverageMode::kThreeHop},
+        SelParam{100, 18, 26, CoverageMode::kTwoPointFiveHop},
+        SelParam{100, 18, 26, CoverageMode::kThreeHop}));
+
+}  // namespace
+}  // namespace manet::core

@@ -1,0 +1,117 @@
+// Unit tests for the CSR graph and its builders.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace manet::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.order(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(GraphTest, SingleVertexNoEdges) {
+  const Graph g = GraphBuilder(1).build();
+  EXPECT_EQ(g.order(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphTest, TriangleBasics) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.order(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = make_graph(5, {{3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  const auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  const Graph g = make_graph(2, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeEndpointRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.edge(0, 2), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeNeighborQueryRejected) {
+  const Graph g = make_graph(2, {{0, 1}});
+  EXPECT_THROW(g.neighbors(2), std::invalid_argument);
+}
+
+TEST(GraphTest, EdgesListIsCanonical) {
+  const Graph g = make_graph(4, {{2, 1}, {3, 0}, {0, 1}});
+  const auto e = g.edges();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], std::make_pair(NodeId{0}, NodeId{1}));
+  EXPECT_EQ(e[1], std::make_pair(NodeId{0}, NodeId{3}));
+  EXPECT_EQ(e[2], std::make_pair(NodeId{1}, NodeId{2}));
+}
+
+TEST(GraphTest, BuilderEdgesSpanOverload) {
+  const std::vector<std::pair<NodeId, NodeId>> list{{0, 1}, {1, 2}};
+  GraphBuilder b(3);
+  b.edges(list);
+  EXPECT_EQ(b.build().edge_count(), 2u);
+}
+
+TEST(GraphFactoryTest, Path) {
+  const Graph g = make_path(4);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphFactoryTest, Cycle) {
+  const Graph g = make_cycle(5);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(GraphFactoryTest, Complete) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(GraphFactoryTest, Star) {
+  const Graph g = make_star(6);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(g.degree(5), 1u);
+}
+
+TEST(GraphFactoryTest, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.order(), 12u);
+  // 3*(4-1) horizontal + 4*(3-1) vertical = 9 + 8.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (1,1)
+}
+
+}  // namespace
+}  // namespace manet::graph

@@ -1,0 +1,132 @@
+// Randomized cross-checks for the graph substrate: the CSR representation
+// and BFS are validated against independent brute-force reference
+// implementations on random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::graph {
+namespace {
+
+/// Random simple graph on n vertices with edge probability p.
+Graph random_graph(std::size_t n, double p, Rng& rng) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (rng.chance(p)) b.edge(i, j);
+  return b.build();
+}
+
+TEST(GraphCrossCheck, CsrAgreesWithAdjacencyMatrix) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + rng.index(25);
+    std::vector<std::vector<char>> matrix(n, std::vector<char>(n, 0));
+    GraphBuilder b(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (rng.chance(0.3)) {
+          b.edge(i, j);
+          matrix[i][j] = matrix[j][i] = 1;
+        }
+      }
+    }
+    const Graph g = b.build();
+    std::size_t matrix_edges = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      std::size_t row_degree = 0;
+      for (NodeId j = 0; j < n; ++j) {
+        ASSERT_EQ(g.has_edge(i, j), matrix[i][j] != 0)
+            << "trial " << trial << " edge " << i << "-" << j;
+        if (matrix[i][j]) {
+          ++row_degree;
+          if (i < j) ++matrix_edges;
+        }
+      }
+      ASSERT_EQ(g.degree(i), row_degree);
+    }
+    ASSERT_EQ(g.edge_count(), matrix_edges);
+  }
+}
+
+TEST(GraphCrossCheck, BfsAgreesWithFloydWarshall) {
+  Rng rng(62);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + rng.index(16);
+    const Graph g = random_graph(n, 0.25, rng);
+
+    // Floyd–Warshall reference.
+    constexpr std::uint32_t kInf = kUnreachable;
+    std::vector<std::vector<std::uint32_t>> dist(
+        n, std::vector<std::uint32_t>(n, kInf));
+    for (NodeId i = 0; i < n; ++i) {
+      dist[i][i] = 0;
+      for (NodeId j : g.neighbors(i)) dist[i][j] = 1;
+    }
+    for (NodeId k = 0; k < n; ++k)
+      for (NodeId i = 0; i < n; ++i)
+        for (NodeId j = 0; j < n; ++j)
+          if (dist[i][k] != kInf && dist[k][j] != kInf)
+            dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+
+    for (NodeId s = 0; s < n; ++s) {
+      const auto bfs = bfs_distances(g, s);
+      for (NodeId v = 0; v < n; ++v)
+        ASSERT_EQ(bfs[v], dist[s][v])
+            << "trial " << trial << " s=" << s << " v=" << v;
+    }
+    // Diameter and connectivity fall out of the same reference.
+    std::uint32_t ref_diam = 0;
+    bool ref_connected = true;
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = 0; j < n; ++j) {
+        if (dist[i][j] == kInf)
+          ref_connected = false;
+        else
+          ref_diam = std::max(ref_diam, dist[i][j]);
+      }
+    ASSERT_EQ(is_connected(g), ref_connected);
+    if (ref_connected) ASSERT_EQ(diameter(g), ref_diam);
+  }
+}
+
+TEST(GraphCrossCheck, ShortestPathLengthMatchesBfs) {
+  Rng rng(63);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6 + rng.index(14);
+    const Graph g = random_graph(n, 0.3, rng);
+    const auto d0 = bfs_distances(g, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto path = shortest_path(g, 0, v);
+      if (d0[v] == kUnreachable) {
+        ASSERT_TRUE(path.empty());
+      } else {
+        ASSERT_EQ(path.size(), d0[v] + 1);
+      }
+    }
+  }
+}
+
+TEST(GraphCrossCheck, KHopMatchesBoundedBfs) {
+  Rng rng(64);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6 + rng.index(20);
+    const Graph g = random_graph(n, 0.2, rng);
+    const auto dist = bfs_distances(g, 0);
+    for (std::uint32_t k = 0; k <= 3; ++k) {
+      const auto ball = k_hop_neighbors(g, 0, k);
+      for (NodeId v = 0; v < n; ++v) {
+        const bool inside = dist[v] != kUnreachable && dist[v] <= k;
+        ASSERT_EQ(contains_sorted(ball, v), inside)
+            << "k=" << k << " v=" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manet::graph

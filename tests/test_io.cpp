@@ -1,0 +1,94 @@
+// Tests for topology/layout serialization and the umbrella header.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "geom/layout_io.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/io.hpp"
+#include "manet.hpp"  // umbrella header must compile standalone
+#include "paper_fixtures.hpp"
+
+namespace manet::graph {
+namespace {
+
+TEST(EdgeListIoTest, RoundTripsTheFigure3Network) {
+  const auto g = testing::paper_figure3_network();
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const auto back = read_edge_list(buffer);
+  EXPECT_EQ(back.order(), g.order());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(EdgeListIoTest, RoundTripsRandomTopologies) {
+  Rng rng(31);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 60;
+  cfg.range = geom::range_for_average_degree(8.0, 60, 100, 100);
+  for (int i = 0; i < 5; ++i) {
+    const auto net = geom::generate_unit_disk(cfg, rng);
+    std::stringstream buffer;
+    write_edge_list(buffer, net.graph);
+    EXPECT_EQ(read_edge_list(buffer).edges(), net.graph.edges());
+  }
+}
+
+TEST(EdgeListIoTest, EmptyGraphAndNoEdges) {
+  std::stringstream buffer;
+  write_edge_list(buffer, GraphBuilder(3).build());
+  const auto g = read_edge_list(buffer);
+  EXPECT_EQ(g.order(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(EdgeListIoTest, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(read_edge_list(empty), std::invalid_argument);
+  std::stringstream out_of_range("3\n0 7\n");
+  EXPECT_THROW(read_edge_list(out_of_range), std::invalid_argument);
+  std::stringstream self_loop("3\n1 1\n");
+  EXPECT_THROW(read_edge_list(self_loop), std::invalid_argument);
+}
+
+TEST(DotExportTest, ContainsNodesEdgesAndHighlights) {
+  const auto g = make_graph(3, {{0, 1}, {1, 2}});
+  DotOptions opts;
+  opts.label = "demo";
+  opts.highlight = {1};
+  const auto dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("graph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  EXPECT_NE(dot.find("n1 [style=filled"), std::string::npos);
+  EXPECT_EQ(dot.find("n0 [style=filled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet::graph
+
+namespace manet::geom {
+namespace {
+
+TEST(LayoutIoTest, RoundTripsPositions) {
+  const std::vector<Point> pts{{1.5, 2.25}, {0, 0}, {99.875, 42.0}};
+  std::stringstream buffer;
+  write_positions(buffer, pts);
+  const auto back = read_positions(buffer);
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].x, pts[i].x);
+    EXPECT_DOUBLE_EQ(back[i].y, pts[i].y);
+  }
+}
+
+TEST(LayoutIoTest, RejectsTruncatedInput) {
+  std::stringstream truncated("3\n1.0 2.0\n");
+  EXPECT_THROW(read_positions(truncated), std::invalid_argument);
+  std::stringstream empty;
+  EXPECT_THROW(read_positions(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manet::geom

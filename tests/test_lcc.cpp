@@ -1,0 +1,174 @@
+// Unit + property tests for Least Cluster Change maintenance.
+#include "cluster/lcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "paper_fixtures.hpp"
+#include "core/static_backbone.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "mobility/waypoint.hpp"
+
+namespace manet::cluster {
+namespace {
+
+TEST(LccTest, NoTopologyChangeNoChurn) {
+  const auto g = graph::make_path(7);
+  const auto c = lowest_id_clustering(g);
+  LccDelta delta;
+  const auto repaired = lcc_update(g, c, &delta);
+  EXPECT_EQ(delta.total(), 0u);
+  EXPECT_EQ(repaired.heads, c.heads);
+  EXPECT_EQ(repaired.head_of, c.head_of);
+}
+
+TEST(LccTest, AdjacentHeadsLargerResigns) {
+  // Heads 0 and 2 of the path 0-1-2-3 collide when edge 0-2 appears.
+  const auto before = graph::make_path(4);
+  auto c = lowest_id_clustering(before);
+  ASSERT_EQ(c.heads, (NodeSet{0, 2}));
+  const auto after =
+      graph::make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  LccDelta delta;
+  const auto repaired = lcc_update(after, c, &delta);
+  EXPECT_EQ(delta.heads_resigned, 1u);
+  EXPECT_TRUE(repaired.is_head(0));
+  EXPECT_FALSE(repaired.is_head(2));
+  EXPECT_EQ(repaired.head_of[2], 0u);  // ex-head joins the survivor
+  EXPECT_EQ(validate_cluster_structure(after, repaired), "");
+}
+
+TEST(LccTest, StrandedMemberDeclaresItself) {
+  // Node 3 loses its link to head 0 and has no other head around.
+  const auto before = graph::make_star(4);
+  const auto c = lowest_id_clustering(before);
+  const auto after = graph::make_graph(4, {{0, 1}, {0, 2}});  // 3 isolated
+  LccDelta delta;
+  const auto repaired = lcc_update(after, c, &delta);
+  EXPECT_EQ(delta.heads_declared, 1u);
+  EXPECT_TRUE(repaired.is_head(3));
+  EXPECT_EQ(validate_cluster_structure(after, repaired), "");
+}
+
+TEST(LccTest, StrandedMemberJoinsNeighboringHead) {
+  // 3 was in 0's cluster; after moving it only reaches head 2's member…
+  // make it reach head 2 directly.
+  const auto before = graph::make_graph(4, {{0, 3}, {0, 1}, {2, 1}});
+  const auto c = lowest_id_clustering(before);
+  ASSERT_EQ(c.heads, (NodeSet{0, 2}));
+  ASSERT_EQ(c.head_of[3], 0u);
+  const auto after = graph::make_graph(4, {{0, 1}, {2, 1}, {2, 3}});
+  LccDelta delta;
+  const auto repaired = lcc_update(after, c, &delta);
+  EXPECT_EQ(delta.reaffiliations, 1u);
+  EXPECT_EQ(repaired.head_of[3], 2u);
+  EXPECT_EQ(validate_cluster_structure(after, repaired), "");
+}
+
+TEST(LccTest, DoesNotChaseSmallerHeads) {
+  // The "least change" property: when node 1 loses its head and declares
+  // itself next to 2's member 4, node 4 stays with head 2. Full lowest-ID
+  // re-clustering would instead hand 4 to the smaller head 1 — a ripple
+  // LCC avoids.
+  const auto before = graph::make_graph(5, {{2, 3}, {2, 4}, {0, 1}});
+  const auto c = lowest_id_clustering(before);
+  ASSERT_TRUE(c.is_head(2));
+  ASSERT_EQ(c.head_of[4], 2u);
+  ASSERT_EQ(c.head_of[1], 0u);
+  const auto after = graph::make_graph(5, {{2, 3}, {2, 4}, {1, 4}});
+  LccDelta delta;
+  const auto repaired = lcc_update(after, c, &delta);
+  EXPECT_EQ(delta.heads_declared, 1u);  // stranded node 1 declares
+  EXPECT_EQ(delta.reaffiliations, 0u);  // ...but 4 does not defect
+  EXPECT_TRUE(repaired.is_head(1));
+  EXPECT_EQ(repaired.head_of[4], 2u);
+  EXPECT_EQ(validate_cluster_structure(after, repaired), "");
+  // Full re-clustering hands 4 to the smaller head 1.
+  const auto full = lowest_id_clustering(after);
+  EXPECT_EQ(full.head_of[4], 1u);
+  EXPECT_NE(full.head_of, repaired.head_of);
+}
+
+TEST(LccTest, RejectsMismatchedSizes) {
+  const auto g = graph::make_path(4);
+  const auto c = lowest_id_clustering(graph::make_path(3));
+  EXPECT_THROW(lcc_update(g, c), std::invalid_argument);
+}
+
+TEST(LccTest, ValidateCatchesBrokenStructures) {
+  const auto g = graph::make_path(5);
+  auto c = lowest_id_clustering(g);
+  EXPECT_EQ(validate_cluster_structure(g, c), "");
+  auto broken = c;
+  broken.head_of[1] = 4;
+  EXPECT_NE(validate_cluster_structure(g, broken), "");
+}
+
+// ---- Property sweep: LCC under sustained mobility -----------------------
+
+struct LccParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const LccParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed);
+  }
+};
+
+class LccMobilitySweep : public ::testing::TestWithParam<LccParam> {};
+
+TEST_P(LccMobilitySweep, StructureStaysValidAndChurnsLessThanRebuild) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+
+  mobility::WaypointConfig wcfg;
+  wcfg.min_speed = 1.0;
+  wcfg.max_speed = 3.0;
+  mobility::WaypointModel model(net->positions, wcfg, Rng(seed + 1));
+
+  auto lcc = lowest_id_clustering(net->graph);
+  std::size_t lcc_head_changes = 0, full_head_changes = 0;
+  auto prev_full = lcc;
+  auto prev_lcc_head_of = lcc.head_of;
+  for (int step = 0; step < 12; ++step) {
+    model.step(1.0);
+    const auto snapshot = model.snapshot(cfg.range);
+    // LCC repair keeps a valid structure...
+    lcc = lcc_update(snapshot, lcc);
+    ASSERT_EQ(validate_cluster_structure(snapshot, lcc), "")
+        << "step " << step;
+    // ...and the backbone machinery still produces a CDS on top of it
+    // when the snapshot is connected.
+    if (graph::is_connected(snapshot)) {
+      const auto backbone = core::build_static_backbone(
+          snapshot, lcc, core::CoverageMode::kTwoPointFiveHop);
+      EXPECT_EQ(validate_static_backbone(snapshot, backbone), "")
+          << "step " << step;
+    }
+    // Churn bookkeeping vs full re-clustering.
+    const auto full = lowest_id_clustering(snapshot);
+    for (NodeId v = 0; v < snapshot.order(); ++v) {
+      if (lcc.head_of[v] != prev_lcc_head_of[v]) ++lcc_head_changes;
+      if (full.head_of[v] != prev_full.head_of[v]) ++full_head_changes;
+    }
+    prev_lcc_head_of = lcc.head_of;
+    prev_full = full;
+  }
+  EXPECT_LE(lcc_head_changes, full_head_changes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, LccMobilitySweep,
+    ::testing::Values(LccParam{30, 8, 111}, LccParam{50, 8, 112},
+                      LccParam{50, 14, 113}, LccParam{70, 10, 114},
+                      LccParam{40, 18, 115}, LccParam{60, 6, 116}));
+
+}  // namespace
+}  // namespace manet::cluster

@@ -1,0 +1,145 @@
+// Unit + property tests for the greedy and exact CDS solvers, plus the
+// empirical approximation-ratio check behind the paper's Theorem claims.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "paper_fixtures.hpp"
+#include "core/mo_cds.hpp"
+#include "core/static_backbone.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "mcds/exact.hpp"
+#include "mcds/greedy.hpp"
+
+namespace manet::mcds {
+namespace {
+
+TEST(GreedyCdsTest, SingletonAndEdge) {
+  EXPECT_EQ(greedy_cds(graph::GraphBuilder(1).build()), (NodeSet{0}));
+  const auto g = graph::make_graph(2, {{0, 1}});
+  const auto cds = greedy_cds(g);
+  EXPECT_EQ(cds.size(), 1u);
+  EXPECT_TRUE(graph::is_connected_dominating_set(g, cds));
+}
+
+TEST(GreedyCdsTest, StarUsesOnlyCenter) {
+  EXPECT_EQ(greedy_cds(graph::make_star(9)), (NodeSet{0}));
+}
+
+TEST(GreedyCdsTest, PathUsesInterior) {
+  const auto g = graph::make_path(6);
+  const auto cds = greedy_cds(g);
+  EXPECT_TRUE(graph::is_connected_dominating_set(g, cds));
+  EXPECT_LE(cds.size(), 4u);
+}
+
+TEST(GreedyCdsTest, RejectsDisconnectedOrEmpty) {
+  EXPECT_THROW(greedy_cds(graph::Graph{}), std::invalid_argument);
+  EXPECT_THROW(greedy_cds(graph::make_graph(3, {{0, 1}})),
+               std::invalid_argument);
+}
+
+TEST(ExactMcdsTest, KnownOptima) {
+  // Path of 5: optimum {1,2,3}.
+  EXPECT_EQ(exact_mcds(graph::make_path(5)).size(), 3u);
+  // Cycle of 6: optimum 4 (n-2).
+  EXPECT_EQ(exact_mcds(graph::make_cycle(6)).size(), 4u);
+  // Star: the center.
+  EXPECT_EQ(exact_mcds(graph::make_star(8)), (NodeSet{0}));
+  // Complete graph: any single vertex.
+  EXPECT_EQ(exact_mcds(graph::make_complete(6)).size(), 1u);
+  // Singleton and edge.
+  EXPECT_EQ(exact_mcds(graph::GraphBuilder(1).build()), (NodeSet{0}));
+  EXPECT_EQ(exact_mcds(graph::make_graph(2, {{0, 1}})).size(), 1u);
+}
+
+TEST(ExactMcdsTest, GridOptimum) {
+  // 3x3 grid: centre row/column cross of 3 vertices dominates all and is
+  // connected: {1,4,7} or {3,4,5} -> optimum 3.
+  const auto g = graph::make_grid(3, 3);
+  const auto cds = exact_mcds(g);
+  EXPECT_EQ(cds.size(), 3u);
+  EXPECT_TRUE(graph::is_connected_dominating_set(g, cds));
+}
+
+TEST(ExactMcdsTest, ResultIsAlwaysAValidCds) {
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    geom::UnitDiskConfig cfg;
+    cfg.nodes = 14;
+    cfg.range = geom::range_for_average_degree(6.0, cfg.nodes, cfg.width,
+                                               cfg.height);
+    const auto net = geom::generate_connected_unit_disk(cfg, rng);
+    ASSERT_TRUE(net.has_value());
+    const auto cds = exact_mcds(net->graph);
+    EXPECT_TRUE(graph::is_connected_dominating_set(net->graph, cds));
+    EXPECT_LE(cds.size(), greedy_cds(net->graph).size());
+  }
+}
+
+TEST(ExactMcdsTest, SearchBudgetGuardThrows) {
+  Rng rng(123);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 30;
+  cfg.range =
+      geom::range_for_average_degree(8.0, cfg.nodes, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  ExactOptions tiny;
+  tiny.max_search_nodes = 10;
+  EXPECT_THROW(exact_mcds(net->graph, tiny), std::runtime_error);
+}
+
+// ---- Approximation-ratio property: backbone vs true optimum ------------
+
+struct RatioParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const RatioParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed);
+  }
+};
+
+class ApproxRatioSweep : public ::testing::TestWithParam<RatioParam> {};
+
+TEST_P(ApproxRatioSweep, BackbonesStayWithinConstantFactor) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+
+  const auto opt = exact_mcds(net->graph).size();
+  ASSERT_GE(opt, 1u);
+  const auto st25 = core::build_static_backbone(
+                        net->graph, core::CoverageMode::kTwoPointFiveHop)
+                        .cds.size();
+  const auto st3 =
+      core::build_static_backbone(net->graph, core::CoverageMode::kThreeHop)
+          .cds.size();
+  const auto mo = core::build_mo_cds(net->graph).cds.size();
+
+  // The theoretical constant for cluster-based CDSs is generous; on these
+  // small instances the observed ratio stays well under 8.
+  const double limit = 8.0;
+  EXPECT_LE(static_cast<double>(st25), limit * static_cast<double>(opt));
+  EXPECT_LE(static_cast<double>(st3), limit * static_cast<double>(opt));
+  EXPECT_LE(static_cast<double>(mo), limit * static_cast<double>(opt));
+  // And the exact optimum is a lower bound for everything.
+  EXPECT_GE(st25, opt);
+  EXPECT_GE(st3, opt);
+  EXPECT_GE(mo, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallUnitDisk, ApproxRatioSweep,
+    ::testing::Values(RatioParam{12, 5, 81}, RatioParam{14, 6, 82},
+                      RatioParam{16, 6, 83}, RatioParam{16, 8, 84},
+                      RatioParam{18, 6, 85}, RatioParam{18, 10, 86}));
+
+}  // namespace
+}  // namespace manet::mcds

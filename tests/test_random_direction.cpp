@@ -1,0 +1,108 @@
+// Tests for the random-direction mobility model.
+#include "mobility/random_direction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/running.hpp"
+
+namespace manet::mobility {
+namespace {
+
+std::vector<geom::Point> grid_layout(std::size_t n) {
+  std::vector<geom::Point> pts;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({5.0 + static_cast<double>(i % 10) * 10.0,
+                   5.0 + static_cast<double>(i / 10) * 10.0});
+  return pts;
+}
+
+TEST(RandomDirectionTest, StaysInsideArea) {
+  RandomDirectionModel model(grid_layout(40), RandomDirectionConfig{},
+                             Rng(1));
+  for (int step = 0; step < 300; ++step) {
+    model.step(0.7);
+    for (const auto& p : model.positions()) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 100.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 100.0);
+    }
+  }
+}
+
+TEST(RandomDirectionTest, NodesMove) {
+  const auto initial = grid_layout(20);
+  RandomDirectionModel model(initial, RandomDirectionConfig{}, Rng(2));
+  model.step(5.0);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    if (!(model.positions()[i] == initial[i])) ++moved;
+  EXPECT_GT(moved, 15u);
+}
+
+TEST(RandomDirectionTest, SpeedBoundObserved) {
+  RandomDirectionConfig cfg;
+  cfg.min_speed = 1.0;
+  cfg.max_speed = 3.0;
+  cfg.pause_time = 0.0;
+  RandomDirectionModel model(grid_layout(20), cfg, Rng(3));
+  auto prev = model.positions();
+  for (int step = 0; step < 40; ++step) {
+    model.step(0.25);
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      // Wall reflections only fold the path, never lengthen it.
+      EXPECT_LE(geom::distance(prev[i], model.positions()[i]),
+                cfg.max_speed * 0.25 + 1e-9);
+    }
+    prev = model.positions();
+  }
+}
+
+TEST(RandomDirectionTest, DensityStaysRoughlyUniform) {
+  // The billiard model's selling point: after long mixing, nodes do not
+  // pile up in the middle. Compare center vs border occupancy.
+  RandomDirectionConfig cfg;
+  cfg.pause_time = 0.0;
+  RandomDirectionModel model(grid_layout(100), cfg, Rng(4));
+  std::size_t center = 0, total = 0;
+  for (int step = 0; step < 400; ++step) {
+    model.step(1.0);
+    if (step < 100) continue;  // mixing time
+    for (const auto& p : model.positions()) {
+      ++total;
+      // The middle 50% x 50% of the area holds 25% of it.
+      if (p.x > 25 && p.x < 75 && p.y > 25 && p.y < 75) ++center;
+    }
+  }
+  const double frac =
+      static_cast<double>(center) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(RandomDirectionTest, SnapshotMatchesPositions) {
+  RandomDirectionModel model(grid_layout(30), RandomDirectionConfig{},
+                             Rng(5));
+  model.step(1.0);
+  const auto g = model.snapshot(15.0);
+  EXPECT_EQ(g.order(), 30u);
+}
+
+TEST(RandomDirectionTest, RejectsBadConfig) {
+  RandomDirectionConfig bad;
+  bad.min_speed = 0.0;
+  EXPECT_THROW(RandomDirectionModel(grid_layout(3), bad, Rng(1)),
+               std::invalid_argument);
+  RandomDirectionConfig zero_leg;
+  zero_leg.max_leg_time = 0.0;
+  EXPECT_THROW(RandomDirectionModel(grid_layout(3), zero_leg, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomDirectionModel({}, RandomDirectionConfig{}, Rng(1)),
+               std::invalid_argument);
+  RandomDirectionModel ok(grid_layout(3), RandomDirectionConfig{}, Rng(1));
+  EXPECT_THROW(ok.step(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manet::mobility

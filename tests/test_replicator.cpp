@@ -1,0 +1,99 @@
+// Unit tests for the replicate-until-CI-converges controller (the paper's
+// "repeat until the 99% CI is within +-5%" stopping rule).
+#include "stats/replicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace manet::stats {
+namespace {
+
+TEST(ReplicatorTest, ConstantMetricConvergesAtMinimum) {
+  ReplicationPolicy policy;
+  policy.min_replications = 10;
+  const auto r = replicate(policy, 1, [](std::size_t, std::vector<double>& out) {
+    out.push_back(42.0);
+  });
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.replications, 10u);
+  EXPECT_DOUBLE_EQ(r.metrics[0].mean(), 42.0);
+}
+
+TEST(ReplicatorTest, NoisyMetricRunsLonger) {
+  ReplicationPolicy policy;
+  policy.min_replications = 5;
+  policy.max_replications = 4000;
+  Rng rng(1);
+  const auto r =
+      replicate(policy, 1, [&](std::size_t, std::vector<double>& out) {
+        out.push_back(10.0 + rng.uniform(-5.0, 5.0));
+      });
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.replications, 5u);
+  EXPECT_NEAR(r.metrics[0].mean(), 10.0, 1.0);
+  // Converged means the achieved CI meets the paper's rule.
+  EXPECT_LE(r.metrics[0].relative_halfwidth(policy.confidence),
+            policy.relative_halfwidth);
+}
+
+TEST(ReplicatorTest, CapStopsDivergentStream) {
+  ReplicationPolicy policy;
+  policy.min_replications = 2;
+  policy.max_replications = 50;
+  // Alternating huge values never tighten to +-5%.
+  const auto r =
+      replicate(policy, 1, [](std::size_t rep, std::vector<double>& out) {
+        out.push_back(rep % 2 ? 1.0 : 1000.0);
+      });
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.replications, 50u);
+}
+
+TEST(ReplicatorTest, AllMetricsMustConverge) {
+  ReplicationPolicy policy;
+  policy.min_replications = 5;
+  policy.max_replications = 40;
+  const auto r =
+      replicate(policy, 2, [](std::size_t rep, std::vector<double>& out) {
+        out.push_back(7.0);                       // converges instantly
+        out.push_back(rep % 2 ? 1.0 : 1000.0);    // never converges
+      });
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.replications, 40u);
+  EXPECT_DOUBLE_EQ(r.metrics[0].mean(), 7.0);
+}
+
+TEST(ReplicatorTest, ReplicationIndexIsSequential) {
+  ReplicationPolicy policy;
+  policy.min_replications = 4;
+  std::vector<std::size_t> seen;
+  replicate(policy, 1, [&](std::size_t rep, std::vector<double>& out) {
+    seen.push_back(rep);
+    out.push_back(1.0);
+  });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ReplicatorTest, RejectsBadPolicyAndArity) {
+  ReplicationPolicy bad;
+  bad.min_replications = 1;
+  EXPECT_THROW(
+      replicate(bad, 1, [](std::size_t, std::vector<double>& out) {
+        out.push_back(0.0);
+      }),
+      std::invalid_argument);
+
+  ReplicationPolicy policy;
+  EXPECT_THROW(
+      replicate(policy, 2, [](std::size_t, std::vector<double>& out) {
+        out.push_back(0.0);  // wrong arity: 1 of 2
+      }),
+      std::invalid_argument);
+  EXPECT_THROW(replicate(policy, 0,
+                         [](std::size_t, std::vector<double>&) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manet::stats

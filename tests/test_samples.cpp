@@ -1,0 +1,76 @@
+// Unit tests for exact sample-set statistics.
+#include "stats/samples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace manet::stats {
+namespace {
+
+TEST(SampleSetTest, MeanMedianMinMax) {
+  SampleSet s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleSetTest, QuantileInterpolates) {
+  SampleSet s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+}
+
+TEST(SampleSetTest, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.95), 7.0);
+  EXPECT_DOUBLE_EQ(s.trimmed_mean(0.4), 7.0);
+}
+
+TEST(SampleSetTest, P95OnUniformSamples) {
+  SampleSet s;
+  Rng rng(55);
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(s.median(), 0.5, 0.02);
+}
+
+TEST(SampleSetTest, TrimmedMeanIgnoresOutliers) {
+  SampleSet s;
+  for (int i = 0; i < 98; ++i) s.add(10.0);
+  s.add(-1000.0);
+  s.add(1000.0);
+  EXPECT_DOUBLE_EQ(s.trimmed_mean(0.05), 10.0);
+  EXPECT_NE(s.mean(), 10.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSetTest, RejectsBadArguments) {
+  SampleSet empty;
+  EXPECT_THROW(empty.mean(), std::invalid_argument);
+  EXPECT_THROW(empty.quantile(0.5), std::invalid_argument);
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+  EXPECT_THROW(s.trimmed_mean(0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manet::stats

@@ -1,0 +1,151 @@
+// Soak and regression suite: bulk randomized invariant checks across many
+// seeds (cheap per-instance, broad coverage), pinned golden values that
+// freeze the algorithms' exact behavior, and corner cases that don't fit
+// the per-module suites.
+#include <gtest/gtest.h>
+
+#include "broadcast/si_cds.hpp"
+#include "cluster/lcc.hpp"
+#include "common/rng.hpp"
+#include "core/cluster_graph.hpp"
+#include "core/dynamic_broadcast.hpp"
+#include "core/mo_cds.hpp"
+#include "core/static_backbone.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "net/protocol.hpp"
+#include "paper_fixtures.hpp"
+
+namespace manet {
+namespace {
+
+using core::CoverageMode;
+
+/// One small topology per seed; the whole soak stays under a second.
+geom::UnitDiskNetwork soak_network(std::uint64_t seed) {
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 24 + seed % 17;  // 24..40 nodes
+  const double d = 5.0 + static_cast<double>(seed % 9);  // degree 5..13
+  cfg.range = geom::range_for_average_degree(d, cfg.nodes, cfg.width,
+                                             cfg.height);
+  auto net = geom::generate_connected_unit_disk(cfg, rng);
+  EXPECT_TRUE(net.has_value());
+  return std::move(*net);
+}
+
+TEST(SoakTest, CoreInvariantsAcrossFiftySeeds) {
+  for (std::uint64_t seed = 1000; seed < 1050; ++seed) {
+    const auto net = soak_network(seed);
+    const auto& g = net.graph;
+    const auto c = cluster::lowest_id_clustering(g);
+    ASSERT_EQ(cluster::validate_clustering(g, c), "") << "seed " << seed;
+
+    for (const auto mode :
+         {CoverageMode::kTwoPointFiveHop, CoverageMode::kThreeHop}) {
+      const auto bb = core::build_static_backbone(g, c, mode);
+      ASSERT_EQ(core::validate_static_backbone(g, bb), "")
+          << "seed " << seed << " mode " << core::to_string(mode);
+      const auto cg = core::build_cluster_graph(bb.clustering, bb.coverage);
+      ASSERT_TRUE(graph::is_strongly_connected(cg.digraph))
+          << "seed " << seed;
+
+      const auto dyn = core::build_dynamic_backbone(g, c, mode);
+      const auto source = static_cast<NodeId>(seed % g.order());
+      const auto r = core::dynamic_broadcast(g, dyn, source);
+      ASSERT_TRUE(r.delivered_all) << "seed " << seed;
+      const auto si = broadcast::si_cds_broadcast(g, bb.cds, source);
+      ASSERT_TRUE(si.delivered_all) << "seed " << seed;
+    }
+    const auto mo = core::build_mo_cds(g, c);
+    ASSERT_EQ(core::validate_mo_cds(g, mo), "") << "seed " << seed;
+  }
+}
+
+TEST(SoakTest, GoldenValuesPinnedForSeed2003) {
+  // Exact regression values (any intentional algorithm change must update
+  // these in the same commit — they freeze tie-breaks and orderings).
+  Rng rng(2003);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 50;
+  cfg.range = geom::range_for_average_degree(8.0, 50, 100, 100);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto& g = net->graph;
+
+  const auto c = cluster::lowest_id_clustering(g);
+  const auto bb25 =
+      core::build_static_backbone(g, c, CoverageMode::kTwoPointFiveHop);
+  const auto bb3 = core::build_static_backbone(g, c, CoverageMode::kThreeHop);
+  const auto mo = core::build_mo_cds(g, c);
+  const auto dyn =
+      core::build_dynamic_backbone(g, c, CoverageMode::kTwoPointFiveHop);
+  const auto r = core::dynamic_broadcast(g, dyn, 0);
+
+  // Structural counts (verified to be stable by the determinism suite).
+  const std::size_t edges = g.edge_count();
+  const std::size_t heads = c.heads.size();
+  const std::size_t cds25 = bb25.cds.size();
+  const std::size_t cds3 = bb3.cds.size();
+  const std::size_t mocds = mo.cds.size();
+  const std::size_t forwards = r.forward_count();
+
+  // Relationships that must always hold on this fixed instance:
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_LE(cds25, mocds);
+  EXPECT_LE(forwards, cds25 + 1);
+  EXPECT_GE(heads, 2u);
+
+  // Exact golden values for this seed (pin the current behavior).
+  EXPECT_EQ(edges, 139u);
+  EXPECT_EQ(heads, 10u);
+  EXPECT_EQ(cds25, 27u);
+  EXPECT_EQ(cds3, 27u);
+  EXPECT_EQ(mocds, 28u);
+  EXPECT_EQ(forwards, 26u);
+}
+
+TEST(SoakTest, DistributedProtocolOnDisconnectedGraph) {
+  // Two components: the protocol must quiesce per component and the
+  // structures must match the centralized pipeline on each.
+  const auto g = graph::make_graph(
+      8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}});
+  const auto run = net::run_distributed_backbone(
+      g, CoverageMode::kTwoPointFiveHop);
+  const auto reference = cluster::lowest_id_clustering(g);
+  EXPECT_EQ(run.clustering.heads, reference.heads);
+  EXPECT_EQ(run.clustering.head_of, reference.head_of);
+}
+
+TEST(SoakTest, SimulatorObserverSeesEveryTransmission) {
+  const auto g = testing::paper_figure3_network();
+  net::Simulator sim(g, [](NodeId v) {
+    return std::make_unique<net::BackboneNode>(
+        v, CoverageMode::kTwoPointFiveHop);
+  });
+  std::size_t observed = 0;
+  sim.set_observer(
+      [&observed](std::uint32_t, const net::Message&) { ++observed; });
+  sim.run();
+  EXPECT_EQ(observed, sim.counts().total());
+}
+
+TEST(SoakTest, LccConvergesToValidStructureAfterHeavyChange) {
+  // Apply LCC across a drastic topology swap (random graph A -> random
+  // graph B with nothing in common) — the repaired structure must still
+  // validate, even though almost everything churns.
+  const auto a = soak_network(1111).graph;
+  // A fresh random topology with the same node population.
+  Rng rng(3333);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = a.order();
+  cfg.range = geom::range_for_average_degree(8.0, a.order(), 100, 100);
+  const auto b = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(b.has_value());
+  const auto before = cluster::lowest_id_clustering(a);
+  const auto repaired = cluster::lcc_update(b->graph, before);
+  EXPECT_EQ(cluster::validate_cluster_structure(b->graph, repaired), "");
+}
+
+}  // namespace
+}  // namespace manet

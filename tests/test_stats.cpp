@@ -1,0 +1,132 @@
+// Unit tests for running statistics and Student-t critical values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "stats/running.hpp"
+#include "stats/student_t.hpp"
+
+namespace manet::stats {
+namespace {
+
+TEST(RunningStatsTest, MeanAndVarianceOfKnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasInfiniteCi) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.ci_halfwidth(0.99)));
+}
+
+TEST(RunningStatsTest, ConstantStreamHasZeroRelativeHalfwidth) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(4.0);
+  EXPECT_EQ(s.ci_halfwidth(0.99), 0.0);
+  EXPECT_EQ(s.relative_halfwidth(0.99), 0.0);
+}
+
+TEST(RunningStatsTest, ZeroMeanNonzeroSpreadIsInfiniteRelative) {
+  RunningStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_TRUE(std::isinf(s.relative_halfwidth(0.99)));
+}
+
+TEST(RunningStatsTest, CiShrinksWithSamples) {
+  Rng rng(5);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(10.0 + rng.uniform(-1, 1));
+  for (int i = 0; i < 1000; ++i) large.add(10.0 + rng.uniform(-1, 1));
+  EXPECT_LT(large.ci_halfwidth(0.99), small.ci_halfwidth(0.99));
+}
+
+TEST(RunningStatsTest, CiCoversTrueMeanUsually) {
+  // 99% CI over repeated uniform(0,1) samples should cover 0.5 nearly
+  // always; we tolerate 3 misses in 100 experiments.
+  Rng rng(77);
+  int misses = 0;
+  for (int e = 0; e < 100; ++e) {
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.uniform01());
+    const double hw = s.ci_halfwidth(0.99);
+    if (std::fabs(s.mean() - 0.5) > hw) ++misses;
+  }
+  EXPECT_LE(misses, 3);
+}
+
+TEST(RunningStatsTest, MergeEqualsBulkAccumulation) {
+  Rng rng(123);
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(0, 10);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(StudentTTest, MatchesTablesAtTabulatedLevels) {
+  EXPECT_NEAR(student_t_critical(0.99, 1), 63.657, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 9), 3.250, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 30), 1.697, 1e-3);
+}
+
+TEST(StudentTTest, LargeDfApproachesNormal) {
+  const double z99 = normal_critical(0.99);
+  EXPECT_NEAR(z99, 2.5758, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 100000), z99, 1e-3);
+  // df=120 textbook value: 2.617.
+  EXPECT_NEAR(student_t_critical(0.99, 120), 2.617, 5e-3);
+}
+
+TEST(StudentTTest, MonotoneDecreasingInDf) {
+  double prev = student_t_critical(0.99, 1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = student_t_critical(0.99, df);
+    EXPECT_LE(t, prev + 1e-9) << "df=" << df;
+    prev = t;
+  }
+}
+
+TEST(StudentTTest, RejectsBadArguments) {
+  EXPECT_THROW(student_t_critical(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(1.0, 5), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(0.99, 0), std::invalid_argument);
+  EXPECT_THROW(normal_critical(-0.5), std::invalid_argument);
+}
+
+TEST(NormalCriticalTest, StandardValues) {
+  EXPECT_NEAR(normal_critical(0.95), 1.9600, 1e-3);
+  EXPECT_NEAR(normal_critical(0.90), 1.6449, 1e-3);
+}
+
+}  // namespace
+}  // namespace manet::stats

@@ -1,0 +1,221 @@
+// Tests for the Pagani–Rossi forwarding tree and Kwon–Gerla passive
+// clustering (the remaining §2 related-work systems).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "broadcast/forwarding_tree.hpp"
+#include "broadcast/passive_clustering.hpp"
+#include "common/rng.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+#include "mobility/waypoint.hpp"
+#include "paper_fixtures.hpp"
+
+namespace manet::broadcast {
+namespace {
+
+using core::CoverageMode;
+
+class Figure3Tree : public ::testing::Test {
+ protected:
+  graph::Graph g_ = testing::paper_figure3_network();
+  cluster::Clustering c_ = cluster::lowest_id_clustering(g_);
+  core::NeighborTables t_ =
+      build_neighbor_tables(g_, c_, CoverageMode::kTwoPointFiveHop);
+};
+
+TEST_F(Figure3Tree, RootedAtSourceHead) {
+  const auto tree = build_forwarding_tree(g_, c_, t_, 9);
+  EXPECT_EQ(tree.root_head, 2u);  // node 9's clusterhead
+  EXPECT_EQ(validate_forwarding_tree(g_, c_, tree), "");
+}
+
+TEST_F(Figure3Tree, AllClustersJoin) {
+  for (NodeId s = 0; s < g_.order(); ++s) {
+    const auto tree = build_forwarding_tree(g_, c_, t_, s);
+    EXPECT_EQ(validate_forwarding_tree(g_, c_, tree), "") << "source " << s;
+    for (NodeId h : c_.heads) EXPECT_TRUE(tree.contains(h));
+  }
+}
+
+TEST_F(Figure3Tree, AlternatesHeadGatewayHead) {
+  const auto tree = build_forwarding_tree(g_, c_, t_, 0);
+  // Every head except the root hangs below a non-head connector whose
+  // parent chain leads to another head.
+  for (NodeId h : c_.heads) {
+    if (h == tree.root_head) continue;
+    const NodeId gw = tree.parent[h];
+    ASSERT_NE(gw, kInvalidNode);
+    EXPECT_FALSE(c_.is_head(gw));
+  }
+}
+
+TEST_F(Figure3Tree, TreeBroadcastDeliversEverywhere) {
+  const auto tree = build_forwarding_tree(g_, c_, t_, 0);
+  const auto s = forwarding_tree_broadcast(g_, tree, 0);
+  EXPECT_TRUE(s.delivered_all);
+  // The tree prunes relative to the full static backbone (9 nodes).
+  EXPECT_LE(s.forward_count(), 9u);
+}
+
+TEST(ForwardingTreeTest, SingleClusterIsJustTheHead) {
+  const auto g = graph::make_star(6);
+  const auto c = cluster::lowest_id_clustering(g);
+  const auto t = core::build_neighbor_tables(g, c, CoverageMode::kThreeHop);
+  const auto tree = build_forwarding_tree(g, c, t, 3);
+  EXPECT_EQ(tree.root_head, 0u);
+  EXPECT_EQ(tree.members, (NodeSet{0}));
+  const auto s = forwarding_tree_broadcast(g, tree, 3);
+  EXPECT_TRUE(s.delivered_all);
+}
+
+// ---- Property sweep -----------------------------------------------------
+
+struct TreeParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+  CoverageMode mode;
+
+  friend std::ostream& operator<<(std::ostream& os, const TreeParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed,
+                                    core::to_string(p.mode));
+  }
+};
+
+class TreeSweep : public ::testing::TestWithParam<TreeParam> {};
+
+TEST_P(TreeSweep, ValidTreeAndFullDelivery) {
+  const auto [n, d, seed, mode] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto c = cluster::lowest_id_clustering(net->graph);
+  const auto t = core::build_neighbor_tables(net->graph, c, mode);
+  Rng pick(seed ^ 0xfeed);
+  for (int i = 0; i < 3; ++i) {
+    const auto s = static_cast<NodeId>(pick.index(net->graph.order()));
+    const auto tree = build_forwarding_tree(net->graph, c, t, s);
+    EXPECT_EQ(validate_forwarding_tree(net->graph, c, tree), "")
+        << "source " << s;
+    EXPECT_TRUE(forwarding_tree_broadcast(net->graph, tree, s).delivered_all)
+        << "source " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, TreeSweep,
+    ::testing::Values(
+        TreeParam{20, 6, 101, CoverageMode::kTwoPointFiveHop},
+        TreeParam{40, 6, 102, CoverageMode::kThreeHop},
+        TreeParam{60, 18, 103, CoverageMode::kTwoPointFiveHop},
+        TreeParam{80, 6, 104, CoverageMode::kThreeHop},
+        TreeParam{100, 18, 105, CoverageMode::kTwoPointFiveHop},
+        TreeParam{100, 6, 106, CoverageMode::kThreeHop}));
+
+// ---- Passive clustering --------------------------------------------------
+
+TEST(PassiveClusteringTest, SourceBecomesClusterheadOnFirstFlood) {
+  const auto g = testing::paper_figure3_network();
+  PassiveClusteringSession session(g.order());
+  const auto r = session.broadcast(g, 0);
+  EXPECT_TRUE(r.delivered_all);
+  EXPECT_EQ(session.states()[0], PassiveState::kClusterhead);
+  EXPECT_GE(session.clusterhead_count(), 1u);
+}
+
+TEST(PassiveClusteringTest, FirstFloodPropagatesLikeFlooding) {
+  // No setup phase: the first packet travels while the structure forms,
+  // so it floods the whole network.
+  const auto g = graph::make_path(8);
+  PassiveClusteringSession session(g.order());
+  const auto first = session.broadcast(g, 0);
+  EXPECT_TRUE(first.delivered_all);
+  EXPECT_GE(first.forward_count(), 7u);
+}
+
+TEST(PassiveClusteringTest, StarOrdinaryLeavesGoSilent) {
+  // After the structure forms, every leaf is ordinary (one adjacent
+  // clusterhead): the second broadcast uses only the center.
+  const auto g = graph::make_star(8);
+  PassiveClusteringSession session(g.order());
+  EXPECT_TRUE(session.broadcast(g, 0).delivered_all);
+  for (NodeId v = 1; v < 8; ++v)
+    EXPECT_EQ(session.states()[v], PassiveState::kOrdinary);
+  const auto second = session.broadcast(g, 0);
+  EXPECT_TRUE(second.delivered_all);
+  EXPECT_EQ(second.forward_count(), 1u);
+}
+
+TEST(PassiveClusteringTest, PathAlternatesHeadsAndGateways) {
+  // On a path the first flood mints clusterheads every other node and
+  // the bridges become gateways, so later floods still deliver.
+  const auto g = graph::make_path(8);
+  PassiveClusteringSession session(g.order());
+  EXPECT_TRUE(session.broadcast(g, 0).delivered_all);
+  EXPECT_EQ(session.states()[0], PassiveState::kClusterhead);
+  EXPECT_EQ(session.states()[1], PassiveState::kGateway);
+  EXPECT_EQ(session.states()[2], PassiveState::kClusterhead);
+  const auto later = session.broadcast(g, 0);
+  EXPECT_TRUE(later.delivered_all);
+}
+
+TEST(PassiveClusteringTest, StaleStructureLosesDelivery) {
+  // The documented weakness: the structure formed on one topology is
+  // wrong for the next. On the star, every leaf ends up ordinary; when
+  // the network reshapes into a path, the ordinary node 1 is suddenly
+  // the sole bridge — and silently drops the flood.
+  const auto star = graph::make_star(4);
+  const auto path = graph::make_path(4);
+  PassiveClusteringSession session(4);
+  EXPECT_TRUE(session.broadcast(star, 0).delivered_all);
+  ASSERT_EQ(session.states()[1], PassiveState::kOrdinary);
+  const auto stale = session.broadcast(path, 0);
+  EXPECT_FALSE(stale.delivered_all);
+  EXPECT_DOUBLE_EQ(stale.delivery_ratio(), 0.5);
+}
+
+TEST(PassiveClusteringTest, LaterFloodsSaveTransmissions) {
+  Rng topo_rng(21);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 60;
+  cfg.range = geom::range_for_average_degree(18.0, 60, 100, 100);
+  const auto net = geom::generate_connected_unit_disk(cfg, topo_rng);
+  ASSERT_TRUE(net.has_value());
+  PassiveClusteringSession session(net->graph.order());
+  const auto first = session.broadcast(net->graph, 0);
+  EXPECT_TRUE(first.delivered_all);
+  const auto later = session.broadcast(net->graph, 0);
+  EXPECT_LT(later.forward_count(), first.forward_count());
+  EXPECT_GE(session.clusterhead_count(), 1u);
+  // Same topology: the formed structure still reaches most nodes.
+  EXPECT_GT(later.delivery_ratio(), 0.5);
+}
+
+TEST(PassiveClusteringTest, StateCountsConsistent) {
+  const auto g = testing::paper_figure3_network();
+  PassiveClusteringSession session(g.order());
+  session.broadcast(g, 5);
+  std::size_t heads = 0, gateways = 0;
+  for (const auto s : session.states()) {
+    heads += (s == PassiveState::kClusterhead);
+    gateways += (s == PassiveState::kGateway);
+  }
+  EXPECT_EQ(heads, session.clusterhead_count());
+  EXPECT_EQ(gateways, session.gateway_count());
+}
+
+TEST(PassiveClusteringTest, RejectsBadArguments) {
+  const auto g = graph::make_path(3);
+  PassiveClusteringSession session(g.order());
+  EXPECT_THROW(session.broadcast(g, 3), std::invalid_argument);
+  PassiveClusteringSession wrong(5);
+  EXPECT_THROW(wrong.broadcast(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manet::broadcast

@@ -1,0 +1,115 @@
+// Unit tests for the unit-disk workload generator (paper's simulation
+// environment: 100x100 area, calibrated range, connected topologies only).
+#include "geom/unit_disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/algorithms.hpp"
+#include "stats/running.hpp"
+
+namespace manet::geom {
+namespace {
+
+TEST(PointTest, Distances) {
+  const Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+}
+
+TEST(RangeCalibrationTest, ClosedFormInverts) {
+  const double r = range_for_average_degree(6.0, 50, 100.0, 100.0);
+  // d = n * pi * r^2 / A.
+  const double d = 50 * std::numbers::pi * r * r / (100.0 * 100.0);
+  EXPECT_NEAR(d, 6.0, 1e-12);
+}
+
+TEST(RangeCalibrationTest, DenserTargetNeedsLargerRange) {
+  EXPECT_GT(range_for_average_degree(18.0, 50, 100, 100),
+            range_for_average_degree(6.0, 50, 100, 100));
+}
+
+TEST(RangeCalibrationTest, RejectsBadArguments) {
+  EXPECT_THROW(range_for_average_degree(0.0, 50, 100, 100),
+               std::invalid_argument);
+  EXPECT_THROW(range_for_average_degree(6.0, 0, 100, 100),
+               std::invalid_argument);
+  EXPECT_THROW(range_for_average_degree(6.0, 50, 0, 100),
+               std::invalid_argument);
+}
+
+TEST(UnitDiskTest, PositionsStayInArea) {
+  Rng rng(1);
+  const auto net = generate_unit_disk({100, 50, 60, 20.0}, rng);
+  ASSERT_EQ(net.positions.size(), 60u);
+  for (const auto& p : net.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 50.0);
+  }
+}
+
+TEST(UnitDiskTest, EdgesMatchGeometry) {
+  const std::vector<Point> pos{{0, 0}, {5, 0}, {10.5, 0}};
+  const auto g = unit_disk_graph(pos, 6.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(UnitDiskTest, RangeIsExclusive) {
+  const std::vector<Point> pos{{0, 0}, {10, 0}};
+  EXPECT_EQ(unit_disk_graph(pos, 10.0).edge_count(), 0u);
+  EXPECT_EQ(unit_disk_graph(pos, 10.0 + 1e-9).edge_count(), 1u);
+}
+
+TEST(UnitDiskTest, GeneratorIsDeterministicPerSeed) {
+  Rng a(99), b(99);
+  const UnitDiskConfig cfg{100, 100, 40, 25.0};
+  const auto n1 = generate_unit_disk(cfg, a);
+  const auto n2 = generate_unit_disk(cfg, b);
+  EXPECT_EQ(n1.positions.size(), n2.positions.size());
+  for (std::size_t i = 0; i < n1.positions.size(); ++i)
+    EXPECT_EQ(n1.positions[i], n2.positions[i]);
+  EXPECT_EQ(n1.graph.edges(), n2.graph.edges());
+}
+
+TEST(UnitDiskTest, ConnectedGeneratorYieldsConnectedGraphs) {
+  Rng rng(7);
+  UnitDiskConfig cfg;
+  cfg.nodes = 50;
+  cfg.range = range_for_average_degree(6.0, cfg.nodes, cfg.width, cfg.height);
+  for (int i = 0; i < 20; ++i) {
+    const auto net = generate_connected_unit_disk(cfg, rng);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_TRUE(graph::is_connected(net->graph));
+  }
+}
+
+TEST(UnitDiskTest, ImpossibleConfigReturnsNullopt) {
+  Rng rng(3);
+  // 50 nodes with a microscopic range cannot form a connected graph.
+  UnitDiskConfig cfg{100, 100, 50, 1e-6};
+  EXPECT_FALSE(generate_connected_unit_disk(cfg, rng, 10).has_value());
+}
+
+TEST(UnitDiskTest, AchievedDegreeTracksCalibration) {
+  // Average over many random 100x100 topologies: the realized mean degree
+  // should land near the target (slightly below, due to border effects).
+  Rng rng(2026);
+  const std::size_t n = 80;
+  UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = range_for_average_degree(6.0, n, cfg.width, cfg.height);
+  stats::RunningStats deg;
+  for (int i = 0; i < 60; ++i)
+    deg.add(generate_unit_disk(cfg, rng).graph.average_degree());
+  EXPECT_GT(deg.mean(), 6.0 * 0.70);
+  EXPECT_LT(deg.mean(), 6.0 * 1.10);
+}
+
+}  // namespace
+}  // namespace manet::geom

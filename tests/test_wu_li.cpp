@@ -1,0 +1,123 @@
+// Unit + property tests for the Wu–Li marking process with Rules 1 & 2.
+#include "mcds/wu_li.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "paper_fixtures.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/algorithms.hpp"
+
+namespace manet::mcds {
+namespace {
+
+TEST(WuLiTest, CompleteGraphFallsBackToSingleton) {
+  const auto g = graph::make_complete(5);
+  EXPECT_EQ(wu_li_marked(g), (NodeSet{0}));
+  EXPECT_EQ(wu_li_cds(g), (NodeSet{0}));
+}
+
+TEST(WuLiTest, PathMarksTheInterior) {
+  const auto g = graph::make_path(5);
+  // Interior nodes have two non-adjacent neighbors; endpoints do not.
+  EXPECT_EQ(wu_li_marked(g), (NodeSet{1, 2, 3}));
+  EXPECT_EQ(wu_li_cds(g), (NodeSet{1, 2, 3}));
+}
+
+TEST(WuLiTest, StarMarksOnlyTheCenter) {
+  const auto g = graph::make_star(7);
+  EXPECT_EQ(wu_li_cds(g), (NodeSet{0}));
+}
+
+TEST(WuLiTest, Rule1PrunesDominatedNeighborhoods) {
+  // Nodes 0 and 1 adjacent with N[0] ⊆ N[1]: 1 is adjacent to everything
+  // 0 is plus node 4. Both get marked; Rule 1 unmarks 0 (smaller id).
+  const auto g = graph::make_graph(
+      5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {1, 4}});
+  const auto marked = wu_li_marked(g);
+  ASSERT_TRUE(contains_sorted(marked, 0));
+  ASSERT_TRUE(contains_sorted(marked, 1));
+  WuLiOptions rule1_only;
+  rule1_only.rule2 = false;
+  const auto cds = wu_li_cds(g, rule1_only);
+  EXPECT_FALSE(contains_sorted(cds, 0));
+  EXPECT_TRUE(contains_sorted(cds, 1));
+  EXPECT_TRUE(graph::is_connected_dominating_set(g, cds));
+}
+
+TEST(WuLiTest, EqualNeighborhoodsKeepTheLargerId) {
+  // K4 minus the 2-3 edge: N(0) and N(1) both see the non-adjacent pair
+  // (2,3), so 0 and 1 are marked; N[0] = N[1], so Rule 1's id tie-break
+  // unmarks exactly the smaller one.
+  const auto g =
+      graph::make_graph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  EXPECT_EQ(wu_li_marked(g), (NodeSet{0, 1}));
+  const auto cds = wu_li_cds(g);
+  EXPECT_EQ(cds, (NodeSet{1}));
+  EXPECT_TRUE(graph::is_connected_dominating_set(g, cds));
+}
+
+TEST(WuLiTest, RulesNeverBreakTheCds) {
+  // A ladder where Rule 2 fires: two hub nodes 4,5 covering a ring.
+  const auto g = graph::make_graph(
+      6, {{0, 4}, {1, 4}, {2, 5}, {3, 5}, {4, 5}, {0, 1}, {2, 3}});
+  const auto cds = wu_li_cds(g);
+  EXPECT_TRUE(graph::is_connected_dominating_set(g, cds));
+  const auto marked = wu_li_marked(g);
+  EXPECT_TRUE(is_subset(cds, marked));
+}
+
+TEST(WuLiTest, RejectsBadInputs) {
+  EXPECT_THROW(wu_li_cds(graph::Graph{}), std::invalid_argument);
+  EXPECT_THROW(wu_li_cds(graph::make_graph(3, {{0, 1}})),
+               std::invalid_argument);
+}
+
+// ---- Property sweep -----------------------------------------------------
+
+struct WuLiParam {
+  std::size_t nodes;
+  double degree;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const WuLiParam& p) {
+    return os << testing::param_tag(p.nodes, p.degree, p.seed);
+  }
+};
+
+class WuLiSweep : public ::testing::TestWithParam<WuLiParam> {};
+
+TEST_P(WuLiSweep, AlwaysACdsAndRulesOnlyShrink) {
+  const auto [n, d, seed] = GetParam();
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(d, n, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+
+  const auto marked = wu_li_marked(net->graph);
+  EXPECT_TRUE(graph::is_connected_dominating_set(net->graph, marked));
+
+  WuLiOptions no_rules{false, false};
+  WuLiOptions rule1_only{true, false};
+  WuLiOptions both{true, true};
+  const auto cds_marked = wu_li_cds(net->graph, no_rules);
+  const auto cds_r1 = wu_li_cds(net->graph, rule1_only);
+  const auto cds_both = wu_li_cds(net->graph, both);
+  EXPECT_EQ(cds_marked, marked);
+  EXPECT_LE(cds_r1.size(), cds_marked.size());
+  EXPECT_LE(cds_both.size(), cds_r1.size());
+  EXPECT_TRUE(graph::is_connected_dominating_set(net->graph, cds_r1));
+  EXPECT_TRUE(graph::is_connected_dominating_set(net->graph, cds_both));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomUnitDisk, WuLiSweep,
+    ::testing::Values(WuLiParam{20, 6, 91}, WuLiParam{40, 6, 92},
+                      WuLiParam{60, 6, 93}, WuLiParam{40, 18, 94},
+                      WuLiParam{80, 18, 95}, WuLiParam{100, 6, 96},
+                      WuLiParam{100, 18, 97}, WuLiParam{60, 12, 98}));
+
+}  // namespace
+}  // namespace manet::mcds
