@@ -6,7 +6,8 @@
 //   * 2.5-hop vs 3-hop differ by less than ~2%.
 //
 // Flags: --fast (reduced replication caps), --seed=<u64>,
-//        --csv=<path> (defaults to fig6.csv next to the binary).
+//        --csv=<path> (defaults to fig6.csv next to the binary),
+//        --threads=<k> (parallel replications; 0 = hardware threads).
 #include <cstdio>
 #include <string>
 
@@ -18,7 +19,8 @@
 int main(int argc, char** argv) {
   const manet::Flags flags(argc, argv);
   manet::exp::PaperScenario scenario;
-  auto policy = manet::exp::bench_policy();
+  auto policy = manet::exp::bench_policy(
+      static_cast<std::size_t>(flags.get_int("threads", 1)));
   if (flags.get_bool("fast")) {
     policy.min_replications = 10;
     policy.max_replications = 60;

@@ -4,7 +4,8 @@
 // source per replication. Paper's observation: "the dynamic backbone
 // algorithm shows much better performance than the MO_CDS".
 //
-// Flags: --fast, --seed=<u64>, --csv=<path>.
+// Flags: --fast, --seed=<u64>, --csv=<path>,
+//        --threads=<k> (parallel replications; 0 = hardware threads).
 #include <cstdio>
 #include <string>
 
@@ -16,7 +17,8 @@
 int main(int argc, char** argv) {
   const manet::Flags flags(argc, argv);
   manet::exp::PaperScenario scenario;
-  auto policy = manet::exp::bench_policy();
+  auto policy = manet::exp::bench_policy(
+      static_cast<std::size_t>(flags.get_int("threads", 1)));
   if (flags.get_bool("fast")) {
     policy.min_replications = 10;
     policy.max_replications = 60;

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/bitset.hpp"
 
 namespace manet::core {
 
@@ -13,16 +14,21 @@ Coverage build_coverage(const graph::Graph& g, const cluster::Clustering& c,
   MANET_REQUIRE(c.is_head(head), "coverage is defined for clusterheads");
 
   Coverage cov;
+  // Collect membership in bitsets (O(1) insert) and materialize the
+  // sorted NodeSets once, instead of insert_sorted per report (O(k^2)).
+  graph::NodeBitset two(g.order());
   // C²: union of the neighbors' CH_HOP1 reports, minus u itself.
   for (NodeId v : g.neighbors(head))
     for (NodeId w : tables.ch_hop1[v])
-      if (w != head) insert_sorted(cov.two_hop, w);
+      if (w != head) two.set(w);
+  cov.two_hop = two.to_node_set();
 
   // C³: union of the neighbors' CH_HOP2 heads, minus C² duplicates and u.
+  graph::NodeBitset three(g.order());
   for (NodeId v : g.neighbors(head))
     for (const auto& e : tables.ch_hop2[v])
-      if (e.head != head && !contains_sorted(cov.two_hop, e.head))
-        insert_sorted(cov.three_hop, e.head);
+      if (e.head != head && !two.test(e.head)) three.set(e.head);
+  cov.three_hop = three.to_node_set();
   return cov;
 }
 

@@ -5,21 +5,32 @@
 #include <tuple>
 
 #include "common/assert.hpp"
+#include "graph/bitset.hpp"
 
 namespace manet::core {
 namespace {
 
+using graph::NodeBitset;
+
 /// Distinct heads among `entries` that appear in `remaining`.
 std::size_t distinct_covered_heads(const std::vector<Hop2Entry>& entries,
-                                   const NodeSet& remaining) {
+                                   const NodeBitset& remaining) {
   std::size_t count = 0;
   NodeId last = kInvalidNode;
   for (const auto& e : entries) {  // entries sorted by (head, via)
-    if (e.head != last && contains_sorted(remaining, e.head)) {
+    if (e.head != last && remaining.test(e.head)) {
       ++count;
       last = e.head;
     }
   }
+  return count;
+}
+
+/// |s ∩ remaining| for a sorted NodeSet against a bitset.
+std::size_t covered_count(const NodeSet& s, const NodeBitset& remaining) {
+  std::size_t count = 0;
+  for (NodeId v : s)
+    if (remaining.test(v)) ++count;
   return count;
 }
 
@@ -48,17 +59,23 @@ class TablesView final : public LocalSelectionView {
 GatewaySelection select_gateways_local(const LocalSelectionView& view,
                                        const Coverage& targets) {
   GatewaySelection sel;
-  NodeSet remaining2 = targets.two_hop;
-  NodeSet remaining3 = targets.three_hop;
+  // Remaining-target membership and the accumulating gateway set live in
+  // bitsets during the greedy loops (O(1) test/insert/erase); the sorted
+  // sel.gateways NodeSet is materialized once at the end.
+  NodeBitset remaining2;
+  for (NodeId w : targets.two_hop) remaining2.set(w);
+  NodeBitset remaining3;
+  for (NodeId w : targets.three_hop) remaining3.set(w);
+  NodeBitset gateways;
   const NodeSet& neighbors = view.neighbors();
 
   // Phase 1: greedy max-direct-cover over the 2-hop targets.
-  while (!remaining2.empty()) {
+  while (remaining2.any()) {
     NodeId best = kInvalidNode;
     std::size_t best_direct = 0;
     std::size_t best_indirect = 0;
     for (NodeId v : neighbors) {  // ascending ids: first win = smallest id
-      const std::size_t direct = intersection_size(view.hop1(v), remaining2);
+      const std::size_t direct = covered_count(view.hop1(v), remaining2);
       if (direct == 0) continue;
       const std::size_t indirect =
           distinct_covered_heads(view.hop2(v), remaining3);
@@ -74,9 +91,12 @@ GatewaySelection select_gateways_local(const LocalSelectionView& view,
 
     SelectionStep step;
     step.gateway = best;
-    step.direct_covered = set_intersection(view.hop1(best), remaining2);
-    remaining2 = set_difference(remaining2, step.direct_covered);
-    insert_sorted(sel.gateways, best);
+    for (NodeId w : view.hop1(best))  // sorted input -> sorted output
+      if (remaining2.test(w)) {
+        step.direct_covered.push_back(w);
+        remaining2.reset(w);
+      }
+    gateways.set(best);
 
     // Indirectly covered 3-hop targets come along for free; their
     // via-nodes become second-hop gateways. For a head reachable through
@@ -85,11 +105,11 @@ GatewaySelection select_gateways_local(const LocalSelectionView& view,
     NodeId last_head = kInvalidNode;
     for (const auto& e : view.hop2(best)) {
       if (e.head == last_head) continue;
-      if (!contains_sorted(remaining3, e.head)) continue;
+      if (!remaining3.test(e.head)) continue;
       last_head = e.head;
       step.indirect_covered.push_back(e);
-      erase_sorted(remaining3, e.head);
-      insert_sorted(sel.gateways, e.via);
+      remaining3.reset(e.head);
+      gateways.set(e.via);
     }
     sel.steps.push_back(std::move(step));
   }
@@ -97,14 +117,14 @@ GatewaySelection select_gateways_local(const LocalSelectionView& view,
   // Phase 2: leftover 3-hop targets get an explicit connector pair
   // (first-hop neighbor v of head, second-hop via x). Prefer pairs that
   // reuse already-selected gateways, then the smallest (v, x).
-  for (NodeId w : NodeSet(remaining3)) {
+  for (NodeId w : remaining3.to_node_set()) {
     ConnectorPair best_pair{w, kInvalidNode, kInvalidNode};
     int best_score = -1;
     for (NodeId v : neighbors) {
       for (const auto& e : view.hop2(v)) {
         if (e.head != w) continue;
-        const int score = (contains_sorted(sel.gateways, v) ? 1 : 0) +
-                          (contains_sorted(sel.gateways, e.via) ? 1 : 0);
+        const int score = (gateways.test(v) ? 1 : 0) +
+                          (gateways.test(e.via) ? 1 : 0);
         if (score > best_score ||
             (score == best_score &&
              std::tie(v, e.via) <
@@ -118,11 +138,12 @@ GatewaySelection select_gateways_local(const LocalSelectionView& view,
     MANET_ASSERT(best_score >= 0,
                  "every 3-hop coverage target has a witness pair");
     sel.leftover_pairs.push_back(best_pair);
-    insert_sorted(sel.gateways, best_pair.first_hop);
-    insert_sorted(sel.gateways, best_pair.second_hop);
-    erase_sorted(remaining3, w);
+    gateways.set(best_pair.first_hop);
+    gateways.set(best_pair.second_hop);
+    remaining3.reset(w);
   }
-  MANET_ASSERT(remaining3.empty(), "all 3-hop targets resolved");
+  MANET_ASSERT(remaining3.none(), "all 3-hop targets resolved");
+  sel.gateways = gateways.to_node_set();
   return sel;
 }
 

@@ -1,6 +1,8 @@
 #include "exp/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "common/assert.hpp"
 
@@ -35,10 +37,12 @@ geom::UnitDiskNetwork make_network(const PaperScenario& scenario,
   return std::move(*net);
 }
 
-stats::ReplicationPolicy bench_policy() {
+stats::ReplicationPolicy bench_policy(std::size_t threads) {
   stats::ReplicationPolicy policy;  // 99% CI within +-5%, as in the paper
   policy.min_replications = 30;
   policy.max_replications = 800;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  policy.threads = std::max<std::size_t>(1, threads);
   return policy;
 }
 

@@ -41,6 +41,9 @@ geom::UnitDiskNetwork make_network(const PaperScenario& scenario,
 
 /// Replication policy used by the benches: the paper's stopping rule with
 /// a cap that keeps a full figure regeneration in the minutes range.
-stats::ReplicationPolicy bench_policy();
+/// `threads` > 1 evaluates replications on a worker pool (deterministic:
+/// results are bitwise identical to threads = 1; see stats::replicate).
+/// threads = 0 resolves to the hardware concurrency.
+stats::ReplicationPolicy bench_policy(std::size_t threads = 1);
 
 }  // namespace manet::exp

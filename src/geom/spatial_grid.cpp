@@ -1,0 +1,95 @@
+#include "geom/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace manet::geom {
+namespace {
+
+std::size_t clamp_index(double v, std::size_t bound) {
+  if (!(v > 0.0)) return 0;  // also catches NaN
+  const auto idx = static_cast<std::size_t>(v);
+  return idx < bound ? idx : bound - 1;
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& positions,
+                         double cell_size) {
+  MANET_REQUIRE(cell_size > 0.0, "cell size must be positive");
+  const std::size_t n = positions.size();
+  offsets_.assign(2, 0);  // 1x1 grid placeholder for the empty case
+  if (n == 0) return;
+
+  double max_x = positions[0].x, max_y = positions[0].y;
+  min_x_ = positions[0].x;
+  min_y_ = positions[0].y;
+  for (const Point& p : positions) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double width = max_x - min_x_;
+  const double height = max_y - min_y_;
+
+  // floor(extent / cell_size) keeps the actual cell side >= cell_size, so
+  // any pair within cell_size is confined to a 3x3 cell block.
+  cols_ = std::max<std::size_t>(1, static_cast<std::size_t>(width / cell_size));
+  rows_ = std::max<std::size_t>(1, static_cast<std::size_t>(height / cell_size));
+
+  // Clamp the cell array to O(n): growing cells only widens the candidate
+  // set, never loses a pair, so correctness is preserved.
+  const std::size_t cell_cap = std::max<std::size_t>(64, 4 * n);
+  while (cols_ * rows_ > cell_cap) {
+    if (cols_ >= rows_)
+      cols_ = (cols_ + 1) / 2;
+    else
+      rows_ = (rows_ + 1) / 2;
+  }
+
+  inv_cell_x_ = width > 0.0 ? static_cast<double>(cols_) / width : 0.0;
+  inv_cell_y_ = height > 0.0 ? static_cast<double>(rows_) / height : 0.0;
+
+  // Two-pass counting sort of node ids into cells; scanning ids in order
+  // leaves each cell's id list sorted.
+  offsets_.assign(cols_ * rows_ + 1, 0);
+  std::vector<std::size_t> cell_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c =
+        row_of(positions[i]) * cols_ + col_of(positions[i]);
+    cell_of[i] = c;
+    ++offsets_[c + 1];
+  }
+  for (std::size_t c = 1; c < offsets_.size(); ++c)
+    offsets_[c] += offsets_[c - 1];
+  ids_.resize(n);
+  xs_.resize(n);
+  ys_.resize(n);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = cursor[cell_of[i]]++;
+    ids_[slot] = static_cast<NodeId>(i);
+    xs_[slot] = positions[i].x;
+    ys_[slot] = positions[i].y;
+  }
+}
+
+std::size_t SpatialGrid::col_of(const Point& p) const {
+  return clamp_index((p.x - min_x_) * inv_cell_x_, cols_);
+}
+
+std::size_t SpatialGrid::row_of(const Point& p) const {
+  return clamp_index((p.y - min_y_) * inv_cell_y_, rows_);
+}
+
+std::span<const NodeId> SpatialGrid::cell(std::size_t col,
+                                          std::size_t row) const {
+  MANET_REQUIRE(col < cols_ && row < rows_, "cell index out of range");
+  const std::size_t c = row * cols_ + col;
+  return {ids_.data() + offsets_[c], offsets_[c + 1] - offsets_[c]};
+}
+
+}  // namespace manet::geom

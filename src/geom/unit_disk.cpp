@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/assert.hpp"
+#include "geom/spatial_grid.hpp"
 #include "graph/algorithms.hpp"
 
 namespace manet::geom {
@@ -26,13 +27,59 @@ graph::Graph unit_disk_graph(const std::vector<Point>& positions,
   const std::size_t n = positions.size();
   graph::GraphBuilder builder(n);
   const double range_sq = range * range;
-  // O(n^2) pair scan; n <= a few hundred in every paper scenario, so a
-  // spatial grid would not pay for itself.
+
+  // Cell size >= range, so every in-range pair lies in the same cell or
+  // in adjacent cells. The grid stores slots in row-major cell order, so
+  // each node's "forward" candidates — the rest of its own cell plus the
+  // E neighbor cell, and the SW/S/SE cells of the next row — are exactly
+  // two contiguous slot spans, scanned linearly over the grid's
+  // cell-ordered coordinate arrays. Every unordered pair is visited at
+  // most once.
+  const SpatialGrid grid(positions, range);
+  const auto ids = grid.slots();
+  const auto xs = grid.slot_x();
+  const auto ys = grid.slot_y();
+  const std::size_t cols = grid.cols();
+  const std::size_t rows = grid.rows();
+  builder.reserve(n * 4);  // ballpark for typical paper densities
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t own_end = grid.cell_end(c, r);
+      const std::size_t same_row_end =
+          c + 1 < cols ? grid.cell_end(c + 1, r) : own_end;
+      std::size_t next_begin = 0, next_end = 0;
+      if (r + 1 < rows) {
+        next_begin = grid.cell_begin(c > 0 ? c - 1 : 0, r + 1);
+        next_end = grid.cell_end(c + 1 < cols ? c + 1 : cols - 1, r + 1);
+      }
+      for (std::size_t k = grid.cell_begin(c, r); k < own_end; ++k) {
+        const double xi = xs[k], yi = ys[k];
+        const NodeId i = ids[k];
+        for (std::size_t j = k + 1; j < same_row_end; ++j) {
+          const double dx = xi - xs[j], dy = yi - ys[j];
+          if (dx * dx + dy * dy < range_sq) builder.edge(i, ids[j]);
+        }
+        for (std::size_t j = next_begin; j < next_end; ++j) {
+          const double dx = xi - xs[j], dy = yi - ys[j];
+          if (dx * dx + dy * dy < range_sq) builder.edge(i, ids[j]);
+        }
+      }
+    }
+  }
+  return builder.build_and_clear();
+}
+
+graph::Graph unit_disk_graph_reference(const std::vector<Point>& positions,
+                                       double range) {
+  MANET_REQUIRE(range > 0.0, "transmission range must be positive");
+  const std::size_t n = positions.size();
+  graph::GraphBuilder builder(n);
+  const double range_sq = range * range;
   for (NodeId i = 0; i < n; ++i)
     for (NodeId j = i + 1; j < n; ++j)
       if (distance_sq(positions[i], positions[j]) < range_sq)
         builder.edge(i, j);
-  return builder.build();
+  return builder.build_and_clear();
 }
 
 UnitDiskNetwork generate_unit_disk(const UnitDiskConfig& config, Rng& rng) {

@@ -43,9 +43,17 @@ double range_for_average_degree(double d, std::size_t n, double width,
 UnitDiskNetwork generate_unit_disk(const UnitDiskConfig& config, Rng& rng);
 
 /// Builds the unit-disk graph induced by fixed positions (used by the
-/// mobility module after each movement step).
+/// mobility module after each movement step). Uses a spatial grid with
+/// cell size = range, so construction is expected O(n * d) instead of the
+/// naive O(n^2) pair scan.
 graph::Graph unit_disk_graph(const std::vector<Point>& positions,
                              double range);
+
+/// Reference O(n^2) pair-scan implementation. Kept for cross-checking the
+/// grid-based unit_disk_graph (tests assert identical edge sets) and as
+/// the baseline for bench/micro_pipeline speedup numbers.
+graph::Graph unit_disk_graph_reference(const std::vector<Point>& positions,
+                                       double range);
 
 /// Rejection-samples topologies until one is connected, or gives up after
 /// `max_attempts` (returns nullopt). The paper: "If the generated network

@@ -63,13 +63,27 @@ class GraphBuilder {
   /// Adds edges from a list of (u, v) pairs.
   GraphBuilder& edges(std::span<const std::pair<NodeId, NodeId>> list);
 
+  /// Pre-allocates room for `count` edges (hot-path hint; optional).
+  GraphBuilder& reserve(std::size_t count);
+
   /// Builds the immutable CSR graph. The builder can be reused afterwards
-  /// (it retains its edge list).
+  /// (it retains its edge list), at the cost of sorting/deduplicating a
+  /// copy of that list on every call.
   Graph build() const;
+
+  /// Builds the CSR graph by consuming the retained edge list (sorts it
+  /// in place, no copy) and leaves the builder empty for reuse. This is
+  /// the fast path for build-once callers like unit_disk_graph.
+  Graph build_and_clear();
 
   std::size_t order() const { return order_; }
 
  private:
+  /// Freezes a normalized (min, max) edge list into CSR form; sorts and
+  /// deduplicates `norm` in place.
+  static Graph freeze(std::size_t order,
+                      std::vector<std::pair<NodeId, NodeId>>& norm);
+
   std::size_t order_;
   std::vector<std::pair<NodeId, NodeId>> edges_;
 };

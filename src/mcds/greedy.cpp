@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/bitset.hpp"
 
 namespace manet::mcds {
 
@@ -13,11 +14,12 @@ NodeSet greedy_cds(const graph::Graph& g) {
 
   enum : char { kWhite, kGray, kBlack };
   std::vector<char> color(n, kWhite);
-  NodeSet cds;
+  // Collected in a bitset, materialized sorted once at the end.
+  graph::NodeBitset cds(n);
 
   auto blacken = [&](NodeId v) {
     color[v] = kBlack;
-    insert_sorted(cds, v);
+    cds.set(v);
     for (NodeId w : g.neighbors(v))
       if (color[w] == kWhite) color[w] = kGray;
   };
@@ -52,7 +54,7 @@ NodeSet greedy_cds(const graph::Graph& g) {
   }
   // A singleton dominating tree can appear when the seed dominates
   // everything; that is still a CDS.
-  return cds;
+  return cds.to_node_set();
 }
 
 }  // namespace manet::mcds

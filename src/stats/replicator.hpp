@@ -22,6 +22,13 @@ struct ReplicationPolicy {
   double relative_halfwidth = 0.05;  ///< target CI half-width / mean
   std::size_t min_replications = 25;
   std::size_t max_replications = 4000;
+  /// Worker threads evaluating sample callbacks. 1 (or 0) = run
+  /// sequentially on the caller's thread. With threads > 1 the callback
+  /// must be safe to invoke concurrently for distinct replication indices
+  /// (each replication deriving its own Rng stream from the index, as the
+  /// exp module does); samples are still reduced in replication order, so
+  /// results are bitwise identical to the sequential path.
+  std::size_t threads = 1;
 };
 
 /// Result of one replicated experiment: per-metric statistics.
@@ -35,6 +42,14 @@ struct ReplicationResult {
 /// argument, in a fixed order) until the policy is satisfied for every
 /// metric. The callback receives the replication index so it can derive
 /// per-replication seeds.
+///
+/// Determinism contract: for a callback that is a pure function of the
+/// replication index, the returned ReplicationResult is bitwise identical
+/// for every policy.threads value. Parallel workers only *evaluate*
+/// callbacks (in batches of `threads` consecutive indices); accumulation
+/// and the stopping-rule check happen on the caller's thread in strict
+/// replication order, and batch samples beyond the stopping point are
+/// discarded exactly as if they had never run.
 ReplicationResult replicate(
     const ReplicationPolicy& policy, std::size_t metric_count,
     const std::function<void(std::size_t replication,

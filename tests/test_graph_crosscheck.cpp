@@ -90,7 +90,9 @@ TEST(GraphCrossCheck, BfsAgreesWithFloydWarshall) {
           ref_diam = std::max(ref_diam, dist[i][j]);
       }
     ASSERT_EQ(is_connected(g), ref_connected);
-    if (ref_connected) ASSERT_EQ(diameter(g), ref_diam);
+    if (ref_connected) {
+      ASSERT_EQ(diameter(g), ref_diam);
+    }
   }
 }
 

@@ -111,5 +111,28 @@ TEST(UnitDiskTest, AchievedDegreeTracksCalibration) {
   EXPECT_LT(deg.mean(), 6.0 * 1.10);
 }
 
+TEST(RangeCalibrationTest, RoundTripHoldsAtScale) {
+  // Round-trip property: topologies generated at the calibrated range
+  // must realize the requested average degree within +-20% for n >= 500.
+  // Border effects shrink with n (the in-range disk clips the area less),
+  // so the tolerance is easily met at scale — and a spatial-grid bug that
+  // silently changed edge density would trip this immediately.
+  Rng rng(31);
+  for (const std::size_t n : {500u, 1000u}) {
+    for (const double target : {6.0, 18.0}) {
+      UnitDiskConfig cfg;
+      cfg.nodes = n;
+      cfg.range = range_for_average_degree(target, n, cfg.width, cfg.height);
+      stats::RunningStats deg;
+      for (int i = 0; i < 5; ++i)
+        deg.add(generate_unit_disk(cfg, rng).graph.average_degree());
+      EXPECT_GT(deg.mean(), target * 0.8)
+          << "n=" << n << " target degree " << target;
+      EXPECT_LT(deg.mean(), target * 1.2)
+          << "n=" << n << " target degree " << target;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace manet::geom
