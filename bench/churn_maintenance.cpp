@@ -1,0 +1,101 @@
+// Incremental vs full-rebuild maintenance cost under churn.
+//
+// Drives exp::run_churn over both mobility models (random waypoint and
+// random direction) at n up to 2000 with ~1% of nodes moving per tick,
+// and reports per-tick wall-clock of the incremental engine (src/incr)
+// against the batch baseline (unit-disk graph + full LCC pass + full
+// backbone rebuild). The acceptance gate for the engine is the waypoint
+// n=2000, d=6 row: incremental must be >= 5x faster than the rebuild.
+//
+// Flags: --fast (fewer ticks, sizes capped at 500), --seed=<u64>,
+//        --ticks=<k>, --move-frac=<f> (default 0.01),
+//        --json=<path> (default BENCH_churn.json under --out-dir,
+//        default results/).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/artifacts.hpp"
+#include "common/flags.hpp"
+#include "exp/churn.hpp"
+
+namespace {
+
+using namespace manet;
+
+struct Record {
+  exp::ChurnConfig config;
+  exp::ChurnResult result;
+};
+
+void write_json(const std::string& path, const std::vector<Record>& records) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& [c, r] = records[i];
+    out << "  {\"model\": \"" << exp::model_name(c.model)
+        << "\", \"n\": " << c.nodes << ", \"degree\": " << c.degree
+        << ", \"move_fraction\": " << c.move_fraction
+        << ", \"ticks\": " << r.ticks
+        << ", \"incremental_ms_per_tick\": " << r.incremental_ms_per_tick
+        << ", \"rebuild_ms_per_tick\": " << r.rebuild_ms_per_tick
+        << ", \"speedup\": " << r.speedup
+        << ", \"mean_link_changes\": " << r.mean_link_changes
+        << ", \"mean_head_changes\": " << r.mean_head_changes
+        << ", \"mean_backbone_changes\": " << r.mean_backbone_changes
+        << ", \"mean_rows_recomputed\": " << r.mean_rows_recomputed
+        << ", \"mean_heads_reselected\": " << r.mean_heads_reselected << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool fast = flags.get_bool("fast");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2003));
+  const auto ticks =
+      static_cast<std::size_t>(flags.get_int("ticks", fast ? 50 : 200));
+  const double move_frac = flags.get_double("move-frac", 0.01);
+  const std::string json_path =
+      artifact_path(flags, flags.get("json", "BENCH_churn.json"));
+
+  std::vector<std::size_t> sizes{100, 500, 1000, 2000};
+  if (fast) sizes.resize(2);
+
+  std::puts(
+      "manetcast :: churn_maintenance — incremental engine vs full rebuild");
+  std::printf("%-10s %6s %4s %10s %10s %8s %8s %8s\n", "model", "n", "d",
+              "incr_ms", "rebuild_ms", "speedup", "links/t", "rows/t");
+
+  std::vector<Record> records;
+  for (const auto model : {exp::ChurnConfig::Model::kWaypoint,
+                           exp::ChurnConfig::Model::kRandomDirection}) {
+    for (const std::size_t n : sizes) {
+      for (const double degree : {6.0, 18.0}) {
+        // The dense setting is only interesting at the paper's scale.
+        if (degree == 18.0 && n > 500) continue;
+        exp::ChurnConfig config;
+        config.model = model;
+        config.nodes = n;
+        config.degree = degree;
+        config.ticks = ticks;
+        config.move_fraction = move_frac;
+        config.seed = seed;
+        const exp::ChurnResult r = exp::run_churn(config);
+        records.push_back({config, r});
+        std::printf("%-10s %6zu %4g %10.4f %10.4f %7.1fx %8.2f %8.1f\n",
+                    exp::model_name(model).c_str(), n, degree,
+                    r.incremental_ms_per_tick, r.rebuild_ms_per_tick,
+                    r.speedup, r.mean_link_changes, r.mean_rows_recomputed);
+      }
+    }
+  }
+
+  write_json(json_path, records);
+  std::printf("records written to %s\n", json_path.c_str());
+  return 0;
+}

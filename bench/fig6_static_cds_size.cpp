@@ -6,11 +6,12 @@
 //   * 2.5-hop vs 3-hop differ by less than ~2%.
 //
 // Flags: --fast (reduced replication caps), --seed=<u64>,
-//        --csv=<path> (defaults to fig6.csv next to the binary),
+//        --csv=<path> (defaults to fig6.csv under --out-dir, default results/),
 //        --threads=<k> (parallel replications; 0 = hardware threads).
 #include <cstdio>
 #include <string>
 
+#include "common/artifacts.hpp"
 #include "common/flags.hpp"
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
   const auto rows = manet::exp::run_fig6(scenario, policy, seed);
   std::fputs(manet::exp::render_fig6(rows).c_str(), stdout);
 
-  const auto csv = flags.get("csv", "fig6.csv");
+  const auto csv =
+      manet::artifact_path(flags, flags.get("csv", "fig6.csv"));
   manet::exp::write_fig6_csv(rows, csv);
   std::printf("series written to %s\n", csv.c_str());
   return 0;

@@ -4,11 +4,13 @@
 // source per replication. Paper's observation: "the dynamic backbone
 // algorithm shows much better performance than the MO_CDS".
 //
-// Flags: --fast, --seed=<u64>, --csv=<path>,
+// Flags: --fast, --seed=<u64>, --csv=<path> (under --out-dir, default
+// results/),
 //        --threads=<k> (parallel replications; 0 = hardware threads).
 #include <cstdio>
 #include <string>
 
+#include "common/artifacts.hpp"
 #include "common/flags.hpp"
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
   const auto rows = manet::exp::run_fig7(scenario, policy, seed);
   std::fputs(manet::exp::render_fig7(rows).c_str(), stdout);
 
-  const auto csv = flags.get("csv", "fig7.csv");
+  const auto csv =
+      manet::artifact_path(flags, flags.get("csv", "fig7.csv"));
   manet::exp::write_fig7_csv(rows, csv);
   std::printf("series written to %s\n", csv.c_str());
   return 0;

@@ -4,11 +4,13 @@
 // than in the static backbone, and the 2.5-hop / 3-hop difference is
 // very small.
 //
-// Flags: --fast, --seed=<u64>, --csv=<path>,
+// Flags: --fast, --seed=<u64>, --csv=<path> (under --out-dir, default
+// results/),
 //        --threads=<k> (parallel replications; 0 = hardware threads).
 #include <cstdio>
 #include <string>
 
+#include "common/artifacts.hpp"
 #include "common/flags.hpp"
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
@@ -31,7 +33,8 @@ int main(int argc, char** argv) {
   const auto rows = manet::exp::run_fig8(scenario, policy, seed);
   std::fputs(manet::exp::render_fig8(rows).c_str(), stdout);
 
-  const auto csv = flags.get("csv", "fig8.csv");
+  const auto csv =
+      manet::artifact_path(flags, flags.get("csv", "fig8.csv"));
   manet::exp::write_fig8_csv(rows, csv);
   std::printf("series written to %s\n", csv.c_str());
   return 0;

@@ -13,7 +13,8 @@
 //                          (honors --threads)
 //
 // Flags: --fast (fewer timing reps, sizes capped at 1000),
-//        --seed=<u64>, --json=<path> (default BENCH_pipeline.json),
+//        --seed=<u64>, --json=<path> (default BENCH_pipeline.json under
+//        --out-dir, default results/),
 //        --threads=<k> for replicate_full (0 = hardware threads).
 #include <chrono>
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "cluster/lowest_id.hpp"
+#include "common/artifacts.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "core/coverage.hpp"
@@ -84,7 +86,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2003));
   const auto threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
-  const std::string json_path = flags.get("json", "BENCH_pipeline.json");
+  const std::string json_path =
+      artifact_path(flags, flags.get("json", "BENCH_pipeline.json"));
   const std::size_t reps = fast ? 3 : 10;
 
   std::vector<std::size_t> sizes{100, 500, 1000, 2000};

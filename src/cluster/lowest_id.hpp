@@ -49,6 +49,8 @@ struct Clustering {
 
   /// Number of clusters.
   std::size_t cluster_count() const { return heads.size(); }
+
+  friend bool operator==(const Clustering&, const Clustering&) = default;
 };
 
 /// Runs lowest-ID clustering on a (not necessarily connected) graph.

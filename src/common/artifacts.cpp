@@ -1,0 +1,19 @@
+#include "common/artifacts.hpp"
+
+#include <filesystem>
+
+namespace manet {
+
+std::string artifact_path(const Flags& flags, const std::string& filename) {
+  namespace fs = std::filesystem;
+  if (filename.find('/') != std::string::npos) {
+    const fs::path parent = fs::path(filename).parent_path();
+    if (!parent.empty()) fs::create_directories(parent);
+    return filename;
+  }
+  const fs::path dir = flags.get("out-dir", "results");
+  fs::create_directories(dir);
+  return (dir / filename).string();
+}
+
+}  // namespace manet

@@ -1,0 +1,22 @@
+// Where bench/figure binaries put their generated outputs.
+//
+// Generated CSVs and JSON records are build artifacts, not sources: they
+// land in a gitignored results/ directory (override with --out-dir) so a
+// bench run never dirties the working tree. CI uploads them from there.
+#pragma once
+
+#include <string>
+
+#include "common/flags.hpp"
+
+namespace manet {
+
+/// Resolves `filename` against the artifact directory and ensures that
+/// directory exists. The directory comes from --out-dir (default
+/// "results"). A `filename` that already carries a directory component
+/// (contains '/') is treated as an explicit path: its parent directory
+/// is created and it is returned unchanged, so --csv=/tmp/x.csv style
+/// overrides keep working.
+std::string artifact_path(const Flags& flags, const std::string& filename);
+
+}  // namespace manet

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "core/table_kernels.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/bitset.hpp"
 
@@ -12,24 +13,8 @@ Coverage build_coverage(const graph::Graph& g, const cluster::Clustering& c,
                         const NeighborTables& tables, NodeId head) {
   MANET_REQUIRE(head < g.order(), "node id out of range");
   MANET_REQUIRE(c.is_head(head), "coverage is defined for clusterheads");
-
-  Coverage cov;
-  // Collect membership in bitsets (O(1) insert) and materialize the
-  // sorted NodeSets once, instead of insert_sorted per report (O(k^2)).
-  graph::NodeBitset two(g.order());
-  // C²: union of the neighbors' CH_HOP1 reports, minus u itself.
-  for (NodeId v : g.neighbors(head))
-    for (NodeId w : tables.ch_hop1[v])
-      if (w != head) two.set(w);
-  cov.two_hop = two.to_node_set();
-
-  // C³: union of the neighbors' CH_HOP2 heads, minus C² duplicates and u.
-  graph::NodeBitset three(g.order());
-  for (NodeId v : g.neighbors(head))
-    for (const auto& e : tables.ch_hop2[v])
-      if (e.head != head && !two.test(e.head)) three.set(e.head);
-  cov.three_hop = three.to_node_set();
-  return cov;
+  // Row kernel shared with the incremental engine (table_kernels.hpp).
+  return coverage_row(g, tables, head, g.order());
 }
 
 std::vector<Coverage> build_all_coverage(const graph::Graph& g,

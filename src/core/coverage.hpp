@@ -29,6 +29,8 @@ struct Coverage {
 
   bool empty() const { return two_hop.empty() && three_hop.empty(); }
   std::size_t size() const { return two_hop.size() + three_hop.size(); }
+
+  friend bool operator==(const Coverage&, const Coverage&) = default;
 };
 
 /// Builds C(head) from the neighbor tables.

@@ -34,6 +34,9 @@ struct SelectionStep {
   NodeId gateway;            ///< first-hop neighbor picked by the greedy
   NodeSet direct_covered;    ///< 2-hop targets v was adjacent to
   std::vector<Hop2Entry> indirect_covered;  ///< 3-hop targets + via nodes
+
+  friend bool operator==(const SelectionStep&, const SelectionStep&) =
+      default;
 };
 
 /// A phase-2 connector pair: head -> first_hop -> second_hop -> target.
@@ -41,6 +44,9 @@ struct ConnectorPair {
   NodeId target;      ///< the 3-hop head being connected
   NodeId first_hop;   ///< neighbor of the selecting head
   NodeId second_hop;  ///< neighbor of the target
+
+  friend bool operator==(const ConnectorPair&, const ConnectorPair&) =
+      default;
 };
 
 /// Result of one clusterhead's selection process.
@@ -53,6 +59,9 @@ struct GatewaySelection {
   std::vector<SelectionStep> steps;
   /// Pairs appended by phase 2 for leftover 3-hop targets.
   std::vector<ConnectorPair> leftover_pairs;
+
+  friend bool operator==(const GatewaySelection&, const GatewaySelection&) =
+      default;
 };
 
 /// Runs the selection process for clusterhead `head` against `targets`.

@@ -1,8 +1,7 @@
 #include "core/neighbor_tables.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
+#include "core/table_kernels.hpp"
 
 namespace manet::core {
 
@@ -35,35 +34,11 @@ NeighborTables build_neighbor_tables(const graph::Graph& g,
   t.ch_hop1.resize(n);
   t.ch_hop2.resize(n);
 
-  // CH_HOP1(v): clusterheads adjacent to v. Heads do not broadcast
-  // CH_HOP1 (and by independence have no head neighbors anyway).
-  for (NodeId v = 0; v < n; ++v) {
-    if (c.is_head(v)) continue;
-    for (NodeId w : g.neighbors(v))
-      if (c.is_head(w)) t.ch_hop1[v].push_back(w);  // sorted adjacency
-  }
-
-  // CH_HOP2(v): built from the CH_HOP1 messages of v's non-clusterhead
-  // neighbors x. A head reported by x is recorded unless it is already
-  // v's own neighbor ("If the clusterhead of x is a neighbor of v, v
-  // ignores the message").
-  for (NodeId v = 0; v < n; ++v) {
-    if (c.is_head(v)) continue;
-    auto& entries = t.ch_hop2[v];
-    for (NodeId x : g.neighbors(v)) {
-      if (c.is_head(x)) continue;  // heads send no CH_HOP1
-      if (mode == CoverageMode::kTwoPointFiveHop) {
-        const NodeId head = c.head_of[x];
-        if (!g.has_edge(v, head)) entries.push_back({head, x});
-      } else {
-        for (NodeId head : t.ch_hop1[x])
-          if (!g.has_edge(v, head)) entries.push_back({head, x});
-      }
-    }
-    std::sort(entries.begin(), entries.end());
-    entries.erase(std::unique(entries.begin(), entries.end()),
-                  entries.end());
-  }
+  // Row kernels shared with the incremental engine (table_kernels.hpp):
+  // CH_HOP1 first (CH_HOP2 rows read the neighbors' CH_HOP1 rows).
+  for (NodeId v = 0; v < n; ++v) t.ch_hop1[v] = hop1_row(g, c, v);
+  for (NodeId v = 0; v < n; ++v)
+    t.ch_hop2[v] = hop2_row(g, c, mode, t.ch_hop1, v);
   return t;
 }
 

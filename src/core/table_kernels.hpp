@@ -1,0 +1,88 @@
+// Per-row kernels behind the CH_HOP1/CH_HOP2 tables and coverage sets.
+//
+// build_neighbor_tables / build_all_coverage compute every row of these
+// structures for an immutable Graph; the incremental maintenance engine
+// (src/incr) recomputes single dirty rows against its mutable adjacency
+// overlay. Both paths call the templates below, so a recomputed row is
+// bit-identical to the batch row by construction — the equality the
+// engine's oracle cross-check asserts after every tick.
+//
+// `Adj` requirements (satisfied by graph::Graph and
+// graph::DynamicAdjacency): `neighbors(v)` returning a sorted forward
+// range of NodeId, and `has_edge(u, v)`.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "core/coverage.hpp"
+#include "core/neighbor_tables.hpp"
+#include "graph/bitset.hpp"
+
+namespace manet::core {
+
+/// CH_HOP1 row of `v`: sorted clusterheads adjacent to v. Heads do not
+/// broadcast CH_HOP1, so their rows stay empty.
+template <typename Adj>
+NodeSet hop1_row(const Adj& g, const cluster::Clustering& c, NodeId v) {
+  NodeSet out;
+  if (c.is_head(v)) return out;
+  for (NodeId w : g.neighbors(v))
+    if (c.is_head(w)) out.push_back(w);  // sorted adjacency -> sorted row
+  return out;
+}
+
+/// CH_HOP2 row of `v`, built from the CH_HOP1 rows of v's
+/// non-clusterhead neighbors (`hop1` must be current for all of them).
+/// A head reported by neighbor x is recorded unless it is already v's
+/// own neighbor ("If the clusterhead of x is a neighbor of v, v ignores
+/// the message").
+template <typename Adj>
+std::vector<Hop2Entry> hop2_row(const Adj& g, const cluster::Clustering& c,
+                                CoverageMode mode,
+                                const std::vector<NodeSet>& hop1, NodeId v) {
+  std::vector<Hop2Entry> entries;
+  if (c.is_head(v)) return entries;
+  for (NodeId x : g.neighbors(v)) {
+    if (c.is_head(x)) continue;  // heads send no CH_HOP1
+    if (mode == CoverageMode::kTwoPointFiveHop) {
+      const NodeId head = c.head_of[x];
+      if (!g.has_edge(v, head)) entries.push_back({head, x});
+    } else {
+      for (NodeId head : hop1[x])
+        if (!g.has_edge(v, head)) entries.push_back({head, x});
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  return entries;
+}
+
+/// Coverage set C(head) = C²(head) ∪ C³(head) assembled from the table
+/// rows of head's neighbors (which must be current). `universe` sizes the
+/// scratch bitsets (pass the node count).
+template <typename Adj>
+Coverage coverage_row(const Adj& g, const NeighborTables& tables,
+                      NodeId head, std::size_t universe) {
+  Coverage cov;
+  // Collect membership in bitsets (O(1) insert) and materialize the
+  // sorted NodeSets once, instead of insert_sorted per report (O(k^2)).
+  graph::NodeBitset two(universe);
+  // C²: union of the neighbors' CH_HOP1 reports, minus u itself.
+  for (NodeId v : g.neighbors(head))
+    for (NodeId w : tables.ch_hop1[v])
+      if (w != head) two.set(w);
+  cov.two_hop = two.to_node_set();
+
+  // C³: union of the neighbors' CH_HOP2 heads, minus C² duplicates and u.
+  graph::NodeBitset three(universe);
+  for (NodeId v : g.neighbors(head))
+    for (const auto& e : tables.ch_hop2[v])
+      if (e.head != head && !two.test(e.head)) three.set(e.head);
+  cov.three_hop = three.to_node_set();
+  return cov;
+}
+
+}  // namespace manet::core

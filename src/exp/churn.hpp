@@ -1,0 +1,65 @@
+// Churn maintenance experiment: what does it cost to keep the static
+// backbone current while the network moves?
+//
+// The paper's closing argument says maintaining a static backbone at all
+// times is costly; PR sequences so far quantified the *churn* (how much
+// structure changes per snapshot). This experiment quantifies the
+// *compute*: per mobility tick, a small fraction of nodes moves, and we
+// time (a) the incremental engine (src/incr) repairing the maintained
+// state from the link delta against (b) the batch baseline rebuilding
+// the unit-disk graph, repairing the clustering with a full LCC pass and
+// rebuilding tables/coverage/selections from scratch. Both paths produce
+// bit-identical structures (the engine's oracle mode asserts it), so the
+// ratio is a pure algorithmic speedup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/neighbor_tables.hpp"
+
+namespace manet::exp {
+
+/// One churn-maintenance configuration.
+struct ChurnConfig {
+  enum class Model { kWaypoint, kRandomDirection };
+
+  std::size_t nodes = 500;
+  double degree = 6.0;          ///< target average degree (paper: 6 / 18)
+  std::size_t ticks = 100;      ///< mobility ticks to simulate
+  double move_fraction = 0.01;  ///< fraction of nodes moving per tick
+  double dt = 1.0;              ///< time units per tick
+  Model model = Model::kWaypoint;
+  core::CoverageMode mode = core::CoverageMode::kTwoPointFiveHop;
+  std::uint64_t seed = 0;
+  double width = 100.0;
+  double height = 100.0;
+  /// Cross-check the engine against the full rebuild every tick (slow;
+  /// for tests — the bench keeps it off so timings stay honest).
+  bool oracle_check = false;
+};
+
+/// Aggregated outcome of one churn run.
+struct ChurnResult {
+  std::size_t ticks = 0;
+  double incremental_ms_per_tick = 0.0;  ///< delta-driven engine
+  double rebuild_ms_per_tick = 0.0;      ///< graph + LCC + backbone rebuild
+  double speedup = 0.0;                  ///< rebuild / incremental
+  // Mean per-tick churn (MaintenanceDelta definitions).
+  double mean_link_changes = 0.0;
+  double mean_head_changes = 0.0;
+  double mean_role_changes = 0.0;
+  double mean_backbone_changes = 0.0;
+  double mean_coverage_changes = 0.0;
+  // Mean per-tick dirty-region size (engine work actually done).
+  double mean_rows_recomputed = 0.0;
+  double mean_heads_reselected = 0.0;
+};
+
+/// Human-readable tag ("waypoint" / "direction") for reports.
+std::string model_name(ChurnConfig::Model model);
+
+/// Runs one churn-maintenance simulation. Deterministic in config.seed.
+ChurnResult run_churn(const ChurnConfig& config);
+
+}  // namespace manet::exp

@@ -1,0 +1,276 @@
+#include "incr/backbone.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/table_kernels.hpp"
+
+namespace manet::incr {
+namespace {
+
+/// LocalSelectionView over the mutable adjacency and the maintained
+/// table rows — the same interface the batch TablesView adapts, so
+/// core::select_gateways_local runs the identical greedy either way.
+class OverlayView final : public core::LocalSelectionView {
+ public:
+  OverlayView(const graph::DynamicAdjacency& g,
+              const core::NeighborTables& tables, NodeId head)
+      : tables_(tables) {
+    const auto nb = g.neighbors(head);
+    neighbors_.assign(nb.begin(), nb.end());
+  }
+  const NodeSet& neighbors() const override { return neighbors_; }
+  const NodeSet& hop1(NodeId v) const override { return tables_.ch_hop1[v]; }
+  const std::vector<core::Hop2Entry>& hop2(NodeId v) const override {
+    return tables_.ch_hop2[v];
+  }
+
+ private:
+  const core::NeighborTables& tables_;
+  NodeSet neighbors_;
+};
+
+/// Accumulates a sorted-unique dirty set via closed neighborhoods.
+class DirtySet {
+ public:
+  explicit DirtySet(std::size_t universe) : seen_(universe) {}
+  void add(NodeId v) {
+    if (seen_.set(v)) nodes_.push_back(v);
+  }
+  void add_closed_neighborhood(const graph::DynamicAdjacency& g, NodeId v) {
+    add(v);
+    for (const NodeId w : g.neighbors(v)) add(w);
+  }
+  NodeSet take() {
+    normalize(nodes_);
+    return std::move(nodes_);
+  }
+
+ private:
+  graph::NodeBitset seen_;
+  NodeSet nodes_;
+};
+
+}  // namespace
+
+IncrementalBackbone::IncrementalBackbone(const graph::DynamicAdjacency& g,
+                                         core::CoverageMode mode) {
+  // One batch build seeds every cache; ticks only repair from here on.
+  auto full = core::build_static_backbone(g.freeze(), mode);
+  clustering_ = std::move(full.clustering);
+  tables_ = std::move(full.tables);
+  coverage_ = std::move(full.coverage);
+  selection_ = std::move(full.selection);
+
+  const std::size_t n = g.order();
+  head_bits_ = graph::NodeBitset(n);
+  for (const NodeId h : clustering_.heads) head_bits_.set(h);
+  selection_refs_.assign(n, 0);
+  cds_bits_ = graph::NodeBitset(n);
+  for (const NodeId h : clustering_.heads) {
+    cds_bits_.set(h);
+    for (const NodeId v : selection_[h].gateways) {
+      ++selection_refs_[v];
+      cds_bits_.set(v);
+    }
+  }
+}
+
+void IncrementalBackbone::apply_selection_refs(const NodeSet& old_gateways,
+                                               const NodeSet& new_gateways,
+                                               NodeSet& cds_candidates) {
+  for (const NodeId v : set_difference(old_gateways, new_gateways)) {
+    MANET_ASSERT(selection_refs_[v] > 0, "gateway refcount underflow");
+    if (--selection_refs_[v] == 0) cds_candidates.push_back(v);
+  }
+  for (const NodeId v : set_difference(new_gateways, old_gateways)) {
+    if (selection_refs_[v]++ == 0) cds_candidates.push_back(v);
+  }
+}
+
+void IncrementalBackbone::clear_head_rows(NodeId v, NodeSet& cds_candidates) {
+  if (!selection_[v].gateways.empty() || !selection_[v].steps.empty() ||
+      !selection_[v].leftover_pairs.empty()) {
+    apply_selection_refs(selection_[v].gateways, {}, cds_candidates);
+    selection_[v] = core::GatewaySelection{};
+  }
+  if (!coverage_[v].empty()) coverage_[v] = core::Coverage{};
+}
+
+void IncrementalBackbone::recompute_head(const graph::DynamicAdjacency& g,
+                                         NodeId h, bool was_head,
+                                         TickStats& stats,
+                                         NodeSet& cds_candidates) {
+  auto cov = core::coverage_row(g, tables_, h, g.order());
+  if (!was_head || !(cov == coverage_[h])) ++stats.coverage_changes;
+  coverage_[h] = std::move(cov);
+  auto sel = core::select_gateways_local(OverlayView(g, tables_, h),
+                                         coverage_[h]);
+  apply_selection_refs(selection_[h].gateways, sel.gateways, cds_candidates);
+  selection_[h] = std::move(sel);
+  ++stats.heads_reselected;
+}
+
+TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
+                                     const EdgeDelta& delta) {
+  MANET_REQUIRE(g.order() == clustering_.head_of.size(),
+                "adjacency does not match the maintained state");
+  TickStats stats;
+  stats.link_changes = delta.link_changes();
+  if (delta.empty()) return stats;
+
+  const ClusterRepair rep =
+      repair_clustering(g, delta, clustering_, head_bits_);
+  stats.cluster_churn = rep.churn;
+  stats.head_changes = rep.head_changed.size();
+  stats.role_changes = rep.role_changed.size();
+
+  // CH_HOP1(v) reads v's own head status, v's edges and its neighbors'
+  // head status, so the exact dirty set is the changed-edge endpoints
+  // plus the closed neighborhoods of the status flips. Rows that come
+  // out identical are discarded and recorded as clean: they prove their
+  // readers unchanged, which keeps each later stage small.
+  const NodeSet status_flips = set_union(rep.declared, rep.resigned);
+  DirtySet hop1_mark(g.order());
+  for (const NodeId v : delta.touched) hop1_mark.add(v);
+  for (const NodeId v : status_flips) hop1_mark.add_closed_neighborhood(g, v);
+  const NodeSet hop1_dirty = hop1_mark.take();
+
+  NodeSet hop1_changed;
+  for (const NodeId v : hop1_dirty) {
+    auto row = core::hop1_row(g, clustering_, v);
+    if (row != tables_.ch_hop1[v]) {
+      tables_.ch_hop1[v] = std::move(row);
+      hop1_changed.push_back(v);
+    }
+  }
+
+  // CH_HOP2(v) additionally reads the neighbors' head_of assignments and
+  // their (already refreshed) CH_HOP1 rows: dirty set = changed-edge
+  // endpoints ∪ closed neighborhoods of head_of changes and of actually
+  // changed CH_HOP1 rows.
+  DirtySet hop2_mark(g.order());
+  for (const NodeId v : delta.touched) hop2_mark.add(v);
+  for (const NodeId v : rep.head_changed)
+    hop2_mark.add_closed_neighborhood(g, v);
+  for (const NodeId v : hop1_changed) hop2_mark.add_closed_neighborhood(g, v);
+  const NodeSet hop2_dirty = hop2_mark.take();
+
+  NodeSet changed_rows = hop1_changed;
+  for (const NodeId v : hop2_dirty) {
+    auto row =
+        core::hop2_row(g, clustering_, tables_.mode, tables_.ch_hop1, v);
+    if (row != tables_.ch_hop2[v]) {
+      tables_.ch_hop2[v] = std::move(row);
+      changed_rows.push_back(v);
+    }
+  }
+  normalize(changed_rows);
+  stats.rows_recomputed = hop1_dirty.size() + hop2_dirty.size();
+
+  // A head's coverage and gateway selection read exactly its neighbor
+  // list and the table rows of its neighbors, so a head needs a rerun
+  // only when it gained/lost an edge (touched), just declared, or sits
+  // next to a row that actually changed. Everything else keeps its
+  // cached coverage and selection verbatim — bit-identical to the full
+  // rebuild because the inputs are proven identical.
+  graph::NodeBitset head_dirty(g.order());
+  NodeSet recompute;
+  const auto mark = [&](NodeId v) {
+    if (head_bits_.test(v) && head_dirty.set(v)) recompute.push_back(v);
+  };
+  for (const NodeId v : delta.touched) mark(v);
+  for (const NodeId v : rep.declared) mark(v);
+  for (const NodeId v : changed_rows) {
+    mark(v);
+    for (const NodeId w : g.neighbors(v)) mark(w);
+  }
+  normalize(recompute);
+
+  NodeSet cds_candidates;
+  for (const NodeId h : rep.declared) cds_candidates.push_back(h);
+  for (const NodeId h : rep.resigned) cds_candidates.push_back(h);
+  const graph::NodeBitset declared_bits =
+      graph::NodeBitset::from_node_set(g.order(), rep.declared);
+  for (const NodeId h : recompute)
+    recompute_head(g, h, /*was_head=*/!declared_bits.test(h), stats,
+                   cds_candidates);
+  // Resignations leave stale head rows behind; release their reference
+  // counts (guard against a same-tick re-declaration, which rule 2 makes
+  // impossible today but cheap to stay safe against).
+  for (const NodeId v : rep.resigned)
+    if (!head_bits_.test(v)) clear_head_rows(v, cds_candidates);
+
+  // Settle CDS membership for every node whose head status or selection
+  // reference count moved this tick.
+  normalize(cds_candidates);
+  for (const NodeId v : cds_candidates) {
+    const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
+    if (member != cds_bits_.test(v)) {
+      ++stats.backbone_changes;
+      if (member)
+        cds_bits_.set(v);
+      else
+        cds_bits_.reset(v);
+    }
+  }
+  return stats;
+}
+
+NodeSet IncrementalBackbone::gateways() const {
+  NodeSet out;
+  cds_bits_.for_each([&](NodeId v) {
+    if (!head_bits_.test(v)) out.push_back(v);
+  });
+  return out;
+}
+
+NodeSet IncrementalBackbone::cds() const { return cds_bits_.to_node_set(); }
+
+core::StaticBackbone IncrementalBackbone::materialize() const {
+  core::StaticBackbone b;
+  b.mode = tables_.mode;
+  b.clustering = clustering_;
+  b.tables = tables_;
+  b.coverage = coverage_;
+  b.selection = selection_;
+  b.gateways = gateways();
+  b.cds = cds();
+  return b;
+}
+
+std::string IncrementalBackbone::diff_against(
+    const core::StaticBackbone& oracle) const {
+  std::ostringstream err;
+  if (!(clustering_ == oracle.clustering)) {
+    err << "clustering mismatch vs full rebuild";
+    return err.str();
+  }
+  if (tables_.mode != oracle.tables.mode ||
+      tables_.ch_hop1 != oracle.tables.ch_hop1 ||
+      tables_.ch_hop2 != oracle.tables.ch_hop2) {
+    err << "neighbor-table mismatch vs full rebuild";
+    return err.str();
+  }
+  for (NodeId v = 0; v < clustering_.head_of.size(); ++v) {
+    if (!(coverage_[v] == oracle.coverage[v])) {
+      err << "coverage mismatch at node " << v;
+      return err.str();
+    }
+    if (!(selection_[v] == oracle.selection[v])) {
+      err << "gateway-selection mismatch at head " << v;
+      return err.str();
+    }
+  }
+  if (gateways() != oracle.gateways) {
+    err << "gateway-union mismatch vs full rebuild";
+    return err.str();
+  }
+  if (cds() != oracle.cds) {
+    err << "CDS mismatch vs full rebuild";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace manet::incr

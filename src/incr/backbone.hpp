@@ -1,0 +1,119 @@
+// Layer 3 of the incremental maintenance engine: keeping the CH_HOP1 /
+// CH_HOP2 tables, coverage sets, per-head gateway selections and the
+// SI-CDS current under a stream of edge deltas.
+//
+// Exact dependency tracking drives the invalidation:
+//
+//  * CH_HOP1(v) reads v's own head status, v's edges and its neighbors'
+//    head status — dirty set = changed-edge endpoints ∪ closed
+//    neighborhoods of the head-status flips;
+//  * CH_HOP2(v) additionally reads the neighbors' head_of assignments
+//    and CH_HOP1 rows — dirty set = changed-edge endpoints ∪ closed
+//    neighborhoods of head_of changes and of CH_HOP1 rows that
+//    *actually* changed;
+//  * coverage and gateway selection of a head h read exactly h's
+//    neighbor list and the table rows of h's neighbors — so h needs a
+//    rerun only when an edge at h changed, h just became a head, or a
+//    neighbor's row *actually* changed (recomputed rows that come out
+//    identical prove their readers unchanged, which keeps the expensive
+//    selection stage far smaller than the worst-case 3-hop ball).
+//
+// Rows inside the balls are recomputed with the exact per-row kernels
+// the batch path uses (core/table_kernels.hpp,
+// core::select_gateways_local), everything else keeps its cached value,
+// so after every tick the whole structure is bit-identical to a
+// from-scratch core::build_static_backbone over the current topology and
+// clustering (asserted by the pipeline's oracle mode and the
+// equivalence tests).
+// The CDS itself is maintained with per-node selection reference counts,
+// so membership materialization never rescans the selections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/lcc.hpp"
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "core/coverage.hpp"
+#include "core/gateway_selection.hpp"
+#include "core/neighbor_tables.hpp"
+#include "core/static_backbone.hpp"
+#include "graph/bitset.hpp"
+#include "graph/dynamic_adjacency.hpp"
+#include "incr/cluster_repair.hpp"
+#include "incr/edge_delta.hpp"
+
+namespace manet::incr {
+
+/// What one tick cost and churned. The churn counters use the same
+/// definitions as mobility::MaintenanceDelta, so the maintenance-cost
+/// experiments can read them straight off the engine.
+struct TickStats {
+  std::size_t link_changes = 0;       ///< edges appearing or disappearing
+  cluster::LccDelta cluster_churn;    ///< LCC rule-level repair counters
+  std::size_t head_changes = 0;       ///< nodes whose clusterhead changed
+  std::size_t role_changes = 0;       ///< nodes whose cluster role changed
+  std::size_t backbone_changes = 0;   ///< static-CDS membership flips
+  std::size_t coverage_changes = 0;   ///< heads with new/changed coverage
+  std::size_t rows_recomputed = 0;    ///< hop1+hop2 row evaluations
+  std::size_t heads_reselected = 0;   ///< coverage+selection reruns
+};
+
+/// The incrementally maintained static backbone of a mutable topology.
+class IncrementalBackbone {
+ public:
+  /// Full initial build over the current adjacency (one-time O(n) cost;
+  /// every later tick is bounded by the dirty region).
+  IncrementalBackbone(const graph::DynamicAdjacency& g,
+                      core::CoverageMode mode);
+
+  /// Consumes one edge delta. `g` must already reflect the delta (the
+  /// DeltaTracker hands both over in that state).
+  TickStats apply(const graph::DynamicAdjacency& g, const EdgeDelta& delta);
+
+  core::CoverageMode mode() const { return tables_.mode; }
+  const cluster::Clustering& clustering() const { return clustering_; }
+  const core::NeighborTables& tables() const { return tables_; }
+  const std::vector<core::Coverage>& coverage() const { return coverage_; }
+  const std::vector<core::GatewaySelection>& selection() const {
+    return selection_;
+  }
+  const NodeSet& heads() const { return clustering_.heads; }
+
+  /// Union of all selected gateways, materialized from the maintained
+  /// membership bitset.
+  NodeSet gateways() const;
+
+  /// The SI-CDS: clusterheads ∪ gateways.
+  NodeSet cds() const;
+
+  /// Copies the maintained state into the batch StaticBackbone shape.
+  core::StaticBackbone materialize() const;
+
+  /// Compares every maintained structure against a full-rebuild oracle.
+  /// Returns an empty string on bitwise equality, else a description of
+  /// the first mismatch.
+  std::string diff_against(const core::StaticBackbone& oracle) const;
+
+ private:
+  void recompute_head(const graph::DynamicAdjacency& g, NodeId h,
+                      bool was_head, TickStats& stats,
+                      NodeSet& cds_candidates);
+  void clear_head_rows(NodeId v, NodeSet& cds_candidates);
+  void apply_selection_refs(const NodeSet& old_gateways,
+                            const NodeSet& new_gateways,
+                            NodeSet& cds_candidates);
+
+  cluster::Clustering clustering_;
+  graph::NodeBitset head_bits_;
+  core::NeighborTables tables_;
+  std::vector<core::Coverage> coverage_;
+  std::vector<core::GatewaySelection> selection_;
+  /// selection_refs_[v] = number of heads whose selection contains v.
+  std::vector<std::uint32_t> selection_refs_;
+  graph::NodeBitset cds_bits_;  ///< head_bits_ ∪ {v : selection_refs_[v]>0}
+};
+
+}  // namespace manet::incr

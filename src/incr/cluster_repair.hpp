@@ -1,0 +1,55 @@
+// Layer 2 of the incremental maintenance engine: LCC cluster repair
+// bounded to the dirty region of an edge delta.
+//
+// cluster::lcc_update scans the whole node population per snapshot. Its
+// rules are local, though, and the dirty region is computable from the
+// delta alone:
+//
+//  * Rule 1 (adjacent heads -> larger id resigns) can only fire where a
+//    *new* edge joined two previous heads — previous heads were
+//    independent, so every head-head adjacency in the new topology runs
+//    over an added edge. The resignation cascade stays inside that set.
+//  * Rule 2 (re-affiliate or self-declare) only touches nodes whose old
+//    affiliation broke: resigned heads, members whose head resigned,
+//    and members whose link to their head disappeared. Everyone else
+//    keeps its head verbatim ("members do not chase smaller-id heads"),
+//    and freshly declared heads are only ever joined by nodes already in
+//    that dirty set.
+//  * Role flags (gateway/ordinary) are then refreshed for nodes whose
+//    head changed, their current neighbors, and the changed-edge
+//    endpoints — the exact support of the role predicate.
+//
+// Processing both rules in ascending id order inside the dirty sets
+// replays cluster::lcc_update's global ascending scans exactly, so the
+// repaired clustering is bit-identical to a full lcc_update against the
+// new topology (pinned by tests and the pipeline's oracle mode).
+#pragma once
+
+#include "cluster/lcc.hpp"
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "graph/bitset.hpp"
+#include "graph/dynamic_adjacency.hpp"
+#include "incr/edge_delta.hpp"
+
+namespace manet::incr {
+
+/// What one bounded repair changed (all sets sorted-unique).
+struct ClusterRepair {
+  cluster::LccDelta churn;   ///< LCC rule counters, lcc_update-compatible
+  NodeSet head_changed;      ///< nodes whose head_of changed
+  NodeSet role_changed;      ///< nodes whose role changed
+  NodeSet declared;          ///< members that became heads this tick
+  NodeSet resigned;          ///< heads that stepped down this tick
+  NodeSet dirty;             ///< head_changed ∪ changed-edge endpoints
+};
+
+/// Repairs `c` (valid for the topology before `delta`) in place against
+/// the post-delta adjacency `g`. `head_bits` must mirror c.heads on
+/// entry and is kept in sync. Expected O(dirty * d) work.
+ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
+                                const EdgeDelta& delta,
+                                cluster::Clustering& c,
+                                graph::NodeBitset& head_bits);
+
+}  // namespace manet::incr

@@ -1,0 +1,146 @@
+#include "incr/delta_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "geom/unit_disk.hpp"
+
+namespace manet::incr {
+
+DeltaTracker::DeltaTracker(std::vector<geom::Point> positions, double range,
+                           double width, double height)
+    : positions_(std::move(positions)),
+      adjacency_(geom::unit_disk_graph(positions_, range)),
+      range_(range),
+      range_sq_(range * range),
+      width_(width),
+      height_(height) {
+  MANET_REQUIRE(!positions_.empty(), "tracker needs at least one node");
+  MANET_REQUIRE(range_ > 0.0, "transmission range must be positive");
+  MANET_REQUIRE(width_ > 0.0 && height_ > 0.0, "area must be positive");
+
+  // Square cells of side >= range (so any in-range pair sits in the same
+  // or an adjacent cell), with the per-dimension cell count clamped to
+  // keep the cell array O(n) even for a tiny range over a huge area.
+  const auto cap = static_cast<std::size_t>(
+      std::ceil(std::sqrt(4.0 * static_cast<double>(positions_.size())))) +
+      1;
+  const auto fit_x = static_cast<std::size_t>(width_ / range_);
+  const auto fit_y = static_cast<std::size_t>(height_ / range_);
+  cols_ = std::clamp<std::size_t>(fit_x, 1, cap);
+  rows_ = std::clamp<std::size_t>(fit_y, 1, cap);
+  inv_cell_x_ = static_cast<double>(cols_) / width_;
+  inv_cell_y_ = static_cast<double>(rows_) / height_;
+
+  cells_.resize(cols_ * rows_);
+  cell_of_node_.resize(positions_.size());
+  is_staged_.assign(positions_.size(), 0);
+  for (NodeId v = 0; v < positions_.size(); ++v) {
+    const std::size_t cell = cell_index(positions_[v]);
+    cell_of_node_[v] = static_cast<std::uint32_t>(cell);
+    cells_[cell].push_back(v);
+  }
+}
+
+std::size_t DeltaTracker::cell_index(const geom::Point& p) const {
+  // Out-of-box positions clamp onto the border cells, like SpatialGrid.
+  const std::size_t col =
+      p.x <= 0.0 ? 0
+                 : std::min(cols_ - 1,
+                            static_cast<std::size_t>(p.x * inv_cell_x_));
+  const std::size_t row =
+      p.y <= 0.0 ? 0
+                 : std::min(rows_ - 1,
+                            static_cast<std::size_t>(p.y * inv_cell_y_));
+  return row * cols_ + col;
+}
+
+void DeltaTracker::stage_move(NodeId v, geom::Point p) {
+  MANET_REQUIRE(v < positions_.size(), "node id out of range");
+  positions_[v] = p;  // last staged position wins
+  if (!is_staged_[v]) {
+    is_staged_[v] = 1;
+    staged_.push_back(v);
+  }
+}
+
+EdgeDelta DeltaTracker::commit() {
+  EdgeDelta delta;
+  if (staged_.empty()) return delta;
+
+  // Phase 1: migrate every dirty node to its (possibly new) cell, so all
+  // neighborhood scans below see final positions.
+  for (const NodeId v : staged_) {
+    const std::size_t cell = cell_index(positions_[v]);
+    const std::size_t old_cell = cell_of_node_[v];
+    if (cell == old_cell) continue;
+    auto& bucket = cells_[old_cell];
+    const auto it = std::find(bucket.begin(), bucket.end(), v);
+    MANET_ASSERT(it != bucket.end(), "node missing from its grid cell");
+    *it = bucket.back();
+    bucket.pop_back();
+    cells_[cell].push_back(v);
+    cell_of_node_[v] = static_cast<std::uint32_t>(cell);
+  }
+
+  // Phase 2: rescan each dirty node's 3x3 block and diff against the
+  // adjacency overlay. Edits are applied immediately, so when a later
+  // dirty node is diffed the already-repaired pairs are no longer in its
+  // symmetric difference — every changed edge is recorded exactly once.
+  std::vector<NodeId> now;
+  std::vector<NodeId> old;
+  for (const NodeId v : staged_) {
+    const geom::Point p = positions_[v];
+    const std::size_t cell = cell_of_node_[v];
+    const std::size_t col = cell % cols_;
+    const std::size_t row = cell / cols_;
+    const std::size_t c0 = col > 0 ? col - 1 : 0;
+    const std::size_t c1 = col + 1 < cols_ ? col + 1 : cols_ - 1;
+    const std::size_t r0 = row > 0 ? row - 1 : 0;
+    const std::size_t r1 = row + 1 < rows_ ? row + 1 : rows_ - 1;
+    now.clear();
+    for (std::size_t r = r0; r <= r1; ++r)
+      for (std::size_t c = c0; c <= c1; ++c)
+        for (const NodeId w : cells_[r * cols_ + c])
+          if (w != v && geom::distance_sq(p, positions_[w]) < range_sq_)
+            now.push_back(w);
+    std::sort(now.begin(), now.end());
+
+    const auto nb = adjacency_.neighbors(v);
+    old.assign(nb.begin(), nb.end());
+    // Sorted two-pointer diff; mutations are deferred past the spans.
+    std::vector<NodeId> to_add;
+    std::vector<NodeId> to_remove;
+    std::set_difference(now.begin(), now.end(), old.begin(), old.end(),
+                        std::back_inserter(to_add));
+    std::set_difference(old.begin(), old.end(), now.begin(), now.end(),
+                        std::back_inserter(to_remove));
+    for (const NodeId w : to_add) {
+      adjacency_.add_edge(v, w);
+      delta.added.emplace_back(std::min(v, w), std::max(v, w));
+    }
+    for (const NodeId w : to_remove) {
+      adjacency_.remove_edge(v, w);
+      delta.removed.emplace_back(std::min(v, w), std::max(v, w));
+    }
+  }
+
+  for (const NodeId v : staged_) is_staged_[v] = 0;
+  staged_.clear();
+
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  for (const auto& [u, w] : delta.added) {
+    delta.touched.push_back(u);
+    delta.touched.push_back(w);
+  }
+  for (const auto& [u, w] : delta.removed) {
+    delta.touched.push_back(u);
+    delta.touched.push_back(w);
+  }
+  normalize(delta.touched);
+  return delta;
+}
+
+}  // namespace manet::incr

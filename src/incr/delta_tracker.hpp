@@ -1,0 +1,78 @@
+// Layer 1 of the incremental maintenance engine: turning per-node
+// position updates into exact unit-disk link deltas.
+//
+// geom::SpatialGrid is a CSR counting sort rebuilt from scratch per
+// topology — perfect for the batch pipeline, wasteful when only a
+// handful of nodes move per tick. DeltaTracker keeps the same cell
+// geometry (square cells of side >= range, so every in-range pair lies
+// in the same or an adjacent cell) but with mutable per-cell buckets:
+// a moving node is plucked out of its old cell and dropped into the new
+// one, and only the 3x3 cell block around each dirty node is rescanned.
+// The link predicate is the strict `distance < range` of
+// geom::unit_disk_graph, so the maintained adjacency overlay is always
+// edge-identical to a from-scratch unit_disk_graph over the current
+// positions (the pipeline's oracle mode asserts exactly that).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "geom/point.hpp"
+#include "graph/dynamic_adjacency.hpp"
+#include "incr/edge_delta.hpp"
+
+namespace manet::incr {
+
+/// Maintains node positions, a mutable cell grid over a fixed working
+/// space, and the unit-disk adjacency overlay they induce.
+class DeltaTracker {
+ public:
+  /// Builds the full initial state: positions bucketed into cells,
+  /// adjacency = unit-disk graph of `positions` at `range`. The working
+  /// space [0, width] x [0, height] fixes the cell geometry; positions
+  /// outside it are clamped onto border cells (matching SpatialGrid).
+  DeltaTracker(std::vector<geom::Point> positions, double range,
+               double width, double height);
+
+  std::size_t size() const { return positions_.size(); }
+  double range() const { return range_; }
+  const std::vector<geom::Point>& positions() const { return positions_; }
+
+  /// The maintained adjacency overlay (always consistent with the last
+  /// committed positions).
+  const graph::DynamicAdjacency& adjacency() const { return adjacency_; }
+
+  /// Stages a position update for `v`. Repeated stages for the same node
+  /// before commit() keep the last position. O(1).
+  void stage_move(NodeId v, geom::Point p);
+
+  /// Number of staged (not yet committed) moves.
+  std::size_t staged_count() const { return staged_.size(); }
+
+  /// Applies all staged moves: updates positions, migrates dirty nodes
+  /// between cells, rescans only the dirty 3x3 blocks, applies the edge
+  /// changes to the adjacency overlay, and returns them. Expected
+  /// O(dirty * d) for d = average degree.
+  EdgeDelta commit();
+
+ private:
+  std::size_t cell_index(const geom::Point& p) const;
+
+  std::vector<geom::Point> positions_;
+  graph::DynamicAdjacency adjacency_;
+  double range_;
+  double range_sq_;
+  double width_;
+  double height_;
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+  double inv_cell_x_ = 0.0;  // cols / width
+  double inv_cell_y_ = 0.0;  // rows / height
+  std::vector<std::vector<NodeId>> cells_;    // per-cell id buckets
+  std::vector<std::uint32_t> cell_of_node_;   // node -> cell index
+  std::vector<NodeId> staged_;                // dirty node ids
+  std::vector<char> is_staged_;               // dedup flag per node
+};
+
+}  // namespace manet::incr

@@ -1,0 +1,31 @@
+#include "incr/edge_delta.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace manet::incr {
+
+EdgeDelta diff_graphs(const graph::Graph& before, const graph::Graph& after) {
+  MANET_REQUIRE(before.order() == after.order(),
+                "snapshots must share the node population");
+  EdgeDelta delta;
+  const auto eb = before.edges();  // sorted (u, v) with u < v
+  const auto ea = after.edges();
+  std::set_difference(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                      std::back_inserter(delta.added));
+  std::set_difference(eb.begin(), eb.end(), ea.begin(), ea.end(),
+                      std::back_inserter(delta.removed));
+  for (const auto& [u, v] : delta.added) {
+    delta.touched.push_back(u);
+    delta.touched.push_back(v);
+  }
+  for (const auto& [u, v] : delta.removed) {
+    delta.touched.push_back(u);
+    delta.touched.push_back(v);
+  }
+  normalize(delta.touched);
+  return delta;
+}
+
+}  // namespace manet::incr

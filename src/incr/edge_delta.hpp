@@ -1,0 +1,32 @@
+// The unit of work the incremental maintenance engine consumes: the
+// exact set of unit-disk links that appeared or disappeared between two
+// consecutive topology states of the same node population.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace manet::incr {
+
+/// A batch of topology changes. Edges are normalized (min, max) and
+/// lexicographically sorted; `touched` lists every endpoint of a changed
+/// edge (sorted-unique) — the seed of the engine's dirty region.
+struct EdgeDelta {
+  std::vector<std::pair<NodeId, NodeId>> added;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  NodeSet touched;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  std::size_t link_changes() const { return added.size() + removed.size(); }
+};
+
+/// Symmetric edge-set difference of two snapshots of the same
+/// population (used to feed arbitrary graph pairs into the engine, e.g.
+/// by mobility::compare_snapshots).
+EdgeDelta diff_graphs(const graph::Graph& before, const graph::Graph& after);
+
+}  // namespace manet::incr

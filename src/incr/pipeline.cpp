@@ -1,0 +1,47 @@
+#include "incr/pipeline.hpp"
+
+#include <utility>
+
+#include "cluster/lcc.hpp"
+#include "common/assert.hpp"
+#include "core/static_backbone.hpp"
+#include "geom/unit_disk.hpp"
+
+namespace manet::incr {
+
+IncrementalPipeline::IncrementalPipeline(std::vector<geom::Point> positions,
+                                         double range, double width,
+                                         double height,
+                                         PipelineOptions options)
+    : tracker_(std::move(positions), range, width, height),
+      backbone_(tracker_.adjacency(), options.mode),
+      options_(options) {
+  if (options_.oracle_check) oracle_previous_ = backbone_.clustering();
+}
+
+TickStats IncrementalPipeline::tick() {
+  const EdgeDelta delta = tracker_.commit();
+  const TickStats stats = backbone_.apply(tracker_.adjacency(), delta);
+
+  if (options_.oracle_check) {
+    // Full rebuild from first principles: re-derive the topology from the
+    // raw positions and repair the previous tick's clustering with the
+    // batch LCC pass, then compare every maintained structure bit for bit.
+    const graph::Graph frozen = tracker_.adjacency().freeze();
+    const graph::Graph reference =
+        geom::unit_disk_graph(tracker_.positions(), tracker_.range());
+    MANET_REQUIRE(frozen.edges() == reference.edges(),
+                  "incr oracle: maintained adjacency diverged from "
+                  "unit_disk_graph over the current positions");
+    cluster::Clustering oracle_clustering =
+        cluster::lcc_update(frozen, oracle_previous_);
+    const core::StaticBackbone oracle = core::build_static_backbone(
+        frozen, oracle_clustering, options_.mode);
+    const std::string mismatch = backbone_.diff_against(oracle);
+    MANET_REQUIRE(mismatch.empty(), "incr oracle: " + mismatch);
+    oracle_previous_ = std::move(oracle_clustering);
+  }
+  return stats;
+}
+
+}  // namespace manet::incr

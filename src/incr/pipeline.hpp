@@ -1,0 +1,74 @@
+// Layer 4 of the incremental maintenance engine: the facade gluing the
+// DeltaTracker (positions -> link deltas) to the IncrementalBackbone
+// (link deltas -> repaired clustering/tables/coverage/selections/CDS),
+// plus an oracle cross-check mode that rebuilds everything from scratch
+// after every tick and asserts bitwise equality — the safety net that
+// lets the delta path be trusted in production and benchmarked honestly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/neighbor_tables.hpp"
+#include "core/static_backbone.hpp"
+#include "geom/point.hpp"
+#include "incr/backbone.hpp"
+#include "incr/delta_tracker.hpp"
+
+namespace manet::incr {
+
+/// Engine configuration.
+struct PipelineOptions {
+  core::CoverageMode mode = core::CoverageMode::kTwoPointFiveHop;
+  /// After every tick, rebuild the full static backbone from scratch
+  /// (plus a from-scratch unit-disk graph) and require bitwise equality
+  /// with the maintained state. Orders of magnitude slower — for tests
+  /// and the equivalence bench column only.
+  bool oracle_check = false;
+};
+
+/// Delta-driven replacement for the per-tick full rebuild: feed it the
+/// positions that moved, get back the repaired backbone and the tick's
+/// churn accounting.
+class IncrementalPipeline {
+ public:
+  IncrementalPipeline(std::vector<geom::Point> positions, double range,
+                      double width, double height, PipelineOptions options);
+
+  std::size_t size() const { return tracker_.size(); }
+  const std::vector<geom::Point>& positions() const {
+    return tracker_.positions();
+  }
+  const graph::DynamicAdjacency& adjacency() const {
+    return tracker_.adjacency();
+  }
+  const IncrementalBackbone& backbone() const { return backbone_; }
+  const cluster::Clustering& clustering() const {
+    return backbone_.clustering();
+  }
+
+  /// Stages a position update (applied at the next tick()).
+  void stage_move(NodeId v, geom::Point p) { tracker_.stage_move(v, p); }
+
+  /// Commits all staged moves and repairs every maintained structure.
+  /// With oracle_check on, throws std::invalid_argument describing the
+  /// first mismatch against the full rebuild (i.e. an engine bug).
+  TickStats tick();
+
+  /// CSR snapshot of the maintained topology.
+  graph::Graph freeze_graph() const { return tracker_.adjacency().freeze(); }
+
+  /// Copies the maintained state into the batch StaticBackbone shape.
+  core::StaticBackbone materialize() const { return backbone_.materialize(); }
+
+ private:
+  DeltaTracker tracker_;
+  IncrementalBackbone backbone_;
+  PipelineOptions options_;
+  /// Previous oracle clustering (oracle mode): the full-rebuild path is
+  /// lcc_update from the previous tick's structure, exactly what the
+  /// engine repairs incrementally.
+  cluster::Clustering oracle_previous_;
+};
+
+}  // namespace manet::incr

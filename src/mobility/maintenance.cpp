@@ -1,8 +1,9 @@
 #include "mobility/maintenance.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
+#include "graph/dynamic_adjacency.hpp"
+#include "incr/backbone.hpp"
+#include "incr/edge_delta.hpp"
 
 namespace manet::mobility {
 
@@ -11,34 +12,24 @@ MaintenanceDelta compare_snapshots(const graph::Graph& before,
                                    core::CoverageMode mode) {
   MANET_REQUIRE(before.order() == after.order(),
                 "snapshots must share the node population");
-  MaintenanceDelta delta;
 
-  // Symmetric difference of the edge sets.
-  const auto eb = before.edges();
-  const auto ea = after.edges();
-  std::vector<std::pair<NodeId, NodeId>> diff;
-  std::set_symmetric_difference(eb.begin(), eb.end(), ea.begin(), ea.end(),
-                                std::back_inserter(diff));
-  delta.link_changes = diff.size();
+  // Seed the maintained state from `before`, then push the edge delta
+  // through the incremental engine: the churn counters fall out of the
+  // repair itself instead of a second from-scratch rebuild.
+  graph::DynamicAdjacency adj(before);
+  incr::IncrementalBackbone state(adj, mode);
+  const incr::EdgeDelta delta = incr::diff_graphs(before, after);
+  for (const auto& [u, w] : delta.removed) adj.remove_edge(u, w);
+  for (const auto& [u, w] : delta.added) adj.add_edge(u, w);
+  const incr::TickStats stats = state.apply(adj, delta);
 
-  const auto bb_before = core::build_static_backbone(before, mode);
-  const auto bb_after = core::build_static_backbone(after, mode);
-
-  for (NodeId v = 0; v < before.order(); ++v) {
-    if (bb_before.clustering.head_of[v] != bb_after.clustering.head_of[v])
-      ++delta.head_changes;
-    if (bb_before.clustering.roles[v] != bb_after.clustering.roles[v])
-      ++delta.role_changes;
-    if (bb_before.in_backbone(v) != bb_after.in_backbone(v))
-      ++delta.backbone_changes;
-  }
-  for (NodeId h : bb_after.clustering.heads) {
-    const bool was_head = bb_before.clustering.is_head(h);
-    if (!was_head ||
-        bb_before.coverage[h].all() != bb_after.coverage[h].all())
-      ++delta.coverage_changes;
-  }
-  return delta;
+  MaintenanceDelta d;
+  d.link_changes = stats.link_changes;
+  d.head_changes = stats.head_changes;
+  d.role_changes = stats.role_changes;
+  d.backbone_changes = stats.backbone_changes;
+  d.coverage_changes = stats.coverage_changes;
+  return d;
 }
 
 }  // namespace manet::mobility

@@ -40,7 +40,11 @@ struct MaintenanceDelta {
 };
 
 /// Compares the clustering/backbone structures of two snapshots of the
-/// same node population.
+/// same node population. The `after` structure is the LCC repair of the
+/// `before` structure (computed with the incremental engine in src/incr,
+/// which is what a deployed network would actually run), so the churn
+/// counters measure maintenance work, not the distance between two
+/// independent from-scratch builds.
 MaintenanceDelta compare_snapshots(const graph::Graph& before,
                                    const graph::Graph& after,
                                    core::CoverageMode mode);

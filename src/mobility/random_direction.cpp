@@ -32,50 +32,61 @@ void RandomDirectionModel::pick_heading(std::size_t i) {
   motion_[i].pause_left = 0.0;
 }
 
+void RandomDirectionModel::advance(std::size_t i, double dt) {
+  double remaining = dt;
+  while (remaining > 1e-12) {
+    auto& m = motion_[i];
+    auto& p = positions_[i];
+    if (m.pause_left > 0.0) {
+      const double wait = std::min(m.pause_left, remaining);
+      m.pause_left -= wait;
+      remaining -= wait;
+      if (m.pause_left <= 0.0) pick_heading(i);
+      continue;
+    }
+    const double travel = std::min(m.leg_left, remaining);
+    if (travel <= 0.0) {
+      m.pause_left = config_.pause_time;
+      if (config_.pause_time == 0.0) pick_heading(i);
+      continue;
+    }
+    p.x += m.vx * travel;
+    p.y += m.vy * travel;
+    // Reflect at the walls (billiard model keeps density uniform).
+    auto reflect = [](double& coord, double& velocity, double hi) {
+      while (coord < 0.0 || coord > hi) {
+        if (coord < 0.0) {
+          coord = -coord;
+          velocity = -velocity;
+        }
+        if (coord > hi) {
+          coord = 2 * hi - coord;
+          velocity = -velocity;
+        }
+      }
+    };
+    reflect(p.x, m.vx, config_.width);
+    reflect(p.y, m.vy, config_.height);
+    m.leg_left -= travel;
+    remaining -= travel;
+    if (m.leg_left <= 0.0) {
+      m.pause_left = config_.pause_time;
+      if (config_.pause_time == 0.0) pick_heading(i);
+    }
+  }
+}
+
 void RandomDirectionModel::step(double dt) {
   MANET_REQUIRE(dt > 0.0, "time step must be positive");
-  for (std::size_t i = 0; i < positions_.size(); ++i) {
-    double remaining = dt;
-    while (remaining > 1e-12) {
-      auto& m = motion_[i];
-      auto& p = positions_[i];
-      if (m.pause_left > 0.0) {
-        const double wait = std::min(m.pause_left, remaining);
-        m.pause_left -= wait;
-        remaining -= wait;
-        if (m.pause_left <= 0.0) pick_heading(i);
-        continue;
-      }
-      const double travel = std::min(m.leg_left, remaining);
-      if (travel <= 0.0) {
-        m.pause_left = config_.pause_time;
-        if (config_.pause_time == 0.0) pick_heading(i);
-        continue;
-      }
-      p.x += m.vx * travel;
-      p.y += m.vy * travel;
-      // Reflect at the walls (billiard model keeps density uniform).
-      auto reflect = [](double& coord, double& velocity, double hi) {
-        while (coord < 0.0 || coord > hi) {
-          if (coord < 0.0) {
-            coord = -coord;
-            velocity = -velocity;
-          }
-          if (coord > hi) {
-            coord = 2 * hi - coord;
-            velocity = -velocity;
-          }
-        }
-      };
-      reflect(p.x, m.vx, config_.width);
-      reflect(p.y, m.vy, config_.height);
-      m.leg_left -= travel;
-      remaining -= travel;
-      if (m.leg_left <= 0.0) {
-        m.pause_left = config_.pause_time;
-        if (config_.pause_time == 0.0) pick_heading(i);
-      }
-    }
+  for (std::size_t i = 0; i < positions_.size(); ++i) advance(i, dt);
+}
+
+void RandomDirectionModel::step_nodes(std::span<const NodeId> nodes,
+                                      double dt) {
+  MANET_REQUIRE(dt > 0.0, "time step must be positive");
+  for (const NodeId v : nodes) {
+    MANET_REQUIRE(v < positions_.size(), "node id out of range");
+    advance(v, dt);
   }
 }
 

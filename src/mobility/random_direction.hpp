@@ -7,6 +7,7 @@
 // it the fairer model for churn experiments near the border.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -38,6 +39,10 @@ class RandomDirectionModel {
   /// Advances every node by `dt` time units (reflecting at walls).
   void step(double dt);
 
+  /// Advances only the listed nodes by `dt` time units, leaving the rest
+  /// frozen (see WaypointModel::step_nodes).
+  void step_nodes(std::span<const NodeId> nodes, double dt);
+
   const std::vector<geom::Point>& positions() const { return positions_; }
   std::size_t size() const { return positions_.size(); }
 
@@ -52,6 +57,7 @@ class RandomDirectionModel {
     double pause_left = 0.0;
   };
   void pick_heading(std::size_t i);
+  void advance(std::size_t i, double dt);
 
   std::vector<geom::Point> positions_;
   std::vector<NodeMotion> motion_;

@@ -27,35 +27,45 @@ void WaypointModel::pick_waypoint(std::size_t i) {
   motion_[i].pause_left = 0.0;
 }
 
+void WaypointModel::advance(std::size_t i, double dt) {
+  double remaining = dt;
+  while (remaining > 0.0) {
+    auto& m = motion_[i];
+    auto& p = positions_[i];
+    if (m.pause_left > 0.0) {
+      const double wait = std::min(m.pause_left, remaining);
+      m.pause_left -= wait;
+      remaining -= wait;
+      if (m.pause_left == 0.0) pick_waypoint(i);
+      continue;
+    }
+    const double dist = geom::distance(p, m.waypoint);
+    const double step_len = m.speed * remaining;
+    if (step_len >= dist) {
+      // Arrive and start pausing within this step.
+      p = m.waypoint;
+      remaining -= (m.speed > 0.0 ? dist / m.speed : remaining);
+      m.pause_left = config_.pause_time;
+      if (config_.pause_time == 0.0) pick_waypoint(i);
+    } else {
+      const double scale = step_len / dist;
+      p.x += (m.waypoint.x - p.x) * scale;
+      p.y += (m.waypoint.y - p.y) * scale;
+      remaining = 0.0;
+    }
+  }
+}
+
 void WaypointModel::step(double dt) {
   MANET_REQUIRE(dt > 0.0, "time step must be positive");
-  for (std::size_t i = 0; i < positions_.size(); ++i) {
-    double remaining = dt;
-    while (remaining > 0.0) {
-      auto& m = motion_[i];
-      auto& p = positions_[i];
-      if (m.pause_left > 0.0) {
-        const double wait = std::min(m.pause_left, remaining);
-        m.pause_left -= wait;
-        remaining -= wait;
-        if (m.pause_left == 0.0) pick_waypoint(i);
-        continue;
-      }
-      const double dist = geom::distance(p, m.waypoint);
-      const double step_len = m.speed * remaining;
-      if (step_len >= dist) {
-        // Arrive and start pausing within this step.
-        p = m.waypoint;
-        remaining -= (m.speed > 0.0 ? dist / m.speed : remaining);
-        m.pause_left = config_.pause_time;
-        if (config_.pause_time == 0.0) pick_waypoint(i);
-      } else {
-        const double scale = step_len / dist;
-        p.x += (m.waypoint.x - p.x) * scale;
-        p.y += (m.waypoint.y - p.y) * scale;
-        remaining = 0.0;
-      }
-    }
+  for (std::size_t i = 0; i < positions_.size(); ++i) advance(i, dt);
+}
+
+void WaypointModel::step_nodes(std::span<const NodeId> nodes, double dt) {
+  MANET_REQUIRE(dt > 0.0, "time step must be positive");
+  for (const NodeId v : nodes) {
+    MANET_REQUIRE(v < positions_.size(), "node id out of range");
+    advance(v, dt);
   }
 }
 

@@ -8,6 +8,7 @@
 // broadcasting is costly") by generating correlated topology sequences.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -37,6 +38,12 @@ class WaypointModel {
   /// Advances every node by `dt` time units.
   void step(double dt);
 
+  /// Advances only the listed nodes by `dt` time units, leaving the rest
+  /// frozen — the churn workload for the incremental engine, where a
+  /// small fraction of the population moves per tick. Ids may repeat (a
+  /// repeated id moves again).
+  void step_nodes(std::span<const NodeId> nodes, double dt);
+
   const std::vector<geom::Point>& positions() const { return positions_; }
   std::size_t size() const { return positions_.size(); }
 
@@ -50,6 +57,7 @@ class WaypointModel {
     double pause_left = 0.0;
   };
   void pick_waypoint(std::size_t i);
+  void advance(std::size_t i, double dt);
 
   std::vector<geom::Point> positions_;
   std::vector<NodeMotion> motion_;

@@ -1,0 +1,274 @@
+// Tests for the incremental backbone maintenance engine (src/incr).
+//
+// The load-bearing suites are the oracle equivalence runs: hundreds of
+// mobility ticks where the pipeline itself asserts, after every tick,
+// that the incrementally repaired adjacency, clustering, neighbor
+// tables, coverage sets, gateway selections and CDS are bit-identical
+// to a from-scratch rebuild over the current positions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/lcc.hpp"
+#include "cluster/lowest_id.hpp"
+#include "common/rng.hpp"
+#include "exp/churn.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/dynamic_adjacency.hpp"
+#include "incr/cluster_repair.hpp"
+#include "incr/delta_tracker.hpp"
+#include "incr/edge_delta.hpp"
+#include "incr/pipeline.hpp"
+#include "mobility/random_direction.hpp"
+#include "mobility/waypoint.hpp"
+
+namespace manet::incr {
+namespace {
+
+std::vector<geom::Point> random_layout(std::size_t n, Rng& rng) {
+  std::vector<geom::Point> pts;
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  return pts;
+}
+
+TEST(DynamicAdjacencyTest, MirrorsEditsAndFreezesToCsr) {
+  graph::DynamicAdjacency adj(5);
+  EXPECT_EQ(adj.order(), 5u);
+  EXPECT_EQ(adj.edge_count(), 0u);
+  EXPECT_TRUE(adj.add_edge(1, 3));
+  EXPECT_FALSE(adj.add_edge(3, 1));  // duplicate
+  EXPECT_TRUE(adj.add_edge(1, 2));
+  EXPECT_TRUE(adj.has_edge(2, 1));
+  EXPECT_EQ(adj.degree(1), 2u);
+  EXPECT_TRUE(adj.remove_edge(3, 1));
+  EXPECT_FALSE(adj.remove_edge(3, 1));  // already gone
+  EXPECT_EQ(adj.edge_count(), 1u);
+  const graph::Graph g = adj.freeze();
+  EXPECT_EQ(g.edges(), (std::vector<std::pair<NodeId, NodeId>>{{1, 2}}));
+  EXPECT_THROW(adj.add_edge(2, 2), std::invalid_argument);
+}
+
+TEST(DynamicAdjacencyTest, RoundTripsAnExistingGraph) {
+  Rng rng(21);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 60;
+  cfg.range = geom::range_for_average_degree(8.0, 60, 100, 100);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const graph::DynamicAdjacency adj(net->graph);
+  EXPECT_EQ(adj.edge_count(), net->graph.edge_count());
+  EXPECT_EQ(adj.freeze().edges(), net->graph.edges());
+}
+
+TEST(EdgeDeltaTest, DiffGraphsFindsExactChanges) {
+  const auto before = graph::make_graph(5, {{0, 1}, {1, 2}, {3, 4}});
+  const auto after = graph::make_graph(5, {{0, 1}, {2, 3}, {3, 4}});
+  const EdgeDelta delta = diff_graphs(before, after);
+  EXPECT_EQ(delta.added, (std::vector<std::pair<NodeId, NodeId>>{{2, 3}}));
+  EXPECT_EQ(delta.removed, (std::vector<std::pair<NodeId, NodeId>>{{1, 2}}));
+  EXPECT_EQ(delta.touched, (NodeSet{1, 2, 3}));
+  EXPECT_EQ(delta.link_changes(), 2u);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_TRUE(diff_graphs(before, before).empty());
+}
+
+TEST(DeltaTrackerTest, TracksUnitDiskGraphUnderTeleports) {
+  Rng rng(33);
+  const std::size_t n = 80;
+  const double range = geom::range_for_average_degree(8.0, n, 100, 100);
+  auto positions = random_layout(n, rng);
+  DeltaTracker tracker(positions, range, 100, 100);
+  EXPECT_EQ(tracker.adjacency().freeze().edges(),
+            geom::unit_disk_graph(positions, range).edges());
+
+  for (int round = 0; round < 40; ++round) {
+    // Teleport a handful of nodes anywhere in the space — the worst case
+    // for a tracker (arbitrary cell migrations), impossible for gradual
+    // motion to cover.
+    const std::size_t movers = 1 + rng.index(5);
+    for (std::size_t j = 0; j < movers; ++j) {
+      const auto v = static_cast<NodeId>(rng.index(n));
+      const geom::Point p{rng.uniform(0, 100), rng.uniform(0, 100)};
+      positions[v] = p;
+      tracker.stage_move(v, p);
+    }
+    const EdgeDelta delta = tracker.commit();
+    const auto expected = geom::unit_disk_graph(positions, range).edges();
+    ASSERT_EQ(tracker.adjacency().freeze().edges(), expected)
+        << "overlay diverged at round " << round;
+    // The delta must be internally consistent with the overlay it built.
+    for (const auto& [u, w] : delta.added)
+      EXPECT_TRUE(tracker.adjacency().has_edge(u, w));
+    for (const auto& [u, w] : delta.removed)
+      EXPECT_FALSE(tracker.adjacency().has_edge(u, w));
+  }
+}
+
+TEST(DeltaTrackerTest, RestagingSameNodeKeepsLastPosition) {
+  std::vector<geom::Point> pts{{10, 10}, {20, 10}, {90, 90}};
+  DeltaTracker tracker(pts, 15.0, 100, 100);
+  EXPECT_TRUE(tracker.adjacency().has_edge(0, 1));
+  tracker.stage_move(2, {50, 50});
+  tracker.stage_move(2, {22, 10});  // overrides: ends adjacent to 0 and 1
+  EXPECT_EQ(tracker.staged_count(), 1u);
+  const EdgeDelta delta = tracker.commit();
+  EXPECT_EQ(delta.added,
+            (std::vector<std::pair<NodeId, NodeId>>{{0, 2}, {1, 2}}));
+  EXPECT_TRUE(delta.removed.empty());
+  EXPECT_EQ(tracker.positions()[2], (geom::Point{22, 10}));
+}
+
+TEST(ClusterRepairTest, MatchesFullLccUpdateOnRandomEdgeFlips) {
+  Rng rng(55);
+  const std::size_t n = 70;
+  const double range = geom::range_for_average_degree(7.0, n, 100, 100);
+  const auto positions = random_layout(n, rng);
+  const auto g0 = geom::unit_disk_graph(positions, range);
+
+  graph::DynamicAdjacency adj(g0);
+  cluster::Clustering c = cluster::lowest_id_clustering(g0);
+  graph::NodeBitset head_bits(n);
+  for (const NodeId h : c.heads) head_bits.set(h);
+
+  for (int round = 0; round < 300; ++round) {
+    // Flip a random pair: remove the edge if present, add it otherwise.
+    auto u = static_cast<NodeId>(rng.index(n));
+    auto w = static_cast<NodeId>(rng.index(n));
+    if (u == w) continue;
+    if (u > w) std::swap(u, w);
+    EdgeDelta delta;
+    if (adj.has_edge(u, w)) {
+      adj.remove_edge(u, w);
+      delta.removed.push_back({u, w});
+    } else {
+      adj.add_edge(u, w);
+      delta.added.push_back({u, w});
+    }
+    delta.touched = {u, w};
+
+    const cluster::Clustering previous = c;
+    repair_clustering(adj, delta, c, head_bits);
+
+    cluster::LccDelta full_delta;
+    const cluster::Clustering full =
+        cluster::lcc_update(adj.freeze(), previous, &full_delta);
+    ASSERT_EQ(c, full) << "repair diverged from lcc_update at round "
+                       << round;
+    for (const NodeId v : c.heads) EXPECT_TRUE(head_bits.test(v));
+  }
+}
+
+TEST(IncrementalBackboneTest, NoOpTickProducesZeroStats) {
+  Rng rng(77);
+  const auto positions = random_layout(50, rng);
+  const double range = geom::range_for_average_degree(8.0, 50, 100, 100);
+  IncrementalPipeline pipeline(positions, range, 100, 100,
+                               {core::CoverageMode::kTwoPointFiveHop, true});
+  const TickStats stats = pipeline.tick();  // nothing staged
+  EXPECT_EQ(stats.link_changes, 0u);
+  EXPECT_EQ(stats.head_changes, 0u);
+  EXPECT_EQ(stats.role_changes, 0u);
+  EXPECT_EQ(stats.backbone_changes, 0u);
+  EXPECT_EQ(stats.coverage_changes, 0u);
+  EXPECT_EQ(stats.rows_recomputed, 0u);
+  // Staging a move onto the identical position is also a no-op delta.
+  pipeline.stage_move(3, pipeline.positions()[3]);
+  EXPECT_EQ(pipeline.tick().link_changes, 0u);
+}
+
+/// Runs `ticks` random-waypoint ticks with the pipeline's oracle mode on:
+/// each tick MANET_REQUIREs bitwise equality of every maintained
+/// structure against the full rebuild, so the assertions live inside the
+/// engine and any divergence fails loudly here.
+void run_waypoint_oracle(std::size_t n, double degree, std::size_t ticks,
+                         core::CoverageMode mode, std::uint64_t seed) {
+  Rng rng(seed);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(degree, n, 100, 100);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+
+  mobility::WaypointModel model(net->positions, mobility::WaypointConfig{},
+                                Rng(derive_seed(seed, 1, 0)));
+  IncrementalPipeline pipeline(net->positions, cfg.range, 100, 100,
+                               {mode, /*oracle_check=*/true});
+  Rng pick(derive_seed(seed, 2, 0));
+  for (std::size_t t = 0; t < ticks; ++t) {
+    // ~3% of nodes move per tick (at least one).
+    const std::size_t movers = std::max<std::size_t>(1, n / 32);
+    std::vector<NodeId> moved;
+    for (std::size_t j = 0; j < movers; ++j)
+      moved.push_back(static_cast<NodeId>(pick.index(n)));
+    model.step_nodes(moved, 1.0);
+    for (const NodeId v : moved)
+      pipeline.stage_move(v, model.positions()[v]);
+    ASSERT_NO_THROW(pipeline.tick()) << "oracle mismatch at tick " << t;
+  }
+}
+
+TEST(IncrementalOracleTest, Waypoint100Sparse) {
+  run_waypoint_oracle(100, 6.0, 200, core::CoverageMode::kTwoPointFiveHop,
+                      101);
+}
+
+TEST(IncrementalOracleTest, Waypoint100Dense) {
+  run_waypoint_oracle(100, 18.0, 200, core::CoverageMode::kThreeHop, 102);
+}
+
+TEST(IncrementalOracleTest, Waypoint500Sparse) {
+  run_waypoint_oracle(500, 6.0, 200, core::CoverageMode::kTwoPointFiveHop,
+                      103);
+}
+
+TEST(IncrementalOracleTest, Waypoint500Dense) {
+  run_waypoint_oracle(500, 18.0, 200, core::CoverageMode::kThreeHop, 104);
+}
+
+TEST(IncrementalOracleTest, RandomDirectionModel) {
+  Rng rng(202);
+  const std::size_t n = 150;
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = n;
+  cfg.range = geom::range_for_average_degree(8.0, n, 100, 100);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  mobility::RandomDirectionModel model(
+      net->positions, mobility::RandomDirectionConfig{}, Rng(203));
+  IncrementalPipeline pipeline(
+      net->positions, cfg.range, 100, 100,
+      {core::CoverageMode::kTwoPointFiveHop, /*oracle_check=*/true});
+  Rng pick(204);
+  for (std::size_t t = 0; t < 200; ++t) {
+    std::vector<NodeId> moved;
+    for (std::size_t j = 0; j < 5; ++j)
+      moved.push_back(static_cast<NodeId>(pick.index(n)));
+    model.step_nodes(moved, 1.0);
+    for (const NodeId v : moved)
+      pipeline.stage_move(v, model.positions()[v]);
+    ASSERT_NO_THROW(pipeline.tick()) << "oracle mismatch at tick " << t;
+  }
+}
+
+TEST(ChurnExperimentTest, RunsWithOracleCheckAndReportsSpeedup) {
+  exp::ChurnConfig config;
+  config.nodes = 120;
+  config.degree = 6.0;
+  config.ticks = 30;
+  config.move_fraction = 0.02;
+  config.seed = 7;
+  config.oracle_check = true;  // every tick cross-checked inside run_churn
+  const exp::ChurnResult r = exp::run_churn(config);
+  EXPECT_EQ(r.ticks, 30u);
+  EXPECT_GT(r.incremental_ms_per_tick, 0.0);
+  EXPECT_GT(r.rebuild_ms_per_tick, 0.0);
+  EXPECT_GT(r.speedup, 0.0);
+  EXPECT_EQ(exp::model_name(config.model), "waypoint");
+  EXPECT_EQ(exp::model_name(exp::ChurnConfig::Model::kRandomDirection),
+            "direction");
+}
+
+}  // namespace
+}  // namespace manet::incr

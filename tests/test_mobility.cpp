@@ -149,6 +149,46 @@ TEST(MaintenanceTest, StaticCostsAtLeastDynamic) {
   }
 }
 
+TEST(MaintenanceTest, SingleNodeGraphHasZeroDelta) {
+  const auto g = graph::make_graph(1, {});
+  const auto delta =
+      compare_snapshots(g, g, core::CoverageMode::kTwoPointFiveHop);
+  EXPECT_EQ(delta.link_changes, 0u);
+  EXPECT_EQ(delta.head_changes, 0u);
+  EXPECT_EQ(delta.role_changes, 0u);
+  EXPECT_EQ(delta.backbone_changes, 0u);
+  EXPECT_EQ(delta.coverage_changes, 0u);
+}
+
+TEST(MaintenanceTest, DisconnectAndReconnectCycle) {
+  // Two nodes losing and regaining their only link: the smallest possible
+  // churn events, with every counter checkable by hand.
+  const auto joined = graph::make_path(2);
+  const auto split = graph::make_graph(2, {});
+
+  // Disconnect: node 1 loses head 0 and must declare itself a head
+  // (head, role, coverage and CDS membership all change for node 1).
+  const auto down = compare_snapshots(joined, split,
+                                      core::CoverageMode::kTwoPointFiveHop);
+  EXPECT_EQ(down.link_changes, 1u);
+  EXPECT_EQ(down.head_changes, 1u);
+  EXPECT_EQ(down.role_changes, 1u);
+  EXPECT_EQ(down.backbone_changes, 1u);
+  EXPECT_EQ(down.coverage_changes, 1u);
+  EXPECT_EQ(down.static_maintenance(), 3u);
+  EXPECT_EQ(down.dynamic_maintenance(), 2u);
+
+  // Reconnect: LCC rule 1 makes the larger-id head resign and re-affiliate
+  // with head 0; head 0's (empty) coverage is unchanged.
+  const auto up = compare_snapshots(split, joined,
+                                    core::CoverageMode::kTwoPointFiveHop);
+  EXPECT_EQ(up.link_changes, 1u);
+  EXPECT_EQ(up.head_changes, 1u);
+  EXPECT_EQ(up.role_changes, 1u);
+  EXPECT_EQ(up.backbone_changes, 1u);
+  EXPECT_EQ(up.coverage_changes, 0u);
+}
+
 TEST(MaintenanceTest, RejectsMismatchedPopulations) {
   EXPECT_THROW(compare_snapshots(graph::make_path(3), graph::make_path(4),
                                  core::CoverageMode::kThreeHop),
