@@ -4,7 +4,9 @@
 // sources, so the columns are directly comparable (the paper's §2
 // taxonomy, quantified).
 //
-// Flags: --seed=<u64>, --reps=<int>.
+// Flags: --seed=<u64>, --reps=<int>,
+//        --json=<path> (protocol metric totals from the obs registry,
+//        default BENCH_broadcast_metrics.json under --out-dir).
 #include <cstdio>
 
 #include "broadcast/dominant_pruning.hpp"
@@ -13,9 +15,11 @@
 #include "broadcast/mpr.hpp"
 #include "broadcast/si_cds.hpp"
 #include "broadcast/suppression.hpp"
+#include "common/artifacts.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 #include "core/dynamic_broadcast.hpp"
 #include "core/static_backbone.hpp"
 #include "exp/scenario.hpp"
@@ -100,5 +104,13 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::puts("\nExpected: flood = n; every pruned protocol well below it; "
             "SD dynamic below SI static.");
+  if (obs::kEnabled) {
+    // Every protocol run above recorded its broadcast.* counters and the
+    // shared forward-set/delivery/latency histograms ambiently.
+    const std::string metrics_path = artifact_path(
+        flags, flags.get("json", "BENCH_broadcast_metrics.json"));
+    obs::global_registry().snapshot().write_json_file(metrics_path);
+    std::printf("obs metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

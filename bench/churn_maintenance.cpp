@@ -10,7 +10,9 @@
 // Flags: --fast (fewer ticks, sizes capped at 500), --seed=<u64>,
 //        --ticks=<k>, --move-frac=<f> (default 0.01),
 //        --json=<path> (default BENCH_churn.json under --out-dir,
-//        default results/).
+//        default results/),
+//        --trace-out=<path> (Chrome-trace JSON of the last record's run;
+//        open in Perfetto / chrome://tracing).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -19,6 +21,7 @@
 #include "common/artifacts.hpp"
 #include "common/flags.hpp"
 #include "exp/churn.hpp"
+#include "obs/session.hpp"
 
 namespace {
 
@@ -27,13 +30,14 @@ using namespace manet;
 struct Record {
   exp::ChurnConfig config;
   exp::ChurnResult result;
+  std::string metrics_json;  ///< obs registry snapshot of this run
 };
 
 void write_json(const std::string& path, const std::vector<Record>& records) {
   std::ofstream out(path);
   out << "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& [c, r] = records[i];
+    const auto& [c, r, metrics] = records[i];
     out << "  {\"model\": \"" << exp::model_name(c.model)
         << "\", \"n\": " << c.nodes << ", \"degree\": " << c.degree
         << ", \"move_fraction\": " << c.move_fraction
@@ -45,7 +49,8 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
         << ", \"mean_head_changes\": " << r.mean_head_changes
         << ", \"mean_backbone_changes\": " << r.mean_backbone_changes
         << ", \"mean_rows_recomputed\": " << r.mean_rows_recomputed
-        << ", \"mean_heads_reselected\": " << r.mean_heads_reselected << "}"
+        << ", \"mean_heads_reselected\": " << r.mean_heads_reselected
+        << ", \"metrics\": " << metrics << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   const double move_frac = flags.get_double("move-frac", 0.01);
   const std::string json_path =
       artifact_path(flags, flags.get("json", "BENCH_churn.json"));
+  const std::string trace_path = flags.get("trace-out", "");
 
   std::vector<std::size_t> sizes{100, 500, 1000, 2000};
   if (fast) sizes.resize(2);
@@ -85,8 +91,16 @@ int main(int argc, char** argv) {
         config.ticks = ticks;
         config.move_fraction = move_frac;
         config.seed = seed;
+        // A fresh session per record: each row's metrics block covers
+        // exactly one run. --trace-out is rewritten every record, so the
+        // file ends up holding the last (largest) run's trace.
+        obs::Session session;
+        config.obs = &session;
         const exp::ChurnResult r = exp::run_churn(config);
-        records.push_back({config, r});
+        records.push_back(
+            {config, r, session.registry.snapshot().to_json()});
+        if (!trace_path.empty())
+          session.trace.write_chrome_trace_file(trace_path);
         std::printf("%-10s %6zu %4g %10.4f %10.4f %7.1fx %8.2f %8.1f\n",
                     exp::model_name(model).c_str(), n, degree,
                     r.incremental_ms_per_tick, r.rebuild_ms_per_tick,
@@ -97,5 +111,8 @@ int main(int argc, char** argv) {
 
   write_json(json_path, records);
   std::printf("records written to %s\n", json_path.c_str());
+  if (!trace_path.empty())
+    std::printf("chrome trace (last record) written to %s\n",
+                trace_path.c_str());
   return 0;
 }

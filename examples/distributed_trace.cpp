@@ -7,6 +7,9 @@
 //
 // Run:  ./distributed_trace            (paper Figure 3 network)
 //       ./distributed_trace --random --nodes=20 --degree=6 --seed=3
+//       ./distributed_trace --trace-out=trace.json   (Chrome-trace
+//       export of the whole exchange — open in Perfetto; one track per
+//       node, one millisecond per round)
 #include <cstdio>
 #include <sstream>
 
@@ -14,6 +17,7 @@
 #include "common/rng.hpp"
 #include "geom/unit_disk.hpp"
 #include "net/protocol.hpp"
+#include "obs/session.hpp"
 
 using namespace manet;
 
@@ -94,6 +98,9 @@ int main(int argc, char** argv) {
     std::printf("  [round %2u] node %2u -> %s\n", round, m.from,
                 describe(m).c_str());
   });
+  const std::string trace_path = flags.get("trace-out", "");
+  obs::Session session;
+  if (!trace_path.empty()) sim.set_obs(&session);
   const auto rounds = sim.run();
 
   std::printf("\nquiescent after %u rounds, %zu messages total\n", rounds,
@@ -113,5 +120,10 @@ int main(int argc, char** argv) {
                 set_to_string(node.selection().gateways).c_str());
   }
   std::printf("backbone (SI-CDS): %s\n", set_to_string(backbone).c_str());
+  if (!trace_path.empty()) {
+    session.trace.write_chrome_trace_file(trace_path);
+    std::printf("chrome trace written to %s (open in Perfetto)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -111,7 +111,7 @@ BroadcastStats dominant_pruning_broadcast(const graph::Graph& g,
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "dominant_pruning");
   return stats;
 }
 

@@ -31,7 +31,7 @@ BroadcastStats flood(const graph::Graph& g, NodeId source) {
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "flooding");
   return stats;
 }
 

@@ -145,7 +145,7 @@ BroadcastStats forwarding_tree_broadcast(const graph::Graph& g,
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "forwarding_tree");
   return stats;
 }
 

@@ -41,7 +41,7 @@ BroadcastStats run_lossy(const graph::Graph& g, NodeId source,
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "lossy");
   return stats;
 }
 

@@ -118,7 +118,7 @@ BroadcastStats mpr_broadcast(const graph::Graph& g,
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "mpr");
   return stats;
 }
 

@@ -75,7 +75,7 @@ BroadcastStats PassiveClusteringSession::broadcast(const graph::Graph& g,
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "passive_clustering");
   return stats;
 }
 

@@ -33,7 +33,7 @@ BroadcastStats si_cds_broadcast(const graph::Graph& g, const NodeSet& cds,
       }
     }
   }
-  finalize(stats);
+  finalize(stats, "si_cds");
   return stats;
 }
 

@@ -6,6 +6,7 @@
 // uniform.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -36,5 +37,16 @@ inline constexpr std::uint32_t kUnreachableHops = ~std::uint32_t{0};
 /// Fills `delivered_all` / returns delivery ratio helpers shared by the
 /// protocol implementations.
 void finalize(BroadcastStats& stats);
+
+/// finalize() plus ambient instrumentation: records the run into the
+/// process-wide obs registry under `broadcast.<protocol>.*` counters and
+/// the shared forward-set/delivery/latency histograms. A no-op when the
+/// observability layer is compiled out.
+void finalize(BroadcastStats& stats, std::string_view protocol);
+
+/// Records an already-finalized run into the global registry (what the
+/// two-argument finalize() does after the bookkeeping). Exposed for
+/// callers that aggregate stats themselves.
+void record_run(std::string_view protocol, const BroadcastStats& stats);
 
 }  // namespace manet::broadcast

@@ -80,7 +80,7 @@ BroadcastStats suppression_flood(const graph::Graph& g, NodeId source,
     for (NodeId v : firing)
       for (NodeId w : g.neighbors(v)) hear(w, v, slot);
   }
-  finalize(stats);
+  finalize(stats, "suppression");
   return stats;
 }
 

@@ -15,6 +15,7 @@
 #include "incr/pipeline.hpp"
 #include "mobility/random_direction.hpp"
 #include "mobility/waypoint.hpp"
+#include "obs/session.hpp"
 
 namespace manet::exp {
 namespace {
@@ -81,8 +82,10 @@ ChurnResult run_churn(const ChurnConfig& config) {
   incr::PipelineOptions options;
   options.mode = config.mode;
   options.oracle_check = config.oracle_check;
+  options.obs = config.obs;
   incr::IncrementalPipeline pipeline(network->positions, net.range,
                                      config.width, config.height, options);
+  obs::TraceRecorder* tr = config.obs ? &config.obs->trace : nullptr;
 
   // Rebuild baseline state: the previous tick's clustering, repaired by a
   // full LCC pass each tick (what a snapshot-based deployment would run).
@@ -121,15 +124,21 @@ ChurnResult run_churn(const ChurnConfig& config) {
     incr_ms += ms_since(incr_start);
 
     // Rebuild baseline: from-scratch graph, full LCC pass, full backbone.
-    const auto rebuild_start = Clock::now();
-    const graph::Graph g = geom::unit_disk_graph(positions, net.range);
-    cluster::Clustering repaired = cluster::lcc_update(g, rebuild_previous);
-    const core::StaticBackbone full =
-        core::build_static_backbone(g, repaired, config.mode);
-    rebuild_ms += ms_since(rebuild_start);
-    MANET_ASSERT(full.cds.size() == pipeline.backbone().cds().size(),
-                 "incremental and rebuilt CDS diverged");
-    rebuild_previous = std::move(repaired);
+    if (config.rebuild_baseline) {
+      obs::Span span(tr, "churn", "rebuild_baseline",
+                     static_cast<std::uint64_t>(tick + 1), "links");
+      const auto rebuild_start = Clock::now();
+      const graph::Graph g = geom::unit_disk_graph(positions, net.range);
+      cluster::Clustering repaired =
+          cluster::lcc_update(g, rebuild_previous);
+      const core::StaticBackbone full =
+          core::build_static_backbone(g, repaired, config.mode);
+      rebuild_ms += ms_since(rebuild_start);
+      span.set_arg(g.edges().size());
+      MANET_ASSERT(full.cds.size() == pipeline.backbone().cds().size(),
+                   "incremental and rebuilt CDS diverged");
+      rebuild_previous = std::move(repaired);
+    }
 
     result.mean_link_changes += static_cast<double>(stats.link_changes);
     result.mean_head_changes += static_cast<double>(stats.head_changes);

@@ -18,6 +18,10 @@
 
 #include "core/neighbor_tables.hpp"
 
+namespace manet::obs {
+struct Session;
+}
+
 namespace manet::exp {
 
 /// One churn-maintenance configuration.
@@ -37,6 +41,13 @@ struct ChurnConfig {
   /// Cross-check the engine against the full rebuild every tick (slow;
   /// for tests — the bench keeps it off so timings stay honest).
   bool oracle_check = false;
+  /// Also time the batch rebuild baseline each tick. Off lets overhead
+  /// measurements isolate the incremental path.
+  bool rebuild_baseline = true;
+  /// Observability session threaded into the incremental pipeline
+  /// (per-phase spans, `incr.*` metrics) and the run loop itself.
+  /// nullptr = unobserved. Must outlive run_churn().
+  obs::Session* obs = nullptr;
 };
 
 /// Aggregated outcome of one churn run.

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "core/table_kernels.hpp"
+#include "obs/session.hpp"
 
 namespace manet::incr {
 namespace {
@@ -76,6 +77,30 @@ IncrementalBackbone::IncrementalBackbone(const graph::DynamicAdjacency& g,
   }
 }
 
+void IncrementalBackbone::set_obs(obs::Session* session) {
+  obs_ = session;
+  obs_handles_ = {};
+  if (!session) return;
+  auto& r = session->registry;
+  obs_handles_.links_appeared = r.counter("incr.links_appeared");
+  obs_handles_.links_disappeared = r.counter("incr.links_disappeared");
+  obs_handles_.reaffiliations = r.counter("incr.reaffiliations");
+  obs_handles_.role_changes = r.counter("incr.role_changes");
+  obs_handles_.heads_declared = r.counter("incr.heads_declared");
+  obs_handles_.heads_resigned = r.counter("incr.heads_resigned");
+  obs_handles_.hop1_rows_scanned = r.counter("incr.hop1_rows_scanned");
+  obs_handles_.hop1_rows_changed = r.counter("incr.hop1_rows_changed");
+  obs_handles_.hop2_rows_scanned = r.counter("incr.hop2_rows_scanned");
+  obs_handles_.hop2_rows_changed = r.counter("incr.hop2_rows_changed");
+  obs_handles_.heads_reselected = r.counter("incr.heads_reselected");
+  obs_handles_.coverage_changes = r.counter("incr.coverage_changes");
+  obs_handles_.backbone_flips = r.counter("incr.backbone_flips");
+  obs_handles_.links_per_tick = r.histogram(
+      "incr.links_per_tick", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  obs_handles_.rows_per_tick = r.histogram(
+      "incr.rows_per_tick", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+}
+
 void IncrementalBackbone::apply_selection_refs(const NodeSet& old_gateways,
                                                const NodeSet& new_gateways,
                                                NodeSet& cds_candidates) {
@@ -115,15 +140,28 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
                                      const EdgeDelta& delta) {
   MANET_REQUIRE(g.order() == clustering_.head_of.size(),
                 "adjacency does not match the maintained state");
+  ++ticks_applied_;
+  obs::TraceRecorder* tr = obs_ ? &obs_->trace : nullptr;
   TickStats stats;
   stats.link_changes = delta.link_changes();
+  obs_handles_.links_appeared.add(delta.added.size());
+  obs_handles_.links_disappeared.add(delta.removed.size());
+  obs_handles_.links_per_tick.record(delta.link_changes());
   if (delta.empty()) return stats;
 
-  const ClusterRepair rep =
-      repair_clustering(g, delta, clustering_, head_bits_);
+  ClusterRepair rep;
+  {
+    obs::Span span(tr, "incr", "cluster_repair", ticks_applied_, "flips");
+    rep = repair_clustering(g, delta, clustering_, head_bits_);
+    span.set_arg(rep.declared.size() + rep.resigned.size());
+  }
   stats.cluster_churn = rep.churn;
   stats.head_changes = rep.head_changed.size();
   stats.role_changes = rep.role_changed.size();
+  obs_handles_.reaffiliations.add(rep.head_changed.size());
+  obs_handles_.role_changes.add(rep.role_changed.size());
+  obs_handles_.heads_declared.add(rep.declared.size());
+  obs_handles_.heads_resigned.add(rep.resigned.size());
 
   // CH_HOP1(v) reads v's own head status, v's edges and its neighbors'
   // head status, so the exact dirty set is the changed-edge endpoints
@@ -137,13 +175,19 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
   const NodeSet hop1_dirty = hop1_mark.take();
 
   NodeSet hop1_changed;
-  for (const NodeId v : hop1_dirty) {
-    auto row = core::hop1_row(g, clustering_, v);
-    if (row != tables_.ch_hop1[v]) {
-      tables_.ch_hop1[v] = std::move(row);
-      hop1_changed.push_back(v);
+  {
+    obs::Span span(tr, "incr", "hop1_scan", ticks_applied_, "rows");
+    span.set_arg(hop1_dirty.size());
+    for (const NodeId v : hop1_dirty) {
+      auto row = core::hop1_row(g, clustering_, v);
+      if (row != tables_.ch_hop1[v]) {
+        tables_.ch_hop1[v] = std::move(row);
+        hop1_changed.push_back(v);
+      }
     }
   }
+  obs_handles_.hop1_rows_scanned.add(hop1_dirty.size());
+  obs_handles_.hop1_rows_changed.add(hop1_changed.size());
 
   // CH_HOP2(v) additionally reads the neighbors' head_of assignments and
   // their (already refreshed) CH_HOP1 rows: dirty set = changed-edge
@@ -157,16 +201,24 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
   const NodeSet hop2_dirty = hop2_mark.take();
 
   NodeSet changed_rows = hop1_changed;
-  for (const NodeId v : hop2_dirty) {
-    auto row =
-        core::hop2_row(g, clustering_, tables_.mode, tables_.ch_hop1, v);
-    if (row != tables_.ch_hop2[v]) {
-      tables_.ch_hop2[v] = std::move(row);
-      changed_rows.push_back(v);
+  {
+    obs::Span span(tr, "incr", "hop2_scan", ticks_applied_, "rows");
+    span.set_arg(hop2_dirty.size());
+    for (const NodeId v : hop2_dirty) {
+      auto row =
+          core::hop2_row(g, clustering_, tables_.mode, tables_.ch_hop1, v);
+      if (row != tables_.ch_hop2[v]) {
+        tables_.ch_hop2[v] = std::move(row);
+        changed_rows.push_back(v);
+      }
     }
   }
+  obs_handles_.hop2_rows_scanned.add(hop2_dirty.size());
+  obs_handles_.hop2_rows_changed.add(changed_rows.size() -
+                                     hop1_changed.size());
   normalize(changed_rows);
   stats.rows_recomputed = hop1_dirty.size() + hop2_dirty.size();
+  obs_handles_.rows_per_tick.record(stats.rows_recomputed);
 
   // A head's coverage and gateway selection read exactly its neighbor
   // list and the table rows of its neighbors, so a head needs a rerun
@@ -192,28 +244,39 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
   for (const NodeId h : rep.resigned) cds_candidates.push_back(h);
   const graph::NodeBitset declared_bits =
       graph::NodeBitset::from_node_set(g.order(), rep.declared);
-  for (const NodeId h : recompute)
-    recompute_head(g, h, /*was_head=*/!declared_bits.test(h), stats,
-                   cds_candidates);
-  // Resignations leave stale head rows behind; release their reference
-  // counts (guard against a same-tick re-declaration, which rule 2 makes
-  // impossible today but cheap to stay safe against).
-  for (const NodeId v : rep.resigned)
-    if (!head_bits_.test(v)) clear_head_rows(v, cds_candidates);
+  {
+    obs::Span span(tr, "incr", "head_reselect", ticks_applied_, "heads");
+    span.set_arg(recompute.size());
+    for (const NodeId h : recompute)
+      recompute_head(g, h, /*was_head=*/!declared_bits.test(h), stats,
+                     cds_candidates);
+    // Resignations leave stale head rows behind; release their reference
+    // counts (guard against a same-tick re-declaration, which rule 2 makes
+    // impossible today but cheap to stay safe against).
+    for (const NodeId v : rep.resigned)
+      if (!head_bits_.test(v)) clear_head_rows(v, cds_candidates);
+  }
+  obs_handles_.heads_reselected.add(recompute.size());
+  obs_handles_.coverage_changes.add(stats.coverage_changes);
 
   // Settle CDS membership for every node whose head status or selection
   // reference count moved this tick.
   normalize(cds_candidates);
-  for (const NodeId v : cds_candidates) {
-    const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
-    if (member != cds_bits_.test(v)) {
-      ++stats.backbone_changes;
-      if (member)
-        cds_bits_.set(v);
-      else
-        cds_bits_.reset(v);
+  {
+    obs::Span span(tr, "incr", "cds_settle", ticks_applied_, "candidates");
+    span.set_arg(cds_candidates.size());
+    for (const NodeId v : cds_candidates) {
+      const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
+      if (member != cds_bits_.test(v)) {
+        ++stats.backbone_changes;
+        if (member)
+          cds_bits_.set(v);
+        else
+          cds_bits_.reset(v);
+      }
     }
   }
+  obs_handles_.backbone_flips.add(stats.backbone_changes);
   return stats;
 }
 

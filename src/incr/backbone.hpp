@@ -44,6 +44,11 @@
 #include "graph/dynamic_adjacency.hpp"
 #include "incr/cluster_repair.hpp"
 #include "incr/edge_delta.hpp"
+#include "obs/metrics.hpp"
+
+namespace manet::obs {
+struct Session;
+}
 
 namespace manet::incr {
 
@@ -73,6 +78,11 @@ class IncrementalBackbone {
   /// DeltaTracker hands both over in that state).
   TickStats apply(const graph::DynamicAdjacency& g, const EdgeDelta& delta);
 
+  /// Attaches an observability session: per-phase spans go to its
+  /// flight recorder, `incr.*` counters/histograms to its registry.
+  /// nullptr detaches. The session must outlive the backbone.
+  void set_obs(obs::Session* session);
+
   core::CoverageMode mode() const { return tables_.mode; }
   const cluster::Clustering& clustering() const { return clustering_; }
   const core::NeighborTables& tables() const { return tables_; }
@@ -98,6 +108,15 @@ class IncrementalBackbone {
   std::string diff_against(const core::StaticBackbone& oracle) const;
 
  private:
+  /// Pre-resolved metric handles (inert when no session is attached).
+  struct ObsHandles {
+    obs::Counter links_appeared, links_disappeared, reaffiliations,
+        role_changes, heads_declared, heads_resigned, hop1_rows_scanned,
+        hop1_rows_changed, hop2_rows_scanned, hop2_rows_changed,
+        heads_reselected, coverage_changes, backbone_flips;
+    obs::Histogram links_per_tick, rows_per_tick;
+  };
+
   void recompute_head(const graph::DynamicAdjacency& g, NodeId h,
                       bool was_head, TickStats& stats,
                       NodeSet& cds_candidates);
@@ -114,6 +133,9 @@ class IncrementalBackbone {
   /// selection_refs_[v] = number of heads whose selection contains v.
   std::vector<std::uint32_t> selection_refs_;
   graph::NodeBitset cds_bits_;  ///< head_bits_ ∪ {v : selection_refs_[v]>0}
+  obs::Session* obs_ = nullptr;
+  ObsHandles obs_handles_;
+  std::uint64_t ticks_applied_ = 0;  ///< trace span "tick" argument
 };
 
 }  // namespace manet::incr

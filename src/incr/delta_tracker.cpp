@@ -67,6 +67,7 @@ void DeltaTracker::stage_move(NodeId v, geom::Point p) {
 
 EdgeDelta DeltaTracker::commit() {
   EdgeDelta delta;
+  last_cells_scanned_ = 0;
   if (staged_.empty()) return delta;
 
   // Phase 1: migrate every dirty node to its (possibly new) cell, so all
@@ -99,6 +100,7 @@ EdgeDelta DeltaTracker::commit() {
     const std::size_t c1 = col + 1 < cols_ ? col + 1 : cols_ - 1;
     const std::size_t r0 = row > 0 ? row - 1 : 0;
     const std::size_t r1 = row + 1 < rows_ ? row + 1 : rows_ - 1;
+    last_cells_scanned_ += (r1 - r0 + 1) * (c1 - c0 + 1);
     now.clear();
     for (std::size_t r = r0; r <= r1; ++r)
       for (std::size_t c = c0; c <= c1; ++c)

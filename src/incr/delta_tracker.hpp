@@ -50,6 +50,10 @@ class DeltaTracker {
   /// Number of staged (not yet committed) moves.
   std::size_t staged_count() const { return staged_.size(); }
 
+  /// Grid cells rescanned by the last commit() (its 3x3 dirty blocks) —
+  /// the engine's "dirty region" size at the geometry layer.
+  std::size_t last_cells_scanned() const { return last_cells_scanned_; }
+
   /// Applies all staged moves: updates positions, migrates dirty nodes
   /// between cells, rescans only the dirty 3x3 blocks, applies the edge
   /// changes to the adjacency overlay, and returns them. Expected
@@ -73,6 +77,7 @@ class DeltaTracker {
   std::vector<std::uint32_t> cell_of_node_;   // node -> cell index
   std::vector<NodeId> staged_;                // dirty node ids
   std::vector<char> is_staged_;               // dedup flag per node
+  std::size_t last_cells_scanned_ = 0;        // dirty-block cells, last commit
 };
 
 }  // namespace manet::incr

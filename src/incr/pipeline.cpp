@@ -1,13 +1,47 @@
 #include "incr/pipeline.hpp"
 
+#include <iostream>
 #include <utility>
 
 #include "cluster/lcc.hpp"
 #include "common/assert.hpp"
 #include "core/static_backbone.hpp"
 #include "geom/unit_disk.hpp"
+#include "obs/session.hpp"
 
 namespace manet::incr {
+namespace {
+
+void print_capped(std::ostream& out, const char* label, const NodeSet& nodes,
+                  std::size_t cap = 48) {
+  out << label << " (" << nodes.size() << "):";
+  for (std::size_t i = 0; i < std::min(nodes.size(), cap); ++i)
+    out << ' ' << nodes[i];
+  if (nodes.size() > cap) out << " ...";
+  out << '\n';
+}
+
+/// Satellite of the oracle mode: when the cross-check trips, the
+/// exception alone says *what* diverged but not *which* tick or *which*
+/// dirty region. Dump the flight recorder and the offending tick's
+/// delta to stderr so the failure is diagnosable post-mortem.
+void dump_flight_recorder(const obs::Session* obs, std::uint64_t tick,
+                          const EdgeDelta& delta, const std::string& why) {
+  std::ostream& err = std::cerr;
+  err << "\n=== incr oracle mismatch — flight-recorder dump ===\n"
+      << "tick " << tick << ": " << why << '\n'
+      << "delta: +" << delta.added.size() << " links, -"
+      << delta.removed.size() << " links\n";
+  print_capped(err, "dirty set", delta.touched);
+  if (obs) {
+    err << "--- metrics ---\n" << obs->registry.snapshot().to_text();
+    err << "--- flight recorder ---\n";
+    obs->trace.dump_tail(err, 120);
+  }
+  err << "=== end flight-recorder dump ===" << std::endl;
+}
+
+}  // namespace
 
 IncrementalPipeline::IncrementalPipeline(std::vector<geom::Point> positions,
                                          double range, double width,
@@ -17,20 +51,56 @@ IncrementalPipeline::IncrementalPipeline(std::vector<geom::Point> positions,
       backbone_(tracker_.adjacency(), options.mode),
       options_(options) {
   if (options_.oracle_check) oracle_previous_ = backbone_.clustering();
+  set_obs(options_.obs);
+}
+
+void IncrementalPipeline::set_obs(obs::Session* session) {
+  options_.obs = session;
+  backbone_.set_obs(session);
+  if (session) {
+    auto& r = session->registry;
+    ticks_counter_ = r.counter("incr.ticks");
+    staged_counter_ = r.counter("incr.staged_moves");
+    dirty_cells_counter_ = r.counter("incr.dirty_cells");
+  } else {
+    ticks_counter_ = obs::Counter();
+    staged_counter_ = obs::Counter();
+    dirty_cells_counter_ = obs::Counter();
+  }
 }
 
 TickStats IncrementalPipeline::tick() {
-  const EdgeDelta delta = tracker_.commit();
+  ++tick_index_;
+  obs::TraceRecorder* tr = options_.obs ? &options_.obs->trace : nullptr;
+  obs::Span tick_span(tr, "incr", "tick", tick_index_, "links");
+  ticks_counter_.add();
+  staged_counter_.add(tracker_.staged_count());
+
+  EdgeDelta delta;
+  {
+    obs::Span span(tr, "incr", "delta_commit", tick_index_, "links");
+    delta = tracker_.commit();
+    span.set_arg(delta.link_changes());
+  }
+  dirty_cells_counter_.add(tracker_.last_cells_scanned());
+  tick_span.set_arg(delta.link_changes());
+
   const TickStats stats = backbone_.apply(tracker_.adjacency(), delta);
 
   if (options_.oracle_check) {
     // Full rebuild from first principles: re-derive the topology from the
     // raw positions and repair the previous tick's clustering with the
     // batch LCC pass, then compare every maintained structure bit for bit.
+    obs::Span span(tr, "incr", "oracle_check", tick_index_);
     const graph::Graph frozen = tracker_.adjacency().freeze();
     const graph::Graph reference =
         geom::unit_disk_graph(tracker_.positions(), tracker_.range());
-    MANET_REQUIRE(frozen.edges() == reference.edges(),
+    const bool adjacency_ok = frozen.edges() == reference.edges();
+    if (!adjacency_ok)
+      dump_flight_recorder(options_.obs, tick_index_, delta,
+                           "maintained adjacency diverged from "
+                           "unit_disk_graph over the current positions");
+    MANET_REQUIRE(adjacency_ok,
                   "incr oracle: maintained adjacency diverged from "
                   "unit_disk_graph over the current positions");
     cluster::Clustering oracle_clustering =
@@ -38,6 +108,8 @@ TickStats IncrementalPipeline::tick() {
     const core::StaticBackbone oracle = core::build_static_backbone(
         frozen, oracle_clustering, options_.mode);
     const std::string mismatch = backbone_.diff_against(oracle);
+    if (!mismatch.empty())
+      dump_flight_recorder(options_.obs, tick_index_, delta, mismatch);
     MANET_REQUIRE(mismatch.empty(), "incr oracle: " + mismatch);
     oracle_previous_ = std::move(oracle_clustering);
   }

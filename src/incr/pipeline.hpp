@@ -14,6 +14,7 @@
 #include "geom/point.hpp"
 #include "incr/backbone.hpp"
 #include "incr/delta_tracker.hpp"
+#include "obs/metrics.hpp"
 
 namespace manet::incr {
 
@@ -25,6 +26,11 @@ struct PipelineOptions {
   /// with the maintained state. Orders of magnitude slower — for tests
   /// and the equivalence bench column only.
   bool oracle_check = false;
+  /// Observability session: per-phase flight-recorder spans and `incr.*`
+  /// metrics. nullptr = not observed. Must outlive the pipeline. On an
+  /// oracle mismatch the recorder tail and the offending tick's dirty
+  /// set are dumped to stderr before the throw.
+  obs::Session* obs = nullptr;
 };
 
 /// Delta-driven replacement for the per-tick full rebuild: feed it the
@@ -50,6 +56,11 @@ class IncrementalPipeline {
   /// Stages a position update (applied at the next tick()).
   void stage_move(NodeId v, geom::Point p) { tracker_.stage_move(v, p); }
 
+  /// Attaches (or detaches, with nullptr) an observability session after
+  /// construction; equivalent to having passed it in PipelineOptions.
+  /// Call between ticks, not during one.
+  void set_obs(obs::Session* session);
+
   /// Commits all staged moves and repairs every maintained structure.
   /// With oracle_check on, throws std::invalid_argument describing the
   /// first mismatch against the full rebuild (i.e. an engine bug).
@@ -65,6 +76,10 @@ class IncrementalPipeline {
   DeltaTracker tracker_;
   IncrementalBackbone backbone_;
   PipelineOptions options_;
+  std::uint64_t tick_index_ = 0;
+  obs::Counter ticks_counter_;
+  obs::Counter staged_counter_;
+  obs::Counter dirty_cells_counter_;
   /// Previous oracle clustering (oracle mode): the full-rebuild path is
   /// lcc_update from the previous tick's structure, exactly what the
   /// engine repairs incrementally.

@@ -64,6 +64,15 @@
 #include "mobility/random_direction.hpp"
 #include "mobility/waypoint.hpp"
 
+// Incremental maintenance engine and the churn experiment driving it.
+#include "exp/churn.hpp"
+#include "incr/pipeline.hpp"
+
+// Observability: deterministic metrics + flight-recorder tracing.
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+
 // Experiment harness (paper scenario + figure and ablation runners).
 #include "exp/ablations.hpp"
 #include "exp/figures.hpp"

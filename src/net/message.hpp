@@ -60,6 +60,17 @@ struct Message {
   MessageBody body;
 };
 
+/// Wire name of a message body's alternative (trace labels, reports).
+inline const char* message_type_name(const MessageBody& body) {
+  static constexpr const char* kNames[] = {
+      "HELLO",   "CLUSTER_HEAD", "NON_CLUSTER_HEAD",
+      "CH_HOP1", "CH_HOP2",      "GATEWAY",
+      "DATA"};
+  static_assert(std::variant_size_v<MessageBody> ==
+                sizeof(kNames) / sizeof(kNames[0]));
+  return kNames[body.index()];
+}
+
 /// Per-type transmission counters — the material for the paper's O(n)
 /// communication-complexity claim.
 struct MessageCounts {

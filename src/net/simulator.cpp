@@ -1,11 +1,20 @@
 #include "net/simulator.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "obs/session.hpp"
 
 namespace manet::net {
 namespace {
+
+/// Rounds of in-flight history kept for the livelock report.
+constexpr std::size_t kLivelockWindow = 8;
+
+/// One simulated round maps to 1 ms of trace time, so protocol
+/// exchanges line up round-by-round in Perfetto.
+constexpr std::uint64_t kRoundNs = 1'000'000;
 
 /// Collects one node's outgoing transmissions for the current round.
 class QueueMailbox final : public Mailbox {
@@ -53,11 +62,45 @@ const NodeProcess& Simulator::process(NodeId v) const {
   return *nodes_[v];
 }
 
+void Simulator::set_obs(obs::Session* session) {
+  obs_ = session;
+  for (auto& c : msg_counters_) c = obs::Counter();
+  rounds_counter_ = obs::Counter();
+  quiescence_gauge_ = obs::Gauge();
+  inbox_hist_ = obs::Histogram();
+  in_flight_hist_ = obs::Histogram();
+  if (!session) return;
+  auto& r = session->registry;
+  static constexpr const char* kCounterNames[] = {
+      "net.msg.hello",   "net.msg.cluster_head", "net.msg.non_cluster_head",
+      "net.msg.ch_hop1", "net.msg.ch_hop2",      "net.msg.gateway",
+      "net.msg.data"};
+  static_assert(std::variant_size_v<MessageBody> ==
+                sizeof(kCounterNames) / sizeof(kCounterNames[0]));
+  for (std::size_t i = 0; i < std::variant_size_v<MessageBody>; ++i)
+    msg_counters_[i] = r.counter(kCounterNames[i]);
+  rounds_counter_ = r.counter("net.rounds");
+  quiescence_gauge_ = r.gauge("net.quiescence_round");
+  inbox_hist_ = r.histogram("net.inbox_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  in_flight_hist_ =
+      r.histogram("net.in_flight", {1, 4, 16, 64, 256, 1024, 4096});
+}
+
+void Simulator::record_send(const Message& m) {
+  counts_.count(m.body);
+  if (observer_) observer_(round_, m);
+  if (obs_) {
+    msg_counters_[m.body.index()].add();
+    obs_->trace.instant_at(std::uint64_t{round_} * kRoundNs, "net",
+                           message_type_name(m.body), round_, m.from, "from",
+                           m.from);
+  }
+}
+
 void Simulator::inject(NodeId from, MessageBody body) {
   MANET_REQUIRE(from < g_.order(), "inject source out of range");
   Message m{from, std::move(body)};
-  counts_.count(m.body);
-  if (observer_) observer_(round_, m);
+  record_send(m);
   in_flight_.push_back(std::move(m));
 }
 
@@ -71,8 +114,7 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
       QueueMailbox mb(v);
       nodes_[v]->start(mb);
       for (auto& m : mb.take()) {
-        counts_.count(m.body);
-        if (observer_) observer_(round_, m);
+        record_send(m);
         in_flight_.push_back(std::move(m));
       }
     }
@@ -87,6 +129,10 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
       for (NodeId w : g_.neighbors(m.from)) inboxes[w].push_back(m);
     const bool had_traffic = !in_flight_.empty();
     in_flight_.clear();
+    if (obs_) {
+      for (const auto& box : inboxes)
+        if (!box.empty()) inbox_hist_.record(box.size());
+    }
 
     // Let every node react (and possibly transmit for next round).
     ++round_;
@@ -95,16 +141,31 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
       QueueMailbox mb(v);
       nodes_[v]->on_round(round_, inboxes[v], mb);
       for (auto& m : mb.take()) {
-        counts_.count(m.body);
-        if (observer_) observer_(round_, m);
+        record_send(m);
         in_flight_.push_back(std::move(m));
       }
     }
 
+    if (obs_) in_flight_hist_.record(in_flight_.size());
+    if (recent_in_flight_.size() >= kLivelockWindow)
+      recent_in_flight_.erase(recent_in_flight_.begin());
+    recent_in_flight_.emplace_back(round_, in_flight_.size());
+
     if (in_flight_.empty() && !had_traffic) break;  // quiescent
-    if (executed >= max_rounds)
-      throw std::runtime_error("simulator exceeded max_rounds (livelock?)");
+    if (executed >= max_rounds) {
+      // Livelock guard: report how much traffic was still circulating in
+      // the final rounds — "the round limit elapsed" alone says nothing
+      // about whether the protocol was converging or ringing.
+      std::ostringstream os;
+      os << "simulator exceeded max_rounds=" << max_rounds
+         << " (livelock?); in-flight messages over the final rounds:";
+      for (const auto& [r, cnt] : recent_in_flight_)
+        os << " round " << r << "=" << cnt;
+      throw std::runtime_error(os.str());
+    }
   }
+  rounds_counter_.add(executed);
+  quiescence_gauge_.set(round_);
   return executed;
 }
 

@@ -17,6 +17,11 @@
 #include "common/ids.hpp"
 #include "graph/graph.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
+
+namespace manet::obs {
+struct Session;
+}
 
 namespace manet::net {
 
@@ -70,6 +75,13 @@ class Simulator {
   using Observer = std::function<void(std::uint32_t, const Message&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Attaches an observability session: every transmission becomes an
+  /// instant trace event on the sender's track (one simulated round =
+  /// 1 ms of trace time, so the exchange reads round-by-round in
+  /// Perfetto), and `net.*` counters/histograms land in its registry.
+  /// nullptr detaches. The session must outlive the simulator.
+  void set_obs(obs::Session* session);
+
   const MessageCounts& counts() const { return counts_; }
 
   /// Access to a node's process (for result extraction after run()).
@@ -77,6 +89,10 @@ class Simulator {
   const NodeProcess& process(NodeId v) const;
 
  private:
+  /// Counts one transmission: protocol counters, the user observer, the
+  /// obs session (counter by type + instant trace event).
+  void record_send(const Message& m);
+
   const graph::Graph& g_;
   std::vector<std::unique_ptr<NodeProcess>> nodes_;
   MessageCounts counts_;
@@ -84,6 +100,16 @@ class Simulator {
   std::vector<Message> in_flight_;
   bool started_ = false;
   std::uint32_t round_ = 0;
+  obs::Session* obs_ = nullptr;
+  obs::Counter msg_counters_[std::variant_size_v<MessageBody>];
+  obs::Counter rounds_counter_;
+  obs::Gauge quiescence_gauge_;
+  obs::Histogram inbox_hist_;
+  obs::Histogram in_flight_hist_;
+  /// (round, messages queued for the next round) over the last few
+  /// rounds — the livelock diagnostic reported when run() hits its
+  /// round limit.
+  std::vector<std::pair<std::uint32_t, std::size_t>> recent_in_flight_;
 };
 
 }  // namespace manet::net

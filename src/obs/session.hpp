@@ -1,0 +1,22 @@
+// One observability session = one metrics registry + one flight
+// recorder. Engines take a `Session*` (nullptr = not observed) so a
+// bench or experiment can scope metrics to a single run, snapshot them
+// into its JSON record, and export the trace on demand.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace manet::obs {
+
+/// Bundles the registry and the trace ring handed to instrumented
+/// engines. Non-copyable (registries hand out stable pointers).
+struct Session {
+  Registry registry;
+  TraceRecorder trace;
+
+  Session() = default;
+  explicit Session(std::size_t trace_capacity) : trace(trace_capacity) {}
+};
+
+}  // namespace manet::obs

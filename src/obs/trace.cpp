@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace manet::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  MANET_REQUIRE(capacity_ > 0, "trace recorder needs a positive capacity");
+#if MANET_OBS_ENABLED
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+#endif
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+#if MANET_OBS_ENABLED
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+#else
+  return 0;
+#endif
+}
+
+void TraceRecorder::push(const TraceEvent& e) {
+#if MANET_OBS_ENABLED
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+  }
+  if (++next_ == capacity_) next_ = 0;
+  ++total_;
+#else
+  (void)e;
+#endif
+}
+
+void TraceRecorder::instant(const char* cat, const char* name,
+                            std::uint64_t tick, std::uint32_t tid,
+                            const char* arg_name, std::uint64_t arg) {
+  instant_at(now_ns(), cat, name, tick, tid, arg_name, arg);
+}
+
+void TraceRecorder::instant_at(std::uint64_t ts_ns, const char* cat,
+                               const char* name, std::uint64_t tick,
+                               std::uint32_t tid, const char* arg_name,
+                               std::uint64_t arg) {
+  push({cat, name, 'i', tid, ts_ns, 0, tick, arg_name, arg});
+}
+
+void TraceRecorder::complete(const char* cat, const char* name,
+                             std::uint64_t ts_ns, std::uint64_t dur_ns,
+                             std::uint64_t tick, std::uint32_t tid,
+                             const char* arg_name, std::uint64_t arg) {
+  push({cat, name, 'X', tid, ts_ns, dur_ns, tick, arg_name, arg});
+}
+
+std::size_t TraceRecorder::size() const { return ring_.size(); }
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+template <typename Fn>
+void TraceRecorder::for_each(Fn&& fn) const {
+  if (ring_.size() < capacity_) {
+    for (const auto& e : ring_) fn(e);
+    return;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    fn(ring_[(next_ + i) % capacity_]);
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for_each([&](const TraceEvent& e) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+        << "\",\"ph\":\"" << e.phase << "\",\"pid\":0,\"tid\":" << e.tid;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.ts_ns) / 1000.0);
+    out << ",\"ts\":" << buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out << ",\"dur\":" << buf;
+    }
+    if (e.phase == 'i') out << ",\"s\":\"t\"";
+    out << ",\"args\":{\"tick\":" << e.tick;
+    if (e.arg_name)
+      out << ",\"" << e.arg_name << "\":" << e.arg;
+    out << "}}";
+  });
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  MANET_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  write_chrome_trace(out);
+}
+
+void TraceRecorder::dump_tail(std::ostream& out,
+                              std::size_t max_events) const {
+  const std::size_t held = ring_.size();
+  const std::size_t shown = std::min(held, max_events);
+  out << "trace tail: last " << shown << " of " << total_
+      << " recorded events\n";
+  std::size_t index = 0;
+  char buf[64];
+  for_each([&](const TraceEvent& e) {
+    ++index;
+    if (held - index >= shown) return;  // skip events before the tail
+    out << "  [tick " << e.tick << "] " << e.cat << '/' << e.name;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out << ' ' << buf << "us";
+    }
+    if (e.arg_name) out << ' ' << e.arg_name << '=' << e.arg;
+    if (e.tid != 0) out << " (tid " << e.tid << ')';
+    out << '\n';
+  });
+}
+
+}  // namespace manet::obs

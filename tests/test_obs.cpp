@@ -1,0 +1,344 @@
+// Tests for the observability layer (src/obs): registry determinism —
+// snapshots must be byte-identical across reruns and replication thread
+// counts — histogram edge cases, the flight-recorder ring, Chrome-trace
+// export, and the instrumentation threaded through the simulator and
+// the churn experiment.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/churn.hpp"
+#include "geom/unit_disk.hpp"
+#include "graph/graph.hpp"
+#include "incr/pipeline.hpp"
+#include "net/protocol.hpp"
+#include "net/simulator.hpp"
+#include "obs/session.hpp"
+#include "paper_fixtures.hpp"
+#include "stats/replicator.hpp"
+
+namespace manet {
+namespace {
+
+TEST(ObsRegistryTest, CountersGaugesHistogramsRoundTrip) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry reg;
+  obs::Counter c = reg.counter("ticks");
+  obs::Gauge g = reg.gauge("round");
+  obs::Histogram h = reg.histogram("rows", {10, 20, 40});
+  c.add();
+  c.add(4);
+  g.set(-3);
+  h.record(15);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "ticks");
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  EXPECT_EQ(snap.counter_or("ticks"), 5u);
+  EXPECT_EQ(snap.counter_or("absent", 42), 42u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -3);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 15u);
+
+  reg.reset();
+  const obs::MetricsSnapshot zeroed = reg.snapshot();
+  EXPECT_EQ(zeroed.counter_or("ticks"), 0u);
+  EXPECT_EQ(zeroed.histograms[0].count, 0u);
+  c.add();  // handles survive reset()
+  EXPECT_EQ(reg.snapshot().counter_or("ticks"), 1u);
+}
+
+TEST(ObsRegistryTest, HistogramEdgesMustBeStrictlyIncreasing) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry reg;
+  EXPECT_THROW(reg.histogram("empty", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("dup", {1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("desc", {4, 2, 1}), std::invalid_argument);
+}
+
+TEST(ObsRegistryTest, HistogramUnderflowOverflowAndEmpty) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("h", {10, 20, 40});
+
+  // Untouched histogram: all zero, edges+1 buckets.
+  obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 4u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+  EXPECT_EQ(snap.histograms[0].sum, 0u);
+
+  h.record(0);    // underflow: < 10
+  h.record(9);    // underflow
+  h.record(10);   // [10, 20)
+  h.record(39);   // [20, 40)
+  h.record(40);   // overflow: >= last edge
+  h.record(1000);  // overflow
+
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.histograms[0].buckets,
+            (std::vector<std::uint64_t>{2, 1, 1, 2}));
+  EXPECT_EQ(snap.histograms[0].count, 6u);
+  EXPECT_EQ(snap.histograms[0].sum, 0u + 9 + 10 + 39 + 40 + 1000);
+}
+
+TEST(ObsRegistryTest, SnapshotJsonIsDeterministic) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  const auto drive = [] {
+    obs::Registry reg;
+    // Register in scrambled order: snapshots sort by name.
+    obs::Counter b = reg.counter("b.count");
+    obs::Histogram h = reg.histogram("a.hist", {1, 2, 4});
+    obs::Counter a = reg.counter("a.count");
+    obs::Gauge g = reg.gauge("c.gauge");
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      a.add(i);
+      b.add();
+      h.record(i % 6);
+      g.set(static_cast<std::int64_t>(i));
+    }
+    return reg.snapshot();
+  };
+  const obs::MetricsSnapshot first = drive();
+  const obs::MetricsSnapshot second = drive();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_EQ(first.counters[0].name, "a.count");  // sorted by name
+  EXPECT_NE(first.to_json().find("\"a.hist\""), std::string::npos);
+}
+
+TEST(ObsRegistryTest, CompiledOutRegistryStaysEmpty) {
+  if (obs::kEnabled) GTEST_SKIP() << "only meaningful with -DMANET_OBS=OFF";
+  obs::Registry reg;
+  obs::Counter c = reg.counter("ticks");
+  obs::Histogram h = reg.histogram("h", {});  // edges not even validated
+  c.add(7);
+  h.record(3);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsRegistryTest, ThreadedReplicateIsDeterministic) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  // The registry's atomic adds commute, so recording from
+  // stats::replicate workers must yield the same snapshot for every
+  // thread count. R is divisible by each tested thread count so the
+  // parallel batches line up exactly with the stopping point.
+  static constexpr std::size_t kReps = 24;
+  const auto run_with_threads = [](std::size_t threads) {
+    obs::Registry reg;
+    obs::Counter c = reg.counter("work");
+    obs::Histogram h = reg.histogram("dist", {4, 8, 16});
+    stats::ReplicationPolicy policy;
+    policy.min_replications = kReps;
+    policy.max_replications = kReps;
+    policy.threads = threads;
+    const stats::ReplicationResult result = stats::replicate(
+        policy, 1, [&](std::size_t rep, std::vector<double>& out) {
+          c.add(static_cast<std::uint64_t>(rep) + 1);
+          h.record(static_cast<std::uint64_t>(rep) % 20);
+          out.push_back(static_cast<double>(rep));
+        });
+    EXPECT_EQ(result.replications, kReps);
+    return reg.snapshot().to_json();
+  };
+  const std::string baseline = run_with_threads(1);
+  for (const std::size_t threads : {2u, 3u, 4u})
+    EXPECT_EQ(run_with_threads(threads), baseline)
+        << "snapshot diverged at threads=" << threads;
+}
+
+TEST(ObsTraceTest, RingKeepsTheLastEvents) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::TraceRecorder rec(4);
+  EXPECT_THROW(obs::TraceRecorder(0), std::invalid_argument);
+  for (std::uint64_t tick = 0; tick < 10; ++tick)
+    rec.instant_at(tick * 100, "t", "e", tick);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tick\":6"), std::string::npos);  // oldest kept
+  EXPECT_NE(json.find("\"tick\":9"), std::string::npos);  // newest
+  EXPECT_EQ(json.find("\"tick\":5"), std::string::npos);  // overwritten
+  // Oldest-first order in the export.
+  EXPECT_LT(json.find("\"tick\":6"), json.find("\"tick\":9"));
+
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+}
+
+TEST(ObsTraceTest, ChromeExportCarriesSpansAndArgs) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::TraceRecorder rec(16);
+  rec.complete("incr", "hop1_scan", 2000, 1500, 3, 0, "rows", 7);
+  {
+    obs::Span span(&rec, "incr", "tick", 4, "links");
+    span.set_arg(12);
+  }
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"hop1_scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.000"), std::string::npos);   // us
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);  // us
+  EXPECT_NE(json.find("\"rows\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"links\":12"), std::string::npos);
+
+  std::ostringstream tail;
+  rec.dump_tail(tail, 1);  // only the span from the RAII block
+  EXPECT_NE(tail.str().find("last 1 of 2"), std::string::npos);
+  EXPECT_NE(tail.str().find("incr/tick"), std::string::npos);
+  EXPECT_EQ(tail.str().find("hop1_scan"), std::string::npos);
+}
+
+TEST(ObsSimulatorTest, RegistryCountersMatchMessageCounts) {
+  const auto g = testing::paper_figure3_network();
+  obs::Session session;
+  net::Simulator sim(g, [](NodeId v) {
+    return std::make_unique<net::BackboneNode>(
+        v, core::CoverageMode::kTwoPointFiveHop);
+  });
+  sim.set_obs(&session);
+  const std::uint32_t rounds = sim.run();
+  const net::MessageCounts& counts = sim.counts();
+  EXPECT_GT(counts.total(), 0u);
+  if (!obs::kEnabled) return;
+
+  const obs::MetricsSnapshot snap = session.registry.snapshot();
+  EXPECT_EQ(snap.counter_or("net.msg.hello"), counts.hello);
+  EXPECT_EQ(snap.counter_or("net.msg.cluster_head"), counts.cluster_head);
+  EXPECT_EQ(snap.counter_or("net.msg.non_cluster_head"),
+            counts.non_cluster_head);
+  EXPECT_EQ(snap.counter_or("net.msg.ch_hop1"), counts.ch_hop1);
+  EXPECT_EQ(snap.counter_or("net.msg.ch_hop2"), counts.ch_hop2);
+  EXPECT_EQ(snap.counter_or("net.msg.gateway"), counts.gateway);
+  EXPECT_EQ(snap.counter_or("net.rounds"), rounds);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "net.quiescence_round");
+  EXPECT_EQ(snap.gauges[0].value, static_cast<std::int64_t>(rounds));
+  // One instant trace event per transmission, on the sender's track.
+  EXPECT_EQ(session.trace.total_recorded(), counts.total());
+}
+
+/// Never quiesces: transmits a HELLO every round.
+class ChattyNode final : public net::NodeProcess {
+ public:
+  void start(net::Mailbox& out) override { out.send(net::HelloMsg{}); }
+  void on_round(std::uint32_t, const std::vector<net::Message>&,
+                net::Mailbox& out) override {
+    out.send(net::HelloMsg{});
+  }
+  bool done() const override { return false; }
+};
+
+TEST(ObsSimulatorTest, LivelockErrorReportsInFlightCounts) {
+  const auto g = graph::make_graph(2, {{0, 1}});
+  net::Simulator sim(g, [](NodeId) { return std::make_unique<ChattyNode>(); });
+  try {
+    sim.run(5);
+    FAIL() << "expected the livelock guard to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_rounds=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("in-flight"), std::string::npos) << what;
+    // Both nodes transmit every round: 2 in flight each reported round.
+    EXPECT_NE(what.find("round 5=2"), std::string::npos) << what;
+  }
+}
+
+TEST(ObsChurnTest, MetricsAreDeterministicAcrossReruns) {
+  const auto run_once = [] {
+    exp::ChurnConfig config;
+    config.nodes = 60;
+    config.degree = 6.0;
+    config.ticks = 15;
+    config.move_fraction = 0.05;
+    config.seed = 7;
+    config.rebuild_baseline = false;
+    obs::Session session;
+    config.obs = &session;
+    exp::run_churn(config);
+    return session.registry.snapshot();
+  };
+  const obs::MetricsSnapshot first = run_once();
+  const obs::MetricsSnapshot second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.to_json(), second.to_json());
+  if (obs::kEnabled) {
+    EXPECT_EQ(first.counter_or("incr.ticks"), 15u);
+  }
+}
+
+// bench/obs_overhead relies on toggling observation between ticks of a
+// live pipeline: attaching must only change what gets recorded, never
+// the maintained state, and counters must cover exactly the observed
+// ticks.
+TEST(ObsChurnTest, SetObsToggleObservesWithoutPerturbing) {
+  geom::UnitDiskConfig net;
+  net.nodes = 50;
+  net.range = geom::range_for_average_degree(6.0, net.nodes, net.width,
+                                             net.height);
+  Rng rng(derive_seed(5, 0, 0));
+  const auto network = geom::generate_unit_disk(net, rng);
+
+  incr::IncrementalPipeline toggled(network.positions, net.range, net.width,
+                                    net.height, incr::PipelineOptions{});
+  incr::IncrementalPipeline untouched(network.positions, net.range,
+                                      net.width, net.height,
+                                      incr::PipelineOptions{});
+  obs::Session session;
+  Rng move_rng(derive_seed(5, 0, 1));
+  for (std::uint64_t tick = 0; tick < 8; ++tick) {
+    const auto v = static_cast<NodeId>(move_rng.index(net.nodes));
+    const geom::Point p{move_rng.uniform(0.0, net.width),
+                        move_rng.uniform(0.0, net.height)};
+    toggled.stage_move(v, p);
+    untouched.stage_move(v, p);
+    toggled.set_obs(tick % 2 == 0 ? &session : nullptr);
+    toggled.tick();
+    untouched.tick();
+  }
+  toggled.set_obs(nullptr);
+  EXPECT_EQ(toggled.freeze_graph().edges(), untouched.freeze_graph().edges());
+  EXPECT_EQ(toggled.clustering().head_of, untouched.clustering().head_of);
+  if (obs::kEnabled) {
+    // Only the 4 observed ticks count.
+    EXPECT_EQ(session.registry.snapshot().counter_or("incr.ticks"), 4u);
+  }
+}
+
+TEST(ObsChurnTest, OracleRunRecordsPipelineMetrics) {
+  exp::ChurnConfig config;
+  config.nodes = 40;
+  config.degree = 6.0;
+  config.ticks = 10;
+  config.move_fraction = 0.05;
+  config.seed = 11;
+  config.oracle_check = true;
+  obs::Session session;
+  config.obs = &session;
+  const exp::ChurnResult result = exp::run_churn(config);
+  EXPECT_EQ(result.ticks, 10u);
+  if (!obs::kEnabled) return;
+  const obs::MetricsSnapshot snap = session.registry.snapshot();
+  EXPECT_EQ(snap.counter_or("incr.ticks"), 10u);
+  // Every tick leaves a tick span plus phase spans in the recorder.
+  EXPECT_GE(session.trace.total_recorded(), 10u);
+}
+
+}  // namespace
+}  // namespace manet
