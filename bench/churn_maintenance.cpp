@@ -7,8 +7,18 @@
 // backbone rebuild). The acceptance gate for the engine is the waypoint
 // n=2000, d=6 row: incremental must be >= 5x faster than the rebuild.
 //
+// Two extra sections ride on top of the matrix:
+//  * --threads=<k> with k > 1 additionally runs a sharded-vs-sequential
+//    comparison (waypoint, d=6, heavier churn) and cross-checks that
+//    both engines produced the same final state hash;
+//  * --scale (or --scale-fast) appends the 10k–100k scaling sweep —
+//    ascending sizes, coarse rebuild stride, peak-RSS column — feeding
+//    the O(n) memory audit in docs/PERFORMANCE.md.
+//
 // Flags: --fast (fewer ticks, sizes capped at 500), --seed=<u64>,
 //        --ticks=<k>, --move-frac=<f> (default 0.01),
+//        --threads=<k> (default 1, engine lanes for every row),
+//        --scale / --scale-fast (10k–100k sweep; fast stops at 10k),
 //        --json=<path> (default BENCH_churn.json under --out-dir,
 //        default results/),
 //        --trace-out=<path> (Chrome-trace JSON of the last record's run;
@@ -31,17 +41,19 @@ struct Record {
   exp::ChurnConfig config;
   exp::ChurnResult result;
   std::string metrics_json;  ///< obs registry snapshot of this run
+  std::string section;       ///< "matrix" / "parallel" / "scale"
 };
 
 void write_json(const std::string& path, const std::vector<Record>& records) {
   std::ofstream out(path);
   out << "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& [c, r, metrics] = records[i];
-    out << "  {\"model\": \"" << exp::model_name(c.model)
-        << "\", \"n\": " << c.nodes << ", \"degree\": " << c.degree
+    const auto& [c, r, metrics, section] = records[i];
+    out << "  {\"section\": \"" << section << "\", \"model\": \""
+        << exp::model_name(c.model) << "\", \"n\": " << c.nodes
+        << ", \"degree\": " << c.degree
         << ", \"move_fraction\": " << c.move_fraction
-        << ", \"ticks\": " << r.ticks
+        << ", \"threads\": " << c.threads << ", \"ticks\": " << r.ticks
         << ", \"incremental_ms_per_tick\": " << r.incremental_ms_per_tick
         << ", \"rebuild_ms_per_tick\": " << r.rebuild_ms_per_tick
         << ", \"speedup\": " << r.speedup
@@ -50,10 +62,29 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
         << ", \"mean_backbone_changes\": " << r.mean_backbone_changes
         << ", \"mean_rows_recomputed\": " << r.mean_rows_recomputed
         << ", \"mean_heads_reselected\": " << r.mean_heads_reselected
+        << ", \"mean_regions\": " << r.mean_regions
+        << ", \"state_hash\": \"" << std::hex << r.state_hash << std::dec
+        << "\", \"peak_rss_bytes\": " << r.peak_rss_bytes
         << ", \"metrics\": " << metrics << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
+}
+
+exp::ChurnResult run_record(exp::ChurnConfig config,
+                            std::vector<Record>& records,
+                            const std::string& section,
+                            const std::string& trace_path) {
+  // A fresh session per record: each row's metrics block covers exactly
+  // one run. --trace-out is rewritten every record, so the file ends up
+  // holding the last run's trace.
+  obs::Session session;
+  config.obs = &session;
+  const exp::ChurnResult r = exp::run_churn(config);
+  records.push_back({config, r, session.registry.snapshot().to_json(),
+                     section});
+  if (!trace_path.empty()) session.trace.write_chrome_trace_file(trace_path);
+  return r;
 }
 
 }  // namespace
@@ -65,6 +96,10 @@ int main(int argc, char** argv) {
   const auto ticks =
       static_cast<std::size_t>(flags.get_int("ticks", fast ? 50 : 200));
   const double move_frac = flags.get_double("move-frac", 0.01);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("threads", 1));
+  const bool scale_fast = flags.get_bool("scale-fast");
+  const bool scale = flags.get_bool("scale") || scale_fast;
   const std::string json_path =
       artifact_path(flags, flags.get("json", "BENCH_churn.json"));
   const std::string trace_path = flags.get("trace-out", "");
@@ -74,8 +109,9 @@ int main(int argc, char** argv) {
 
   std::puts(
       "manetcast :: churn_maintenance — incremental engine vs full rebuild");
-  std::printf("%-10s %6s %4s %10s %10s %8s %8s %8s\n", "model", "n", "d",
-              "incr_ms", "rebuild_ms", "speedup", "links/t", "rows/t");
+  std::printf("%-10s %6s %4s %3s %10s %10s %8s %8s %8s %6s\n", "model", "n",
+              "d", "thr", "incr_ms", "rebuild_ms", "speedup", "links/t",
+              "rows/t", "reg/t");
 
   std::vector<Record> records;
   for (const auto model : {exp::ChurnConfig::Model::kWaypoint,
@@ -91,21 +127,92 @@ int main(int argc, char** argv) {
         config.ticks = ticks;
         config.move_fraction = move_frac;
         config.seed = seed;
-        // A fresh session per record: each row's metrics block covers
-        // exactly one run. --trace-out is rewritten every record, so the
-        // file ends up holding the last (largest) run's trace.
-        obs::Session session;
-        config.obs = &session;
-        const exp::ChurnResult r = exp::run_churn(config);
-        records.push_back(
-            {config, r, session.registry.snapshot().to_json()});
-        if (!trace_path.empty())
-          session.trace.write_chrome_trace_file(trace_path);
-        std::printf("%-10s %6zu %4g %10.4f %10.4f %7.1fx %8.2f %8.1f\n",
-                    exp::model_name(model).c_str(), n, degree,
-                    r.incremental_ms_per_tick, r.rebuild_ms_per_tick,
-                    r.speedup, r.mean_link_changes, r.mean_rows_recomputed);
+        config.threads = threads;
+        const exp::ChurnResult r =
+            run_record(config, records, "matrix", trace_path);
+        std::printf(
+            "%-10s %6zu %4g %3zu %10.4f %10.4f %7.1fx %8.2f %8.1f %6.1f\n",
+            exp::model_name(model).c_str(), n, degree, threads,
+            r.incremental_ms_per_tick, r.rebuild_ms_per_tick, r.speedup,
+            r.mean_link_changes, r.mean_rows_recomputed, r.mean_regions);
       }
+    }
+  }
+
+  bool determinism_ok = true;
+  if (threads > 1) {
+    // Sharded vs sequential head-to-head at the matrix's largest size.
+    // Churn stays at the matrix's 1%: at 5% the staged nodes' painted
+    // blocks chain into a single region almost every tick and the
+    // sharded path never engages, making the comparison (and the
+    // state-hash cross-check) vacuous.
+    std::puts("\nparallel repair — sequential vs sharded (waypoint, d=6)");
+    std::printf("%6s %3s %10s %8s %6s  %s\n", "n", "thr", "incr_ms",
+                "speedup", "reg/t", "state_hash");
+    exp::ChurnConfig config;
+    config.model = exp::ChurnConfig::Model::kWaypoint;
+    config.nodes = sizes.back();
+    config.degree = 6.0;
+    config.ticks = ticks;
+    config.move_fraction = move_frac;
+    config.seed = seed;
+    config.rebuild_baseline = false;
+    config.threads = 1;
+    const exp::ChurnResult seq =
+        run_record(config, records, "parallel", trace_path);
+    config.threads = threads;
+    const exp::ChurnResult par =
+        run_record(config, records, "parallel", trace_path);
+    const double tick_speedup =
+        par.incremental_ms_per_tick > 0.0
+            ? seq.incremental_ms_per_tick / par.incremental_ms_per_tick
+            : 0.0;
+    std::printf("%6zu %3d %10.4f %7s %6.1f  %016llx\n", config.nodes, 1,
+                seq.incremental_ms_per_tick, "-", seq.mean_regions,
+                static_cast<unsigned long long>(seq.state_hash));
+    std::printf("%6zu %3zu %10.4f %6.2fx %6.1f  %016llx\n", config.nodes,
+                threads, par.incremental_ms_per_tick, tick_speedup,
+                par.mean_regions,
+                static_cast<unsigned long long>(par.state_hash));
+    determinism_ok = seq.state_hash == par.state_hash;
+    std::printf("state hashes %s\n",
+                determinism_ok ? "identical — sharded run is bitwise "
+                                 "equivalent"
+                               : "DIVERGED — sharded engine bug");
+  }
+
+  if (scale) {
+    // 10k–100k scaling sweep. Ascending sizes so the monotone peak-RSS
+    // counter reads as a per-size peak; lighter churn fraction (0.5%),
+    // one-shot topology generation (connectivity is hopeless at d=6 and
+    // these sizes), and a coarse rebuild-baseline stride so the O(n)
+    // rebuild doesn't swamp the wall-clock.
+    std::vector<std::size_t> scale_sizes{10000, 50000, 100000};
+    if (scale_fast) scale_sizes.resize(1);
+    const std::size_t scale_ticks = scale_fast ? 10 : 30;
+    std::puts("\nscaling sweep — waypoint, d=6, 0.5% movers");
+    std::printf("%7s %3s %10s %10s %8s %6s %9s %9s\n", "n", "thr",
+                "incr_ms", "rebuild_ms", "speedup", "reg/t", "rss_mb",
+                "rss_b/n");
+    for (const std::size_t n : scale_sizes) {
+      exp::ChurnConfig config;
+      config.model = exp::ChurnConfig::Model::kWaypoint;
+      config.nodes = n;
+      config.degree = 6.0;
+      config.ticks = scale_ticks;
+      config.move_fraction = 0.005;
+      config.seed = seed;
+      config.threads = threads;
+      config.connect_attempts = 1;
+      config.rebuild_every = std::max<std::size_t>(1, scale_ticks / 3);
+      const exp::ChurnResult r =
+          run_record(config, records, "scale", trace_path);
+      std::printf("%7zu %3zu %10.4f %10.3f %7.1fx %6.1f %9.1f %9.0f\n", n,
+                  threads, r.incremental_ms_per_tick, r.rebuild_ms_per_tick,
+                  r.speedup, r.mean_regions,
+                  static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0),
+                  static_cast<double>(r.peak_rss_bytes) /
+                      static_cast<double>(n));
     }
   }
 
@@ -114,5 +221,5 @@ int main(int argc, char** argv) {
   if (!trace_path.empty())
     std::printf("chrome trace (last record) written to %s\n",
                 trace_path.c_str());
-  return 0;
+  return determinism_ok ? 0 : 1;
 }

@@ -1,0 +1,42 @@
+#include "common/rss.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+
+namespace manet {
+
+std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
+}
+
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  long total = 0;
+  long resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (got != 2 || resident < 0) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace manet

@@ -1,0 +1,21 @@
+// Process memory accounting for the scaling benches.
+//
+// The 10k-100k churn sweep must demonstrate O(n) memory, which needs a
+// number the bench can actually record. Peak RSS is monotone over the
+// process lifetime, so sweeps that care about per-size peaks run their
+// sizes in ascending order and read the counter after each row.
+#pragma once
+
+#include <cstddef>
+
+namespace manet {
+
+/// Peak resident set size of this process in bytes (getrusage on
+/// POSIX); 0 where the platform doesn't expose it.
+std::size_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm on Linux); 0
+/// where the platform doesn't expose it.
+std::size_t current_rss_bytes();
+
+}  // namespace manet

@@ -21,7 +21,10 @@ std::vector<Coverage> build_all_coverage(const graph::Graph& g,
                                          const cluster::Clustering& c,
                                          const NeighborTables& tables) {
   std::vector<Coverage> out(g.order());
-  for (NodeId h : c.heads) out[h] = build_coverage(g, c, tables, h);
+  // One scratch across all heads: per-head bitset allocation/zeroing is
+  // O(n) each, O(n·heads) over a full build (see CoverageScratch).
+  CoverageScratch scratch;
+  for (NodeId h : c.heads) out[h] = coverage_row(g, tables, h, g.order(), scratch);
   return out;
 }
 

@@ -60,29 +60,56 @@ std::vector<Hop2Entry> hop2_row(const Adj& g, const cluster::Clustering& c,
   return entries;
 }
 
+/// Reusable bitset scratch for coverage_row. Hot loops (the batch build
+/// over all heads, the incremental reselect stage) keep one per thread:
+/// the O(universe) bitset allocation then happens once instead of per
+/// head — at 100k nodes the per-head zeroing alone was the dominant
+/// rebuild cost. The kernel returns it clean, erasing bits through the
+/// materialized result sets (O(result), not O(universe)).
+struct CoverageScratch {
+  graph::NodeBitset two, three;
+};
+
 /// Coverage set C(head) = C²(head) ∪ C³(head) assembled from the table
 /// rows of head's neighbors (which must be current). `universe` sizes the
 /// scratch bitsets (pass the node count).
 template <typename Adj>
 Coverage coverage_row(const Adj& g, const NeighborTables& tables,
-                      NodeId head, std::size_t universe) {
+                      NodeId head, std::size_t universe,
+                      CoverageScratch& scratch) {
+  if (scratch.two.capacity() < universe) {
+    scratch.two = graph::NodeBitset(universe);
+    scratch.three = graph::NodeBitset(universe);
+  }
   Coverage cov;
   // Collect membership in bitsets (O(1) insert) and materialize the
   // sorted NodeSets once, instead of insert_sorted per report (O(k^2)).
-  graph::NodeBitset two(universe);
   // C²: union of the neighbors' CH_HOP1 reports, minus u itself.
   for (NodeId v : g.neighbors(head))
     for (NodeId w : tables.ch_hop1[v])
-      if (w != head) two.set(w);
-  cov.two_hop = two.to_node_set();
+      if (w != head) scratch.two.set(w);
+  cov.two_hop = scratch.two.to_node_set();
 
   // C³: union of the neighbors' CH_HOP2 heads, minus C² duplicates and u.
-  graph::NodeBitset three(universe);
   for (NodeId v : g.neighbors(head))
     for (const auto& e : tables.ch_hop2[v])
-      if (e.head != head && !two.test(e.head)) three.set(e.head);
-  cov.three_hop = three.to_node_set();
+      if (e.head != head && !scratch.two.test(e.head))
+        scratch.three.set(e.head);
+  cov.three_hop = scratch.three.to_node_set();
+
+  // Hand the scratch back clean in O(result), not O(universe): the
+  // materialized sets list exactly the bits that were set.
+  for (NodeId v : cov.two_hop) scratch.two.reset(v);
+  for (NodeId v : cov.three_hop) scratch.three.reset(v);
   return cov;
+}
+
+/// Scratch-less convenience overload (cold paths, tests).
+template <typename Adj>
+Coverage coverage_row(const Adj& g, const NeighborTables& tables,
+                      NodeId head, std::size_t universe) {
+  CoverageScratch scratch;
+  return coverage_row(g, tables, head, universe, scratch);
 }
 
 }  // namespace manet::core

@@ -48,6 +48,17 @@ struct ChurnConfig {
   /// (per-phase spans, `incr.*` metrics) and the run loop itself.
   /// nullptr = unobserved. Must outlive run_churn().
   obs::Session* obs = nullptr;
+  /// Execution lanes for the engine's sharded repair path
+  /// (incr::PipelineOptions::threads). 1 = the sequential engine.
+  std::size_t threads = 1;
+  /// Run the rebuild baseline every k-th tick (1 = every tick). The
+  /// 10k–100k scaling rows keep this coarse so the O(n) rebuild doesn't
+  /// dominate wall-clock; reported means stay per-executed-tick.
+  std::size_t rebuild_every = 1;
+  /// Attempts at a connected initial topology before settling for a
+  /// disconnected one (the paper's filter). Large sparse configs are
+  /// essentially never connected — pass 1 to skip the wasted retries.
+  std::size_t connect_attempts = 100;
 };
 
 /// Aggregated outcome of one churn run.
@@ -65,6 +76,14 @@ struct ChurnResult {
   // Mean per-tick dirty-region size (engine work actually done).
   double mean_rows_recomputed = 0.0;
   double mean_heads_reselected = 0.0;
+  double mean_regions = 0.0;  ///< independent repair regions per tick
+  /// FNV-1a digest of the final maintained state (clustering, tables,
+  /// coverage, selections, CDS). Runs differing only in `threads` must
+  /// produce the same digest — the determinism soaks compare it.
+  std::uint64_t state_hash = 0;
+  /// Process peak RSS in bytes after the run (0 where unsupported).
+  /// Monotone per process: run ascending sizes to read per-size peaks.
+  std::size_t peak_rss_bytes = 0;
 };
 
 /// Human-readable tag ("waypoint" / "direction") for reports.

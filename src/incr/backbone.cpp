@@ -1,9 +1,13 @@
 #include "incr/backbone.hpp"
 
+#include <span>
 #include <sstream>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "core/table_kernels.hpp"
+#include "incr/delta_tracker.hpp"
+#include "incr/worker_pool.hpp"
 #include "obs/session.hpp"
 
 namespace manet::incr {
@@ -51,6 +55,22 @@ class DirtySet {
   graph::NodeBitset seen_;
   NodeSet nodes_;
 };
+
+/// Splits [0, items) into ascending contiguous (begin, count) chunks —
+/// a pure function of (items, lanes), so every stage output indexed by
+/// chunk id concatenates to the same sorted list at any lane count.
+std::vector<std::pair<std::size_t, std::size_t>> plan_chunks(
+    std::size_t items, std::size_t lanes) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (items == 0) return chunks;
+  // A few chunks per lane so an unlucky heavy chunk can't serialize the
+  // stage; chunky enough that claim overhead stays irrelevant.
+  const std::size_t target = std::min(items, lanes * 4);
+  const std::size_t size = (items + target - 1) / target;
+  for (std::size_t begin = 0; begin < items; begin += size)
+    chunks.emplace_back(begin, std::min(size, items - begin));
+  return chunks;
+}
 
 }  // namespace
 
@@ -122,17 +142,25 @@ void IncrementalBackbone::clear_head_rows(NodeId v, NodeSet& cds_candidates) {
   if (!coverage_[v].empty()) coverage_[v] = core::Coverage{};
 }
 
-void IncrementalBackbone::recompute_head(const graph::DynamicAdjacency& g,
-                                         NodeId h, bool was_head,
-                                         TickStats& stats,
-                                         NodeSet& cds_candidates) {
-  auto cov = core::coverage_row(g, tables_, h, g.order());
-  if (!was_head || !(cov == coverage_[h])) ++stats.coverage_changes;
-  coverage_[h] = std::move(cov);
-  auto sel = core::select_gateways_local(OverlayView(g, tables_, h),
-                                         coverage_[h]);
-  apply_selection_refs(selection_[h].gateways, sel.gateways, cds_candidates);
-  selection_[h] = std::move(sel);
+IncrementalBackbone::HeadRow IncrementalBackbone::compute_head_row(
+    const graph::DynamicAdjacency& g, NodeId h,
+    core::CoverageScratch& scratch) const {
+  // Reads g, the frozen table rows and the clustering only — safe to run
+  // for distinct heads concurrently with a per-lane scratch.
+  HeadRow row;
+  row.cov = core::coverage_row(g, tables_, h, g.order(), scratch);
+  row.sel = core::select_gateways_local(OverlayView(g, tables_, h), row.cov);
+  return row;
+}
+
+void IncrementalBackbone::commit_head_row(NodeId h, bool was_head,
+                                          HeadRow&& row, TickStats& stats,
+                                          NodeSet& cds_candidates) {
+  if (!was_head || !(row.cov == coverage_[h])) ++stats.coverage_changes;
+  coverage_[h] = std::move(row.cov);
+  apply_selection_refs(selection_[h].gateways, row.sel.gateways,
+                       cds_candidates);
+  selection_[h] = std::move(row.sel);
   ++stats.heads_reselected;
 }
 
@@ -248,8 +276,9 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
     obs::Span span(tr, "incr", "head_reselect", ticks_applied_, "heads");
     span.set_arg(recompute.size());
     for (const NodeId h : recompute)
-      recompute_head(g, h, /*was_head=*/!declared_bits.test(h), stats,
-                     cds_candidates);
+      commit_head_row(h, /*was_head=*/!declared_bits.test(h),
+                      compute_head_row(g, h, lane_scratch_[0]), stats,
+                      cds_candidates);
     // Resignations leave stale head rows behind; release their reference
     // counts (guard against a same-tick re-declaration, which rule 2 makes
     // impossible today but cheap to stay safe against).
@@ -261,6 +290,255 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
 
   // Settle CDS membership for every node whose head status or selection
   // reference count moved this tick.
+  normalize(cds_candidates);
+  {
+    obs::Span span(tr, "incr", "cds_settle", ticks_applied_, "candidates");
+    span.set_arg(cds_candidates.size());
+    for (const NodeId v : cds_candidates) {
+      const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
+      if (member != cds_bits_.test(v)) {
+        ++stats.backbone_changes;
+        if (member)
+          cds_bits_.set(v);
+        else
+          cds_bits_.reset(v);
+      }
+    }
+  }
+  obs_handles_.backbone_flips.add(stats.backbone_changes);
+  return stats;
+}
+
+TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
+                                              const EdgeDelta& delta,
+                                              const RegionPartition& partition,
+                                              WorkerPool& pool) {
+  MANET_REQUIRE(g.order() == clustering_.head_of.size(),
+                "adjacency does not match the maintained state");
+  ++ticks_applied_;
+  obs::TraceRecorder* tr = obs_ ? &obs_->trace : nullptr;
+  TickStats stats;
+  stats.link_changes = delta.link_changes();
+  stats.regions = partition.count;
+  obs_handles_.links_appeared.add(delta.added.size());
+  obs_handles_.links_disappeared.add(delta.removed.size());
+  obs_handles_.links_per_tick.record(delta.link_changes());
+  if (delta.empty()) return stats;
+
+  const std::size_t lanes = pool.lanes();
+  if (lane_scratch_.size() < lanes) lane_scratch_.resize(lanes);
+
+  // Workers buffer their spans (TraceRecorder is single-writer) and the
+  // caller flushes them after each join, one trace track per lane.
+  struct LaneSpan {
+    const char* name;
+    std::uint64_t ts, dur, arg;
+  };
+  std::vector<std::vector<LaneSpan>> lane_spans(lanes);
+  const auto timed = [&](std::size_t lane, const char* name,
+                         std::uint64_t arg, auto&& fn) {
+    if (!tr) {
+      fn();
+      return;
+    }
+    const std::uint64_t t0 = tr->now_ns();
+    fn();
+    lane_spans[lane].push_back({name, t0, tr->now_ns() - t0, arg});
+  };
+  const auto flush_spans = [&] {
+    if (!tr) return;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      for (const LaneSpan& s : lane_spans[lane])
+        tr->complete("incr", s.name, s.ts, s.dur, ticks_applied_,
+                     static_cast<std::uint32_t>(lane + 1), "items", s.arg);
+      lane_spans[lane].clear();
+    }
+  };
+
+  // --- Stage C: cluster-repair rules, one job per independent region.
+  // Each job writes head_of inside its own region and buffers its head
+  // status flips; head_bits_ stays read-only until the merge, so the
+  // per-region ascending scans see exactly what the sequential global
+  // scan would show them (S30: no other region's writes are within this
+  // region's read radius).
+  ClusterRepair rep;
+  {
+    obs::Span span(tr, "incr", "cluster_repair", ticks_applied_, "flips");
+    std::vector<ClusterRepair> reps(partition.count);
+    std::vector<HeadStatusOverlay> overlays(partition.count,
+                                            HeadStatusOverlay(head_bits_));
+    pool.run(partition.count, [&](std::size_t r, std::size_t lane) {
+      timed(lane, "region_repair", partition.deltas[r].link_changes(), [&] {
+        reps[r] = repair_clustering_region(g, partition.deltas[r],
+                                           clustering_, overlays[r]);
+      });
+    });
+    // Merge in region order: flips onto the real bitset, churn sums, and
+    // the per-region sorted sets (disjoint by S30) into global ones.
+    for (std::size_t r = 0; r < partition.count; ++r) {
+      overlays[r].apply(head_bits_);
+      rep.churn.heads_resigned += reps[r].churn.heads_resigned;
+      rep.churn.heads_declared += reps[r].churn.heads_declared;
+      rep.churn.reaffiliations += reps[r].churn.reaffiliations;
+      rep.resigned.insert(rep.resigned.end(), reps[r].resigned.begin(),
+                          reps[r].resigned.end());
+      rep.declared.insert(rep.declared.end(), reps[r].declared.begin(),
+                          reps[r].declared.end());
+      rep.head_changed.insert(rep.head_changed.end(),
+                              reps[r].head_changed.begin(),
+                              reps[r].head_changed.end());
+    }
+    normalize(rep.resigned);
+    normalize(rep.declared);
+    normalize(rep.head_changed);
+    for (const NodeId h : rep.resigned) erase_sorted(clustering_.heads, h);
+    for (const NodeId h : rep.declared) insert_sorted(clustering_.heads, h);
+
+    // --- Roles against the final head_of, in sorted chunks: chunk c
+    // writes roles of its own slice only, and the per-chunk changed
+    // lists concatenate to the sequential ascending result.
+    const NodeSet role_dirty =
+        role_support(g, rep.head_changed, delta.touched);
+    const auto chunks = plan_chunks(role_dirty.size(), lanes);
+    std::vector<NodeSet> role_changed(chunks.size());
+    pool.run(chunks.size(), [&](std::size_t ci, std::size_t lane) {
+      timed(lane, "role_chunk", chunks[ci].second, [&] {
+        refresh_roles(g, clustering_,
+                      std::span<const NodeId>(role_dirty)
+                          .subspan(chunks[ci].first, chunks[ci].second),
+                      role_changed[ci]);
+      });
+    });
+    for (const NodeSet& part : role_changed)
+      rep.role_changed.insert(rep.role_changed.end(), part.begin(),
+                              part.end());
+    rep.dirty = set_union(rep.head_changed, delta.touched);
+    span.set_arg(rep.declared.size() + rep.resigned.size());
+    flush_spans();
+  }
+  stats.cluster_churn = rep.churn;
+  stats.head_changes = rep.head_changed.size();
+  stats.role_changes = rep.role_changed.size();
+  obs_handles_.reaffiliations.add(rep.head_changed.size());
+  obs_handles_.role_changes.add(rep.role_changed.size());
+  obs_handles_.heads_declared.add(rep.declared.size());
+  obs_handles_.heads_resigned.add(rep.resigned.size());
+
+  // --- CH_HOP1, chunked over the sorted dirty set. Chunk c writes rows
+  // of its own slice against frozen inputs (clustering, adjacency).
+  const NodeSet status_flips = set_union(rep.declared, rep.resigned);
+  DirtySet hop1_mark(g.order());
+  for (const NodeId v : delta.touched) hop1_mark.add(v);
+  for (const NodeId v : status_flips) hop1_mark.add_closed_neighborhood(g, v);
+  const NodeSet hop1_dirty = hop1_mark.take();
+
+  NodeSet hop1_changed;
+  {
+    obs::Span span(tr, "incr", "hop1_scan", ticks_applied_, "rows");
+    span.set_arg(hop1_dirty.size());
+    const auto chunks = plan_chunks(hop1_dirty.size(), lanes);
+    std::vector<NodeSet> changed(chunks.size());
+    pool.run(chunks.size(), [&](std::size_t ci, std::size_t lane) {
+      timed(lane, "hop1_chunk", chunks[ci].second, [&] {
+        const auto [begin, count] = chunks[ci];
+        for (std::size_t i = begin; i < begin + count; ++i) {
+          const NodeId v = hop1_dirty[i];
+          auto row = core::hop1_row(g, clustering_, v);
+          if (row != tables_.ch_hop1[v]) {
+            tables_.ch_hop1[v] = std::move(row);
+            changed[ci].push_back(v);
+          }
+        }
+      });
+    });
+    for (const NodeSet& part : changed)
+      hop1_changed.insert(hop1_changed.end(), part.begin(), part.end());
+    flush_spans();
+  }
+  obs_handles_.hop1_rows_scanned.add(hop1_dirty.size());
+  obs_handles_.hop1_rows_changed.add(hop1_changed.size());
+
+  // --- CH_HOP2 likewise, now that every CH_HOP1 row is final.
+  DirtySet hop2_mark(g.order());
+  for (const NodeId v : delta.touched) hop2_mark.add(v);
+  for (const NodeId v : rep.head_changed)
+    hop2_mark.add_closed_neighborhood(g, v);
+  for (const NodeId v : hop1_changed) hop2_mark.add_closed_neighborhood(g, v);
+  const NodeSet hop2_dirty = hop2_mark.take();
+
+  NodeSet changed_rows = hop1_changed;
+  {
+    obs::Span span(tr, "incr", "hop2_scan", ticks_applied_, "rows");
+    span.set_arg(hop2_dirty.size());
+    const auto chunks = plan_chunks(hop2_dirty.size(), lanes);
+    std::vector<NodeSet> changed(chunks.size());
+    pool.run(chunks.size(), [&](std::size_t ci, std::size_t lane) {
+      timed(lane, "hop2_chunk", chunks[ci].second, [&] {
+        const auto [begin, count] = chunks[ci];
+        for (std::size_t i = begin; i < begin + count; ++i) {
+          const NodeId v = hop2_dirty[i];
+          auto row = core::hop2_row(g, clustering_, tables_.mode,
+                                    tables_.ch_hop1, v);
+          if (row != tables_.ch_hop2[v]) {
+            tables_.ch_hop2[v] = std::move(row);
+            changed[ci].push_back(v);
+          }
+        }
+      });
+    });
+    for (const NodeSet& part : changed)
+      changed_rows.insert(changed_rows.end(), part.begin(), part.end());
+    flush_spans();
+  }
+  obs_handles_.hop2_rows_scanned.add(hop2_dirty.size());
+  obs_handles_.hop2_rows_changed.add(changed_rows.size() -
+                                     hop1_changed.size());
+  normalize(changed_rows);
+  stats.rows_recomputed = hop1_dirty.size() + hop2_dirty.size();
+  obs_handles_.rows_per_tick.record(stats.rows_recomputed);
+
+  // --- Coverage + gateway reselection: the per-head computation is pure
+  // over frozen tables, so one job per head; the stateful commits
+  // (refcounts, coverage/selection moves) replay on the caller in the
+  // same ascending head order the sequential path uses.
+  graph::NodeBitset head_dirty(g.order());
+  NodeSet recompute;
+  const auto mark = [&](NodeId v) {
+    if (head_bits_.test(v) && head_dirty.set(v)) recompute.push_back(v);
+  };
+  for (const NodeId v : delta.touched) mark(v);
+  for (const NodeId v : rep.declared) mark(v);
+  for (const NodeId v : changed_rows) {
+    mark(v);
+    for (const NodeId w : g.neighbors(v)) mark(w);
+  }
+  normalize(recompute);
+
+  NodeSet cds_candidates;
+  for (const NodeId h : rep.declared) cds_candidates.push_back(h);
+  for (const NodeId h : rep.resigned) cds_candidates.push_back(h);
+  const graph::NodeBitset declared_bits =
+      graph::NodeBitset::from_node_set(g.order(), rep.declared);
+  {
+    obs::Span span(tr, "incr", "head_reselect", ticks_applied_, "heads");
+    span.set_arg(recompute.size());
+    std::vector<HeadRow> rows(recompute.size());
+    pool.run(recompute.size(), [&](std::size_t i, std::size_t lane) {
+      timed(lane, "head_row", recompute[i], [&] {
+        rows[i] = compute_head_row(g, recompute[i], lane_scratch_[lane]);
+      });
+    });
+    for (std::size_t i = 0; i < recompute.size(); ++i)
+      commit_head_row(recompute[i],
+                      /*was_head=*/!declared_bits.test(recompute[i]),
+                      std::move(rows[i]), stats, cds_candidates);
+    for (const NodeId v : rep.resigned)
+      if (!head_bits_.test(v)) clear_head_rows(v, cds_candidates);
+    flush_spans();
+  }
+  obs_handles_.heads_reselected.add(recompute.size());
+  obs_handles_.coverage_changes.add(stats.coverage_changes);
+
   normalize(cds_candidates);
   {
     obs::Span span(tr, "incr", "cds_settle", ticks_applied_, "candidates");

@@ -40,6 +40,7 @@
 #include "core/gateway_selection.hpp"
 #include "core/neighbor_tables.hpp"
 #include "core/static_backbone.hpp"
+#include "core/table_kernels.hpp"
 #include "graph/bitset.hpp"
 #include "graph/dynamic_adjacency.hpp"
 #include "incr/cluster_repair.hpp"
@@ -51,6 +52,9 @@ struct Session;
 }
 
 namespace manet::incr {
+
+struct RegionPartition;
+class WorkerPool;
 
 /// What one tick cost and churned. The churn counters use the same
 /// definitions as mobility::MaintenanceDelta, so the maintenance-cost
@@ -64,6 +68,7 @@ struct TickStats {
   std::size_t coverage_changes = 0;   ///< heads with new/changed coverage
   std::size_t rows_recomputed = 0;    ///< hop1+hop2 row evaluations
   std::size_t heads_reselected = 0;   ///< coverage+selection reruns
+  std::size_t regions = 0;            ///< independent repair regions
 };
 
 /// The incrementally maintained static backbone of a mutable topology.
@@ -77,6 +82,19 @@ class IncrementalBackbone {
   /// Consumes one edge delta. `g` must already reflect the delta (the
   /// DeltaTracker hands both over in that state).
   TickStats apply(const graph::DynamicAdjacency& g, const EdgeDelta& delta);
+
+  /// Sharded variant of apply(): the tick's delta arrives pre-split into
+  /// the independent regions of `partition` (DeltaTracker::commit), the
+  /// region repairs and the row/reselect stages fan out on `pool`, and
+  /// all shared-structure merges run on the caller between barriers. The
+  /// maintained state afterwards is bitwise identical to apply() at any
+  /// lane count (same dirty sets, same ascending orders — DESIGN S30);
+  /// metric totals are too, because the per-shard counts partition the
+  /// sequential ones.
+  TickStats apply_parallel(const graph::DynamicAdjacency& g,
+                           const EdgeDelta& delta,
+                           const RegionPartition& partition,
+                           WorkerPool& pool);
 
   /// Attaches an observability session: per-phase spans go to its
   /// flight recorder, `incr.*` counters/histograms to its registry.
@@ -117,9 +135,17 @@ class IncrementalBackbone {
     obs::Histogram links_per_tick, rows_per_tick;
   };
 
-  void recompute_head(const graph::DynamicAdjacency& g, NodeId h,
-                      bool was_head, TickStats& stats,
-                      NodeSet& cds_candidates);
+  /// One head's recomputed coverage + selection, produced read-only
+  /// (thread-safe against other heads) and committed on the caller.
+  struct HeadRow {
+    core::Coverage cov;
+    core::GatewaySelection sel;
+  };
+
+  HeadRow compute_head_row(const graph::DynamicAdjacency& g, NodeId h,
+                           core::CoverageScratch& scratch) const;
+  void commit_head_row(NodeId h, bool was_head, HeadRow&& row,
+                       TickStats& stats, NodeSet& cds_candidates);
   void clear_head_rows(NodeId v, NodeSet& cds_candidates);
   void apply_selection_refs(const NodeSet& old_gateways,
                             const NodeSet& new_gateways,
@@ -136,6 +162,9 @@ class IncrementalBackbone {
   obs::Session* obs_ = nullptr;
   ObsHandles obs_handles_;
   std::uint64_t ticks_applied_ = 0;  ///< trace span "tick" argument
+  /// Reusable coverage bitsets: [0] serves the sequential path, one per
+  /// lane serves apply_parallel (sized on first parallel tick).
+  std::vector<core::CoverageScratch> lane_scratch_{1};
 };
 
 }  // namespace manet::incr

@@ -8,16 +8,16 @@ namespace manet::incr {
 
 using cluster::Role;
 
-ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
-                                const EdgeDelta& delta,
-                                cluster::Clustering& c,
-                                graph::NodeBitset& head_bits) {
-  const std::size_t n = g.order();
-  MANET_REQUIRE(c.head_of.size() == n,
-                "clustering does not match the adjacency");
-  ClusterRepair rep;
-  if (delta.empty()) return rep;
+namespace {
 
+// Rules 1+2 over one delta against any head-status view (the real
+// bitset sequentially, a HeadStatusOverlay per region in parallel).
+// Fills rep.resigned / declared / head_changed / churn; heads-list and
+// role maintenance are the caller's.
+template <typename HeadBits>
+void run_rules(const graph::DynamicAdjacency& g, const EdgeDelta& delta,
+               cluster::Clustering& c, HeadBits& head_bits,
+               ClusterRepair& rep) {
   // --- Rule 1: resignations among previous heads joined by new edges.
   // The affected set is closed under the cascade: any previous head
   // adjacent to an affected head is itself an endpoint of an added
@@ -63,6 +63,7 @@ ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
   // lcc_update's is_head[] at the moment each dirty node is visited:
   // survivors of rule 1 plus smaller-id declarations (which can only
   // happen inside the dirty set).
+  const std::size_t n = g.order();
   for (const NodeId v : dirty) {
     const NodeId old_head = c.head_of[v];
     const bool old_head_ok = old_head != kInvalidNode && old_head != v &&
@@ -88,18 +89,56 @@ ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
     if (c.head_of[v] != old_head) rep.head_changed.push_back(v);
   }
   // `dirty` is sorted, so head_changed / declared came out sorted too.
+}
+
+}  // namespace
+
+ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
+                                const EdgeDelta& delta,
+                                cluster::Clustering& c,
+                                graph::NodeBitset& head_bits) {
+  MANET_REQUIRE(c.head_of.size() == g.order(),
+                "clustering does not match the adjacency");
+  ClusterRepair rep;
+  if (delta.empty()) return rep;
+
+  run_rules(g, delta, c, head_bits, rep);
 
   // Maintain the sorted head list incrementally.
   for (const NodeId h : rep.resigned) erase_sorted(c.heads, h);
   for (const NodeId h : rep.declared) insert_sorted(c.heads, h);
 
   // --- Roles: refresh exactly the support of the role predicate.
-  NodeSet role_dirty = rep.head_changed;
-  for (const NodeId v : rep.head_changed)
+  const NodeSet role_dirty = role_support(g, rep.head_changed, delta.touched);
+  refresh_roles(g, c, role_dirty, rep.role_changed);
+
+  rep.dirty = set_union(rep.head_changed, delta.touched);
+  return rep;
+}
+
+ClusterRepair repair_clustering_region(const graph::DynamicAdjacency& g,
+                                       const EdgeDelta& region_delta,
+                                       cluster::Clustering& c,
+                                       HeadStatusOverlay& overlay) {
+  ClusterRepair rep;
+  if (region_delta.empty()) return rep;
+  run_rules(g, region_delta, c, overlay, rep);
+  return rep;
+}
+
+NodeSet role_support(const graph::DynamicAdjacency& g,
+                     const NodeSet& head_changed, const NodeSet& touched) {
+  NodeSet role_dirty = head_changed;
+  for (const NodeId v : head_changed)
     for (const NodeId w : g.neighbors(v)) role_dirty.push_back(w);
-  for (const NodeId v : delta.touched) role_dirty.push_back(v);
+  for (const NodeId v : touched) role_dirty.push_back(v);
   normalize(role_dirty);
-  for (const NodeId v : role_dirty) {
+  return role_dirty;
+}
+
+void refresh_roles(const graph::DynamicAdjacency& g, cluster::Clustering& c,
+                   std::span<const NodeId> nodes, NodeSet& changed) {
+  for (const NodeId v : nodes) {
     Role role = Role::kOrdinary;
     if (c.head_of[v] == v) {
       role = Role::kClusterhead;
@@ -113,12 +152,9 @@ ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
     }
     if (c.roles[v] != role) {
       c.roles[v] = role;
-      rep.role_changed.push_back(v);
+      changed.push_back(v);
     }
   }
-
-  rep.dirty = set_union(rep.head_changed, delta.touched);
-  return rep;
 }
 
 }  // namespace manet::incr

@@ -23,7 +23,21 @@
 // replays cluster::lcc_update's global ascending scans exactly, so the
 // repaired clustering is bit-identical to a full lcc_update against the
 // new topology (pinned by tests and the pipeline's oracle mode).
+//
+// The rules are also exposed region-at-a-time (repair_clustering_region)
+// for the sharded parallel engine: a region's rules read head status
+// within two unit-disk hops of its changed edges and write it within
+// one, so on the DeltaTracker's independent-region partition (core cells
+// >= 5 grid cells apart, DESIGN S30) concurrent per-region scans can
+// never observe each other and compose to exactly the sequential global
+// scan. Region calls buffer head-status writes in a HeadStatusOverlay
+// (the shared head bitset stays read-only) and leave the sorted heads
+// list, role refresh, and dirty-set assembly to the caller's merge.
 #pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "cluster/lcc.hpp"
 #include "cluster/lowest_id.hpp"
@@ -44,6 +58,41 @@ struct ClusterRepair {
   NodeSet dirty;             ///< head_changed ∪ changed-edge endpoints
 };
 
+/// Read-through view of a head bitset whose writes buffer locally
+/// instead of mutating the base. test() sees the region's own flips
+/// (latest wins) layered over the frozen base — which is exactly the
+/// sequential engine's visibility inside one region, because no other
+/// region's flips are within this region's read radius (DESIGN S30).
+/// Flip lists stay tiny (a handful of resignations/declarations), so
+/// the read-back scan is cheaper than any hashed structure.
+class HeadStatusOverlay {
+ public:
+  explicit HeadStatusOverlay(const graph::NodeBitset& base) : base_(&base) {}
+
+  bool test(NodeId v) const {
+    for (auto it = flips_.rbegin(); it != flips_.rend(); ++it)
+      if (it->first == v) return it->second;
+    return base_->test(v);
+  }
+  void set(NodeId v) { flips_.emplace_back(v, true); }
+  void reset(NodeId v) { flips_.emplace_back(v, false); }
+
+  /// Replays the buffered flips onto a real bitset (merge stage).
+  void apply(graph::NodeBitset& bits) const {
+    for (const auto& [v, on] : flips_) {
+      if (on) {
+        bits.set(v);
+      } else {
+        bits.reset(v);
+      }
+    }
+  }
+
+ private:
+  const graph::NodeBitset* base_;
+  std::vector<std::pair<NodeId, bool>> flips_;
+};
+
 /// Repairs `c` (valid for the topology before `delta`) in place against
 /// the post-delta adjacency `g`. `head_bits` must mirror c.heads on
 /// entry and is kept in sync. Expected O(dirty * d) work.
@@ -51,5 +100,32 @@ ClusterRepair repair_clustering(const graph::DynamicAdjacency& g,
                                 const EdgeDelta& delta,
                                 cluster::Clustering& c,
                                 graph::NodeBitset& head_bits);
+
+/// Rules 1+2 for one independent region's slice of the tick delta.
+/// Writes c.head_of entries inside the region only (disjoint across
+/// regions) and buffers head-status changes in `overlay`; does NOT
+/// touch c.heads, c.roles, or the overlay's base bitset, so concurrent
+/// calls on distinct regions of one RegionPartition are race-free.
+/// The caller merges: overlay flips onto the real bitset, resigned /
+/// declared into the sorted heads list, then a role refresh over the
+/// combined support (see role_support / refresh_roles).
+ClusterRepair repair_clustering_region(const graph::DynamicAdjacency& g,
+                                       const EdgeDelta& region_delta,
+                                       cluster::Clustering& c,
+                                       HeadStatusOverlay& overlay);
+
+/// The support of the role predicate after a repair: head_changed ∪
+/// N(head_changed) ∪ touched, sorted-unique.
+NodeSet role_support(const graph::DynamicAdjacency& g,
+                     const NodeSet& head_changed, const NodeSet& touched);
+
+/// Recomputes roles for `nodes` (must be sorted ascending) against the
+/// final post-repair head_of, appending nodes whose role flipped to
+/// `changed` in order. Writes only c.roles[v] for v in `nodes`, so
+/// disjoint chunks of one sorted support set can run concurrently and
+/// their `changed` outputs concatenate (in chunk order) to the exact
+/// sequential result.
+void refresh_roles(const graph::DynamicAdjacency& g, cluster::Clustering& c,
+                   std::span<const NodeId> nodes, NodeSet& changed);
 
 }  // namespace manet::incr

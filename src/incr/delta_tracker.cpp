@@ -34,6 +34,10 @@ DeltaTracker::DeltaTracker(std::vector<geom::Point> positions, double range,
   inv_cell_y_ = static_cast<double>(rows_) / height_;
 
   cells_.resize(cols_ * rows_);
+  scan_stamp_.assign(cols_ * rows_, 0);
+  core_stamp_.assign(cols_ * rows_, 0);
+  paint_stamp_.assign(cols_ * rows_, 0);
+  paint_label_.assign(cols_ * rows_, 0);
   cell_of_node_.resize(positions_.size());
   is_staged_.assign(positions_.size(), 0);
   for (NodeId v = 0; v < positions_.size(); ++v) {
@@ -65,16 +69,38 @@ void DeltaTracker::stage_move(NodeId v, geom::Point p) {
   }
 }
 
-EdgeDelta DeltaTracker::commit() {
+void DeltaTracker::bump_epoch() {
+  if (++epoch_ != 0) return;
+  // uint32 wrap: invalidate all stale stamps once, then restart at 1.
+  std::fill(scan_stamp_.begin(), scan_stamp_.end(), 0u);
+  std::fill(core_stamp_.begin(), core_stamp_.end(), 0u);
+  std::fill(paint_stamp_.begin(), paint_stamp_.end(), 0u);
+  epoch_ = 1;
+}
+
+EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
   EdgeDelta delta;
   last_cells_scanned_ = 0;
+  if (regions) {
+    regions->count = 0;
+    regions->deltas.clear();
+    regions->core_cells.clear();
+    regions->cols = cols_;
+    regions->rows = rows_;
+  }
   if (staged_.empty()) return delta;
+  bump_epoch();
 
   // Phase 1: migrate every dirty node to its (possibly new) cell, so all
-  // neighborhood scans below see final positions.
-  for (const NodeId v : staged_) {
+  // neighborhood scans below see final positions. The pre-move cells are
+  // kept: removed edges live near the *old* positions, so the region
+  // partition must treat both blocks of a mover as dirty.
+  std::vector<std::uint32_t> old_cells(staged_.size());
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const NodeId v = staged_[i];
     const std::size_t cell = cell_index(positions_[v]);
     const std::size_t old_cell = cell_of_node_[v];
+    old_cells[i] = static_cast<std::uint32_t>(old_cell);
     if (cell == old_cell) continue;
     auto& bucket = cells_[old_cell];
     const auto it = std::find(bucket.begin(), bucket.end(), v);
@@ -100,13 +126,18 @@ EdgeDelta DeltaTracker::commit() {
     const std::size_t c1 = col + 1 < cols_ ? col + 1 : cols_ - 1;
     const std::size_t r0 = row > 0 ? row - 1 : 0;
     const std::size_t r1 = row + 1 < rows_ ? row + 1 : rows_ - 1;
-    last_cells_scanned_ += (r1 - r0 + 1) * (c1 - c0 + 1);
     now.clear();
     for (std::size_t r = r0; r <= r1; ++r)
-      for (std::size_t c = c0; c <= c1; ++c)
-        for (const NodeId w : cells_[r * cols_ + c])
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const std::size_t idx = r * cols_ + c;
+        if (scan_stamp_[idx] != epoch_) {
+          scan_stamp_[idx] = epoch_;  // count overlapping blocks once
+          ++last_cells_scanned_;
+        }
+        for (const NodeId w : cells_[idx])
           if (w != v && geom::distance_sq(p, positions_[w]) < range_sq_)
             now.push_back(w);
+      }
     std::sort(now.begin(), now.end());
 
     const auto nb = adjacency_.neighbors(v);
@@ -129,7 +160,6 @@ EdgeDelta DeltaTracker::commit() {
   }
 
   for (const NodeId v : staged_) is_staged_[v] = 0;
-  staged_.clear();
 
   std::sort(delta.added.begin(), delta.added.end());
   std::sort(delta.removed.begin(), delta.removed.end());
@@ -142,7 +172,132 @@ EdgeDelta DeltaTracker::commit() {
     delta.touched.push_back(w);
   }
   normalize(delta.touched);
+
+  if (regions) build_regions(delta, old_cells, *regions);
+  staged_.clear();
   return delta;
+}
+
+void DeltaTracker::build_regions(const EdgeDelta& delta,
+                                 const std::vector<std::uint32_t>& old_cells,
+                                 RegionPartition& out) {
+  // Union-find over staged indices. One label covers BOTH of a mover's
+  // blocks (old and new cell), so a teleporting node can never straddle
+  // two regions — its removed and added edges repair together.
+  union_parent_.resize(staged_.size());
+  for (std::uint32_t i = 0; i < staged_.size(); ++i) union_parent_[i] = i;
+  const auto find = [&](std::uint32_t x) {
+    while (union_parent_[x] != x) {
+      union_parent_[x] = union_parent_[union_parent_[x]];  // halve path
+      x = union_parent_[x];
+    }
+    return x;
+  };
+  const auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) union_parent_[std::max(a, b)] = std::min(a, b);
+  };
+
+  // Paint each staged node's two 3x3 blocks grown by kRegionGrowthCells;
+  // blocks that land on an already-painted cell merge with its label.
+  // Non-overlap of grown blocks then guarantees core cells of distinct
+  // regions are >= 2*kRegionGrowthCells+1 apart (Chebyshev).
+  constexpr std::size_t kReach = 1 + kRegionGrowthCells;
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const std::uint32_t centers[2] = {old_cells[i],
+                                      cell_of_node_[staged_[i]]};
+    for (int which = 0; which < (centers[0] == centers[1] ? 1 : 2);
+         ++which) {
+      const std::size_t col = centers[which] % cols_;
+      const std::size_t row = centers[which] / cols_;
+      const std::size_t c0 = col > kReach ? col - kReach : 0;
+      const std::size_t c1 = std::min(col + kReach, cols_ - 1);
+      const std::size_t r0 = row > kReach ? row - kReach : 0;
+      const std::size_t r1 = std::min(row + kReach, rows_ - 1);
+      for (std::size_t r = r0; r <= r1; ++r)
+        for (std::size_t c = c0; c <= c1; ++c) {
+          const std::size_t idx = r * cols_ + c;
+          if (paint_stamp_[idx] == epoch_) {
+            unite(static_cast<std::uint32_t>(i), paint_label_[idx]);
+          } else {
+            paint_stamp_[idx] = epoch_;
+            paint_label_[idx] = static_cast<std::uint32_t>(i);
+          }
+        }
+    }
+  }
+
+  // Dense region ids in first-seen staged order (deterministic).
+  std::vector<std::uint32_t> region_of_root(staged_.size(), kInvalidNode);
+  std::vector<std::uint32_t> region_of_staged(staged_.size());
+  for (std::uint32_t i = 0; i < staged_.size(); ++i) {
+    const std::uint32_t root = find(i);
+    if (region_of_root[root] == kInvalidNode) {
+      region_of_root[root] = static_cast<std::uint32_t>(out.count++);
+    }
+    region_of_staged[i] = region_of_root[root];
+  }
+  out.deltas.resize(out.count);
+  out.core_cells.resize(out.count);
+
+  // Core cells (the ungrown 3x3 blocks), deduped across movers and
+  // attributed to their final region.
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const std::uint32_t centers[2] = {old_cells[i],
+                                      cell_of_node_[staged_[i]]};
+    for (int which = 0; which < (centers[0] == centers[1] ? 1 : 2);
+         ++which) {
+      const std::size_t col = centers[which] % cols_;
+      const std::size_t row = centers[which] / cols_;
+      const std::size_t c0 = col > 0 ? col - 1 : 0;
+      const std::size_t c1 = std::min(col + 1, cols_ - 1);
+      const std::size_t r0 = row > 0 ? row - 1 : 0;
+      const std::size_t r1 = std::min(row + 1, rows_ - 1);
+      for (std::size_t r = r0; r <= r1; ++r)
+        for (std::size_t c = c0; c <= c1; ++c) {
+          const std::size_t idx = r * cols_ + c;
+          if (core_stamp_[idx] == epoch_) continue;
+          core_stamp_[idx] = epoch_;
+          out.core_cells[region_of_staged[i]].push_back(
+              static_cast<std::uint32_t>(idx));
+        }
+    }
+  }
+  for (auto& cells : out.core_cells) std::sort(cells.begin(), cells.end());
+
+  // Distribute the delta. Both endpoints of a changed edge sit in cells
+  // of the same region (painting covers every endpoint's cell and the
+  // blocks overlap), so any endpoint names the edge's region; iterating
+  // the globally sorted lists keeps every per-region slice sorted.
+  const auto region_of_cell = [&](std::uint32_t cell) {
+    MANET_ASSERT(paint_stamp_[cell] == epoch_,
+                 "delta endpoint outside the painted dirty region");
+    return region_of_root[find(paint_label_[cell])];
+  };
+  for (const auto& e : delta.added) {
+    const std::uint32_t r0 = region_of_cell(cell_of_node_[e.first]);
+    MANET_ASSERT(r0 == region_of_cell(cell_of_node_[e.second]),
+                 "changed edge straddles two repair regions");
+    out.deltas[r0].added.push_back(e);
+  }
+  for (const auto& e : delta.removed) {
+    const std::uint32_t r0 = region_of_cell(cell_of_node_[e.first]);
+    MANET_ASSERT(r0 == region_of_cell(cell_of_node_[e.second]),
+                 "changed edge straddles two repair regions");
+    out.deltas[r0].removed.push_back(e);
+  }
+  for (auto& slice : out.deltas) {
+    for (const auto& [u, w] : slice.added) {
+      slice.touched.push_back(u);
+      slice.touched.push_back(w);
+    }
+    for (const auto& [u, w] : slice.removed) {
+      slice.touched.push_back(u);
+      slice.touched.push_back(w);
+    }
+    normalize(slice.touched);
+  }
 }
 
 }  // namespace manet::incr

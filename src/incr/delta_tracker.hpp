@@ -24,6 +24,33 @@
 
 namespace manet::incr {
 
+/// How far, in grid cells, each staged node's dirty 3x3 block is grown
+/// when forming independent repair regions (DESIGN S30). The parallel
+/// cluster-repair stage writes head status within 1 hop of a region's
+/// changed-edge endpoints and reads it within 2 hops; one unit-disk hop
+/// never crosses more than one cell boundary (cell side >= range), so
+/// distinct regions need their core cells >= 4 cells apart (Chebyshev).
+/// Symmetric growth by 2 guarantees >= 2*2+1 = 5.
+inline constexpr std::size_t kRegionGrowthCells = 2;
+
+/// One commit's staged moves partitioned into independent dirty
+/// regions: connected components of the grown dirty blocks. Every
+/// changed edge (both endpoints) and every touched node of the tick
+/// belongs to exactly one region, and distinct regions' core cells are
+/// >= 2*kRegionGrowthCells+1 cells apart — far enough that the
+/// region-parallel repair stage can never observe another region's
+/// writes (the S30 independence argument, pinned by property tests).
+struct RegionPartition {
+  std::size_t count = 0;           ///< number of regions this commit
+  std::vector<EdgeDelta> deltas;   ///< per-region slice of the delta
+  /// Per-region sorted-unique core cell indices (the 3x3 blocks around
+  /// each staged node's old and new cells, before growth): the region
+  /// size metric and the separation the property tests assert.
+  std::vector<std::vector<std::uint32_t>> core_cells;
+  std::size_t cols = 1;            ///< grid shape, for cell geometry
+  std::size_t rows = 1;
+};
+
 /// Maintains node positions, a mutable cell grid over a fixed working
 /// space, and the unit-disk adjacency overlay they induce.
 class DeltaTracker {
@@ -50,18 +77,31 @@ class DeltaTracker {
   /// Number of staged (not yet committed) moves.
   std::size_t staged_count() const { return staged_.size(); }
 
-  /// Grid cells rescanned by the last commit() (its 3x3 dirty blocks) —
-  /// the engine's "dirty region" size at the geometry layer.
+  /// Distinct grid cells rescanned by the last commit() (the union of
+  /// its 3x3 dirty blocks) — the engine's "dirty region" size at the
+  /// geometry layer. Overlapping blocks count once.
   std::size_t last_cells_scanned() const { return last_cells_scanned_; }
 
   /// Applies all staged moves: updates positions, migrates dirty nodes
   /// between cells, rescans only the dirty 3x3 blocks, applies the edge
   /// changes to the adjacency overlay, and returns them. Expected
-  /// O(dirty * d) for d = average degree.
-  EdgeDelta commit();
+  /// O(dirty * d) for d = average degree. When `regions` is non-null it
+  /// is additionally filled with the tick's independent-region
+  /// partition (same cost class: O(dirty) cells painted).
+  EdgeDelta commit(RegionPartition* regions = nullptr);
 
  private:
   std::size_t cell_index(const geom::Point& p) const;
+
+  /// Advances the per-cell stamp epoch (wrap-safe).
+  void bump_epoch();
+
+  /// Paints the grown dirty blocks, unions overlapping labels, and
+  /// fills `out` from the committed `delta`. `old_cells[i]` is the cell
+  /// staged_[i] occupied before migration.
+  void build_regions(const EdgeDelta& delta,
+                     const std::vector<std::uint32_t>& old_cells,
+                     RegionPartition& out);
 
   std::vector<geom::Point> positions_;
   graph::DynamicAdjacency adjacency_;
@@ -78,6 +118,16 @@ class DeltaTracker {
   std::vector<NodeId> staged_;                // dirty node ids
   std::vector<char> is_staged_;               // dedup flag per node
   std::size_t last_cells_scanned_ = 0;        // dirty-block cells, last commit
+
+  // Epoch-stamped per-cell scratch (allocated once, O(cells) = O(n)):
+  // a cell is "marked this commit" iff its stamp equals epoch_, so no
+  // per-commit clearing is needed.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> scan_stamp_;     // cells-scanned dedup
+  std::vector<std::uint32_t> core_stamp_;     // core-cell dedup (regions)
+  std::vector<std::uint32_t> paint_stamp_;    // grown-block painting
+  std::vector<std::uint32_t> paint_label_;    // painted staged-index label
+  std::vector<std::uint32_t> union_parent_;   // DSU over staged indices
 };
 
 }  // namespace manet::incr

@@ -50,6 +50,8 @@ IncrementalPipeline::IncrementalPipeline(std::vector<geom::Point> positions,
     : tracker_(std::move(positions), range, width, height),
       backbone_(tracker_.adjacency(), options.mode),
       options_(options) {
+  if (options_.threads > 1)
+    pool_ = std::make_unique<WorkerPool>(options_.threads);
   if (options_.oracle_check) oracle_previous_ = backbone_.clustering();
   set_obs(options_.obs);
 }
@@ -62,10 +64,15 @@ void IncrementalPipeline::set_obs(obs::Session* session) {
     ticks_counter_ = r.counter("incr.ticks");
     staged_counter_ = r.counter("incr.staged_moves");
     dirty_cells_counter_ = r.counter("incr.dirty_cells");
+    regions_counter_ = r.counter("incr.regions");
+    region_size_hist_ = r.histogram("incr.region_size",
+                                    {1, 2, 4, 8, 16, 32, 64, 128, 256});
   } else {
     ticks_counter_ = obs::Counter();
     staged_counter_ = obs::Counter();
     dirty_cells_counter_ = obs::Counter();
+    regions_counter_ = obs::Counter();
+    region_size_hist_ = obs::Histogram();
   }
 }
 
@@ -79,13 +86,26 @@ TickStats IncrementalPipeline::tick() {
   EdgeDelta delta;
   {
     obs::Span span(tr, "incr", "delta_commit", tick_index_, "links");
-    delta = tracker_.commit();
+    // The partition is always built (O(dirty)), not just when a pool is
+    // attached: the incr.regions metrics must come out identical at any
+    // thread count for the determinism soaks to hold byte-for-byte.
+    delta = tracker_.commit(&partition_);
     span.set_arg(delta.link_changes());
   }
   dirty_cells_counter_.add(tracker_.last_cells_scanned());
+  regions_counter_.add(partition_.count);
+  for (const auto& cells : partition_.core_cells)
+    region_size_hist_.record(cells.size());
   tick_span.set_arg(delta.link_changes());
 
-  const TickStats stats = backbone_.apply(tracker_.adjacency(), delta);
+  TickStats stats;
+  if (pool_ && partition_.count >= 2 && !delta.empty()) {
+    stats = backbone_.apply_parallel(tracker_.adjacency(), delta, partition_,
+                                     *pool_);
+  } else {
+    stats = backbone_.apply(tracker_.adjacency(), delta);
+    stats.regions = partition_.count;
+  }
 
   if (options_.oracle_check) {
     // Full rebuild from first principles: re-derive the topology from the

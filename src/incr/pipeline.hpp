@@ -4,8 +4,16 @@
 // plus an oracle cross-check mode that rebuilds everything from scratch
 // after every tick and asserts bitwise equality — the safety net that
 // lets the delta path be trusted in production and benchmarked honestly.
+//
+// With threads > 1 each tick's delta is partitioned into independent
+// dirty regions (DeltaTracker) and repaired via the sharded
+// IncrementalBackbone::apply_parallel on a persistent WorkerPool. The
+// maintained state — and therefore materialize(), metric snapshots and
+// every downstream artifact — is bitwise identical at any thread count
+// (the determinism soaks and the oracle pin this).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +22,7 @@
 #include "geom/point.hpp"
 #include "incr/backbone.hpp"
 #include "incr/delta_tracker.hpp"
+#include "incr/worker_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace manet::incr {
@@ -31,6 +40,11 @@ struct PipelineOptions {
   /// oracle mismatch the recorder tail and the offending tick's dirty
   /// set are dumped to stderr before the throw.
   obs::Session* obs = nullptr;
+  /// Execution lanes for the sharded repair path (1 = fully sequential,
+  /// no pool, byte-for-byte the pre-sharding engine). With k > 1 a
+  /// persistent pool of k-1 workers plus the calling thread fans out
+  /// each tick's independent regions and row chunks.
+  std::size_t threads = 1;
 };
 
 /// Delta-driven replacement for the per-tick full rebuild: feed it the
@@ -77,9 +91,14 @@ class IncrementalPipeline {
   IncrementalBackbone backbone_;
   PipelineOptions options_;
   std::uint64_t tick_index_ = 0;
+  /// Reused per tick; filled by DeltaTracker::commit when threads > 1.
+  RegionPartition partition_;
+  std::unique_ptr<WorkerPool> pool_;  ///< null when threads == 1
   obs::Counter ticks_counter_;
   obs::Counter staged_counter_;
   obs::Counter dirty_cells_counter_;
+  obs::Counter regions_counter_;
+  obs::Histogram region_size_hist_;
   /// Previous oracle clustering (oracle mode): the full-rebuild path is
   /// lcc_update from the previous tick's structure, exactly what the
   /// engine repairs incrementally.

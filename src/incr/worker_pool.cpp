@@ -1,0 +1,86 @@
+#include "incr/worker_pool.hpp"
+
+namespace manet::incr {
+
+WorkerPool::WorkerPool(std::size_t lanes) : lanes_(lanes == 0 ? 1 : lanes) {
+  threads_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane)
+    threads_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    const Job* fn = fn_;
+    while (next_job_ < jobs_) {
+      const std::size_t job = next_job_++;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn)(job, lane);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !first_error_) first_error_ = err;
+      if (++jobs_done_ == jobs_) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t jobs, const Job& fn) {
+  if (jobs == 0) return;
+  if (lanes_ == 1 || jobs == 1) {
+    // Inline fast path: no synchronization at all.
+    for (std::size_t job = 0; job < jobs; ++job) fn(job, 0);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  jobs_ = jobs;
+  next_job_ = 0;
+  jobs_done_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+
+  // Caller drains alongside the workers as lane 0.
+  while (next_job_ < jobs_) {
+    const std::size_t job = next_job_++;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      fn(job, 0);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !first_error_) first_error_ = err;
+    ++jobs_done_;
+  }
+  done_cv_.wait(lock, [&] { return jobs_done_ == jobs_; });
+  jobs_ = 0;  // stale wake-ups of this generation find no work
+
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace manet::incr

@@ -1,0 +1,67 @@
+// Fixed-width fork/join pool for the sharded parallel repair path.
+//
+// The engine's parallel stages are short (tens of microseconds to a few
+// milliseconds) and fire every tick, so thread spawn-per-tick is off
+// the table: the pool parks `lanes - 1` workers on a condition variable
+// and the *caller participates as lane 0*, which makes lanes == 1 a
+// true zero-thread configuration (everything runs inline on the caller,
+// no synchronization) and keeps the hot hand-off to one notify_all.
+//
+// Jobs are claimed one at a time under the mutex — jobs here are chunky
+// (a repair region, a row chunk), counted in the tens, so claim
+// contention is irrelevant and the simplicity buys easy reasoning:
+// determinism never depends on which lane ran a job, because callers
+// index all outputs by job id.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace manet::incr {
+
+class WorkerPool {
+ public:
+  /// fn(job, lane): job is the work-item index, lane identifies the
+  /// executing lane (0 = caller) for per-lane scratch.
+  using Job = std::function<void(std::size_t job, std::size_t lane)>;
+
+  /// `lanes` total execution lanes including the caller; clamped to 1.
+  explicit WorkerPool(std::size_t lanes);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t lanes() const { return lanes_; }
+
+  /// Runs fn(job, lane) for every job in [0, jobs) and blocks until all
+  /// complete. The caller drains jobs as lane 0 alongside the workers.
+  /// If any job throws, the first exception (in completion order) is
+  /// rethrown after the batch drains; the rest are dropped.
+  void run(std::size_t jobs, const Job& fn);
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::size_t lanes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // All below guarded by mu_.
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  const Job* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::size_t next_job_ = 0;
+  std::size_t jobs_done_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace manet::incr

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/table_kernels.hpp"
+
 #include "common/rng.hpp"
 #include "geom/unit_disk.hpp"
 #include "graph/algorithms.hpp"
@@ -113,6 +115,37 @@ TEST(CoverageEdgeCases, LongPathGetsThreeHopEntries) {
   // Head 1 has a member (4) in N^2(0), so 1 is in 0's 2.5-hop coverage.
   EXPECT_EQ(cov[0].three_hop, (NodeSet{1}));
   EXPECT_EQ(validate_coverage(g, c, t25, 0, cov[0]), "");
+}
+
+TEST(CoverageScratchTest, ScratchKernelMatchesScratchlessAndComesBackClean) {
+  // The reusable-scratch coverage_row must be bit-identical to the
+  // scratch-less overload and must return its bitsets fully cleared, or
+  // the next head computed with the same scratch inherits stale bits.
+  Rng rng(99);
+  geom::UnitDiskConfig cfg;
+  cfg.nodes = 120;
+  cfg.range = geom::range_for_average_degree(8, 120, cfg.width, cfg.height);
+  const auto net = geom::generate_connected_unit_disk(cfg, rng);
+  ASSERT_TRUE(net.has_value());
+  const auto c = cluster::lowest_id_clustering(net->graph);
+  for (const auto mode :
+       {CoverageMode::kTwoPointFiveHop, CoverageMode::kThreeHop}) {
+    const auto t = build_neighbor_tables(net->graph, c, mode);
+    CoverageScratch scratch;  // deliberately shared across all heads
+    for (NodeId h : c.heads) {
+      const Coverage with_scratch =
+          coverage_row(net->graph, t, h, cfg.nodes, scratch);
+      const Coverage fresh = coverage_row(net->graph, t, h, cfg.nodes);
+      EXPECT_EQ(with_scratch.two_hop, fresh.two_hop) << "head " << h;
+      EXPECT_EQ(with_scratch.three_hop, fresh.three_hop) << "head " << h;
+      for (std::size_t v = 0; v < cfg.nodes; ++v) {
+        ASSERT_FALSE(scratch.two.test(static_cast<NodeId>(v)))
+            << "stale two-hop bit " << v << " after head " << h;
+        ASSERT_FALSE(scratch.three.test(static_cast<NodeId>(v)))
+            << "stale three-hop bit " << v << " after head " << h;
+      }
+    }
+  }
 }
 
 // ---- Property sweep: message-built coverage equals BFS ground truth ----

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "cluster/lcc.hpp"
@@ -104,6 +105,165 @@ TEST(DeltaTrackerTest, TracksUnitDiskGraphUnderTeleports) {
     for (const auto& [u, w] : delta.removed)
       EXPECT_FALSE(tracker.adjacency().has_edge(u, w));
   }
+}
+
+void expect_adjacency_matches(const DeltaTracker& tracker,
+                              const std::vector<geom::Point>& positions,
+                              double range, int round) {
+  ASSERT_EQ(tracker.adjacency().freeze().edges(),
+            geom::unit_disk_graph(positions, range).edges())
+      << "overlay diverged at round " << round;
+}
+
+TEST(DeltaTrackerPropertyTest, CellBoundaryOscillation) {
+  // Half the population parked on a vertical cell edge, nudged across it
+  // and back every commit: maximal cell-migration churn from near-zero
+  // motion, the worst case for the bucket bookkeeping.
+  Rng rng(501);
+  const std::size_t n = 60;
+  const double range = 10.0;
+  auto positions = random_layout(n, rng);
+  DeltaTracker tracker(positions, range, 100, 100);
+  for (int round = 0; round < 60; ++round) {
+    for (NodeId v = 0; v < n; v += 2) {
+      const double edge = std::round(positions[v].x / range) * range;
+      const double eps = (round % 2 == 0) ? 1e-7 : -1e-7;
+      positions[v].x = std::clamp(edge + eps, 0.0, 100.0);
+      tracker.stage_move(v, positions[v]);
+    }
+    tracker.commit();
+    expect_adjacency_matches(tracker, positions, range, round);
+  }
+}
+
+TEST(DeltaTrackerPropertyTest, MassTeleportAllNodes) {
+  // Every node teleports every commit — nothing incremental left to
+  // exploit, the overlay must still equal the from-scratch graph.
+  Rng rng(502);
+  const std::size_t n = 120;
+  const double range = geom::range_for_average_degree(8.0, n, 100, 100);
+  auto positions = random_layout(n, rng);
+  DeltaTracker tracker(positions, range, 100, 100);
+  RegionPartition regions;
+  for (int round = 0; round < 25; ++round) {
+    for (NodeId v = 0; v < n; ++v) {
+      positions[v] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+      tracker.stage_move(v, positions[v]);
+    }
+    tracker.commit(&regions);
+    expect_adjacency_matches(tracker, positions, range, round);
+    EXPECT_GE(regions.count, 1u);
+  }
+}
+
+TEST(DeltaTrackerPropertyTest, AllNodesIntoOneCell) {
+  // The density extremes: everyone converges into one cell (a clique in
+  // one bucket), then scatters back out.
+  Rng rng(503);
+  const std::size_t n = 80;
+  const double range = 10.0;
+  auto positions = random_layout(n, rng);
+  DeltaTracker tracker(positions, range, 100, 100);
+  for (int round = 0; round < 6; ++round) {
+    for (NodeId v = 0; v < n; ++v) {
+      positions[v] =
+          (round % 2 == 0)
+              ? geom::Point{55.0 + rng.uniform(0, 4), 55.0 + rng.uniform(0, 4)}
+              : geom::Point{rng.uniform(0, 100), rng.uniform(0, 100)};
+      tracker.stage_move(v, positions[v]);
+    }
+    tracker.commit();
+    expect_adjacency_matches(tracker, positions, range, round);
+  }
+}
+
+TEST(DeltaTrackerTest, CellsScannedCountsDistinctCells) {
+  // Two movers in the same cell share one 3x3 dirty block; the counter
+  // reports distinct cells, not blocks-with-multiplicity.
+  std::vector<geom::Point> pts{{55, 55}, {54, 54}, {5, 5}};
+  DeltaTracker tracker(pts, 10.0, 100, 100);
+  tracker.stage_move(0, {55.5, 55});
+  tracker.stage_move(1, {54.5, 54});
+  tracker.commit();
+  EXPECT_EQ(tracker.last_cells_scanned(), 9u);
+}
+
+TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparated) {
+  // The S30 contract: per-region deltas partition the tick delta exactly
+  // (every changed edge, both endpoints, in one region) and core cells
+  // of distinct regions stay >= 2*kRegionGrowthCells+1 grid cells apart
+  // in Chebyshev distance.
+  Rng rng(504);
+  const std::size_t n = 400;
+  const double range = geom::range_for_average_degree(6.0, n, 100, 100);
+  auto positions = random_layout(n, rng);
+  DeltaTracker tracker(positions, range, 100, 100);
+  RegionPartition parts;
+  const std::size_t min_sep = 2 * kRegionGrowthCells + 1;
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t movers = 1 + rng.index(8);
+    for (std::size_t j = 0; j < movers; ++j) {
+      const auto v = static_cast<NodeId>(rng.index(n));
+      positions[v] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+      tracker.stage_move(v, positions[v]);
+    }
+    const EdgeDelta delta = tracker.commit(&parts);
+    ASSERT_GE(parts.count, 1u);
+    ASSERT_EQ(parts.deltas.size(), parts.count);
+    ASSERT_EQ(parts.core_cells.size(), parts.count);
+
+    // Per-region slices partition the global delta.
+    std::vector<std::pair<NodeId, NodeId>> added, removed;
+    NodeSet touched;
+    for (const EdgeDelta& slice : parts.deltas) {
+      added.insert(added.end(), slice.added.begin(), slice.added.end());
+      removed.insert(removed.end(), slice.removed.begin(),
+                     slice.removed.end());
+      touched.insert(touched.end(), slice.touched.begin(),
+                     slice.touched.end());
+    }
+    std::sort(added.begin(), added.end());
+    std::sort(removed.begin(), removed.end());
+    normalize(touched);
+    EXPECT_EQ(added, delta.added);
+    EXPECT_EQ(removed, delta.removed);
+    EXPECT_EQ(touched, delta.touched);
+
+    // Pairwise core-cell separation.
+    for (std::size_t i = 0; i < parts.count; ++i) {
+      EXPECT_FALSE(parts.core_cells[i].empty());
+      for (std::size_t j = i + 1; j < parts.count; ++j) {
+        for (const std::uint32_t a : parts.core_cells[i]) {
+          for (const std::uint32_t b : parts.core_cells[j]) {
+            const auto dc = std::max(a % parts.cols, b % parts.cols) -
+                            std::min(a % parts.cols, b % parts.cols);
+            const auto dr = std::max(a / parts.cols, b / parts.cols) -
+                            std::min(a / parts.cols, b / parts.cols);
+            ASSERT_GE(std::max<std::size_t>(dc, dr), min_sep)
+                << "regions " << i << " and " << j << " too close";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaTrackerPropertyTest, TeleportOldAndNewBlocksShareOneRegion) {
+  // A teleporting node's removed edges live near its old position and
+  // its added edges near the new one — both must land in one region so
+  // its repair never splits across shards.
+  std::vector<geom::Point> pts{{5, 5}, {7, 5}, {92, 95}, {95, 95}, {50, 50}};
+  const double range = 10.0;
+  DeltaTracker tracker(pts, range, 100, 100);
+  RegionPartition parts;
+  // Node 0 teleports from the {0,1} corner to the {2,3} corner.
+  tracker.stage_move(0, {93, 93});
+  const EdgeDelta delta = tracker.commit(&parts);
+  EXPECT_FALSE(delta.added.empty());
+  EXPECT_FALSE(delta.removed.empty());
+  EXPECT_EQ(parts.count, 1u);
+  EXPECT_EQ(parts.deltas[0].added, delta.added);
+  EXPECT_EQ(parts.deltas[0].removed, delta.removed);
 }
 
 TEST(DeltaTrackerTest, RestagingSameNodeKeepsLastPosition) {
