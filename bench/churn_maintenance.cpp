@@ -11,18 +11,27 @@
 //  * --threads=<k> with k > 1 additionally runs a sharded-vs-sequential
 //    comparison (waypoint, d=6, heavier churn) and cross-checks that
 //    both engines produced the same final state hash;
-//  * --scale (or --scale-fast) appends the 10k–100k scaling sweep —
-//    ascending sizes, coarse rebuild stride, peak-RSS column — feeding
-//    the O(n) memory audit in docs/PERFORMANCE.md.
+//  * --scale (or --scale-fast) appends the 100k/300k/1M scaling sweep —
+//    sparse cell index + streaming topology build + cell-major labels,
+//    ascending sizes, coarse rebuild stride (off at 1M), peak-RSS
+//    column — after a verify stage that pins the sparse engine's state
+//    hash at threads {1, 2, 8} against the dense sequential engine.
+//    The sweep feeds the O(n) memory audit in docs/PERFORMANCE.md and
+//    the exit code gates both the hash check and the <= 1 KB/node RSS
+//    budget of the largest row.
 //
 // Flags: --fast (fewer ticks, sizes capped at 500), --seed=<u64>,
 //        --ticks=<k>, --move-frac=<f> (default 0.01),
 //        --threads=<k> (default 1, engine lanes for every row),
-//        --scale / --scale-fast (10k–100k sweep; fast stops at 10k),
+//        --scale / --scale-fast (scaling sweep; fast stops at 10k),
 //        --json=<path> (default BENCH_churn.json under --out-dir,
 //        default results/),
+//        --scale-json=<path> (default BENCH_scale.json in the working
+//        directory — intentionally NOT under results/, so the committed
+//        top-level artifact tracks the perf trajectory across PRs),
 //        --trace-out=<path> (Chrome-trace JSON of the last record's run;
 //        open in Perfetto / chrome://tracing).
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -44,6 +53,17 @@ struct Record {
   std::string section;       ///< "matrix" / "parallel" / "scale"
 };
 
+const char* grid_name(geom::GridIndex g) {
+  switch (g) {
+    case geom::GridIndex::kDense:
+      return "dense";
+    case geom::GridIndex::kSparse:
+      return "sparse";
+    default:
+      return "auto";
+  }
+}
+
 void write_json(const std::string& path, const std::vector<Record>& records) {
   std::ofstream out(path);
   out << "[\n";
@@ -54,6 +74,10 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
         << ", \"degree\": " << c.degree
         << ", \"move_fraction\": " << c.move_fraction
         << ", \"threads\": " << c.threads << ", \"ticks\": " << r.ticks
+        << ", \"grid\": \"" << grid_name(c.grid) << "\""
+        << ", \"streaming\": " << (c.streaming_build ? "true" : "false")
+        << ", \"connected\": " << (r.connected ? "true" : "false")
+        << ", \"connect_attempts_used\": " << r.connect_attempts_used
         << ", \"incremental_ms_per_tick\": " << r.incremental_ms_per_tick
         << ", \"rebuild_ms_per_tick\": " << r.rebuild_ms_per_tick
         << ", \"speedup\": " << r.speedup
@@ -69,6 +93,45 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
+}
+
+/// One line of the committed top-level perf-trajectory artifact.
+struct ScaleRow {
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  std::size_t ticks = 0;
+  double incr_ms_per_tick = 0.0;
+  std::size_t peak_rss_bytes = 0;
+  std::uint64_t state_hash = 0;
+};
+
+void write_scale_json(const std::string& path, std::uint64_t seed,
+                      const std::vector<ScaleRow>& rows, bool verify_ok,
+                      bool rss_ok) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"churn_maintenance --scale\",\n"
+      << "  \"workload\": \"waypoint d=6, 0.5% movers, sparse grid + "
+         "streaming build + cell-major labels\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"verify_threads_1_2_8_and_dense_ok\": "
+      << (verify_ok ? "true" : "false") << ",\n"
+      << "  \"rss_budget_1kb_per_node_ok\": " << (rss_ok ? "true" : "false")
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    const double ticks_per_s =
+        r.incr_ms_per_tick > 0.0 ? 1000.0 / r.incr_ms_per_tick : 0.0;
+    out << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
+        << ", \"ticks\": " << r.ticks
+        << ", \"incremental_ms_per_tick\": " << r.incr_ms_per_tick
+        << ", \"ticks_per_s\": " << ticks_per_s
+        << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
+        << ", \"rss_bytes_per_node\": "
+        << static_cast<double>(r.peak_rss_bytes) / static_cast<double>(r.n)
+        << ", \"state_hash\": \"" << std::hex << r.state_hash << std::dec
+        << "\"}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 exp::ChurnResult run_record(exp::ChurnConfig config,
@@ -102,6 +165,8 @@ int main(int argc, char** argv) {
   const bool scale = flags.get_bool("scale") || scale_fast;
   const std::string json_path =
       artifact_path(flags, flags.get("json", "BENCH_churn.json"));
+  const std::string scale_json_path =
+      flags.get("scale-json", "BENCH_scale.json");
   const std::string trace_path = flags.get("trace-out", "");
 
   std::vector<std::size_t> sizes{100, 500, 1000, 2000};
@@ -181,20 +246,19 @@ int main(int argc, char** argv) {
                                : "DIVERGED — sharded engine bug");
   }
 
+  bool rss_ok = true;
   if (scale) {
-    // 10k–100k scaling sweep. Ascending sizes so the monotone peak-RSS
-    // counter reads as a per-size peak; lighter churn fraction (0.5%),
-    // one-shot topology generation (connectivity is hopeless at d=6 and
-    // these sizes), and a coarse rebuild-baseline stride so the O(n)
-    // rebuild doesn't swamp the wall-clock.
-    std::vector<std::size_t> scale_sizes{10000, 50000, 100000};
-    if (scale_fast) scale_sizes.resize(1);
+    // 100k–1M scaling sweep, all rows on the million-node configuration:
+    // sparse cell index, streaming topology build, cell-major node
+    // labels, 0.5% movers, one-shot topology generation (connectivity is
+    // hopeless at d=6 and these sizes). Ascending sizes so the monotone
+    // peak-RSS counter reads as a per-size peak; coarse rebuild-baseline
+    // stride below 1M, no baseline at 1M (a second full backbone would
+    // double the audited footprint).
+    std::vector<std::size_t> scale_sizes{100000, 300000, 1000000};
+    if (scale_fast) scale_sizes = {10000};
     const std::size_t scale_ticks = scale_fast ? 10 : 30;
-    std::puts("\nscaling sweep — waypoint, d=6, 0.5% movers");
-    std::printf("%7s %3s %10s %10s %8s %6s %9s %9s\n", "n", "thr",
-                "incr_ms", "rebuild_ms", "speedup", "reg/t", "rss_mb",
-                "rss_b/n");
-    for (const std::size_t n : scale_sizes) {
+    const auto scale_config = [&](std::size_t n) {
       exp::ChurnConfig config;
       config.model = exp::ChurnConfig::Model::kWaypoint;
       config.nodes = n;
@@ -205,15 +269,92 @@ int main(int argc, char** argv) {
       config.threads = threads;
       config.connect_attempts = 1;
       config.rebuild_every = std::max<std::size_t>(1, scale_ticks / 3);
+      config.grid = geom::GridIndex::kSparse;
+      config.streaming_build = true;
+      config.cell_order = true;
+      return config;
+    };
+
+    // Verify stage at the sweep's smallest size: the sparse engine must
+    // land on one state hash at threads {1, 2, 8}, and that hash must
+    // match the dense sequential engine on the same workload — the
+    // head-to-head that proves sparse index + streaming build + sharded
+    // settling change nothing but footprint and speed. cell_order stays
+    // off here: the relabeling permutation depends on the chosen grid's
+    // lattice (dense clamping coarsens it), so cross-mode hash
+    // comparisons need the original labels on both sides.
+    const std::size_t vn = scale_sizes.front();
+    std::printf(
+        "\nscale verify — sparse engine at threads {1,2,8} vs dense "
+        "sequential (waypoint, d=6, n=%zu)\n",
+        vn);
+    std::printf("%7s %6s %3s %10s  %s\n", "n", "grid", "thr", "incr_ms",
+                "state_hash");
+    std::uint64_t verify_hash = 0;
+    for (const std::size_t t : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      exp::ChurnConfig config = scale_config(vn);
+      config.threads = t;
+      config.rebuild_baseline = false;
+      config.cell_order = false;
+      const exp::ChurnResult r =
+          run_record(config, records, "scale-verify", trace_path);
+      if (t == 1) verify_hash = r.state_hash;
+      determinism_ok = determinism_ok && r.state_hash == verify_hash;
+      std::printf("%7zu %6s %3zu %10.4f  %016llx\n", vn, "sparse", t,
+                  r.incremental_ms_per_tick,
+                  static_cast<unsigned long long>(r.state_hash));
+    }
+    {
+      exp::ChurnConfig config = scale_config(vn);
+      config.threads = 1;
+      config.rebuild_baseline = false;
+      config.cell_order = false;
+      config.grid = geom::GridIndex::kDense;
+      config.streaming_build = false;
+      const exp::ChurnResult r =
+          run_record(config, records, "scale-verify", trace_path);
+      determinism_ok = determinism_ok && r.state_hash == verify_hash;
+      std::printf("%7zu %6s %3d %10.4f  %016llx\n", vn, "dense", 1,
+                  r.incremental_ms_per_tick,
+                  static_cast<unsigned long long>(r.state_hash));
+    }
+    std::printf("scale verify %s\n",
+                determinism_ok
+                    ? "passed — one hash across threads and cell indexes"
+                    : "FAILED — hashes diverged");
+
+    std::puts("\nscaling sweep — waypoint, d=6, 0.5% movers, sparse+stream");
+    std::printf("%8s %3s %10s %10s %8s %6s %9s %9s  %s\n", "n", "thr",
+                "incr_ms", "rebuild_ms", "speedup", "reg/t", "rss_mb",
+                "rss_b/n", "state_hash");
+    std::vector<ScaleRow> scale_rows;
+    for (const std::size_t n : scale_sizes) {
+      exp::ChurnConfig config = scale_config(n);
+      if (n >= 1000000) config.rebuild_baseline = false;
       const exp::ChurnResult r =
           run_record(config, records, "scale", trace_path);
-      std::printf("%7zu %3zu %10.4f %10.3f %7.1fx %6.1f %9.1f %9.0f\n", n,
-                  threads, r.incremental_ms_per_tick, r.rebuild_ms_per_tick,
-                  r.speedup, r.mean_regions,
+      const double rss_per_node = static_cast<double>(r.peak_rss_bytes) /
+                                  static_cast<double>(n);
+      std::printf("%8zu %3zu %10.4f %10.3f %7.1fx %6.1f %9.1f %9.0f  "
+                  "%016llx\n",
+                  n, threads, r.incremental_ms_per_tick,
+                  r.rebuild_ms_per_tick, r.speedup, r.mean_regions,
                   static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0),
-                  static_cast<double>(r.peak_rss_bytes) /
-                      static_cast<double>(n));
+                  rss_per_node,
+                  static_cast<unsigned long long>(r.state_hash));
+      scale_rows.push_back({n, threads, r.ticks, r.incremental_ms_per_tick,
+                            r.peak_rss_bytes, r.state_hash});
+      // The memory-audit gate: the largest row must hold the O(n) budget
+      // (RSS is monotone, so only the last row's reading is binding).
+      if (n == scale_sizes.back() && n >= 1000000 && rss_per_node > 1024.0)
+        rss_ok = false;
     }
+    write_scale_json(scale_json_path, seed, scale_rows, determinism_ok,
+                     rss_ok);
+    std::printf("scale summary written to %s\n", scale_json_path.c_str());
+    if (!rss_ok)
+      std::printf("RSS budget EXCEEDED: largest row above 1 KB/node\n");
   }
 
   write_json(json_path, records);
@@ -221,5 +362,5 @@ int main(int argc, char** argv) {
   if (!trace_path.empty())
     std::printf("chrome trace (last record) written to %s\n",
                 trace_path.c_str());
-  return determinism_ok ? 0 : 1;
+  return determinism_ok && rss_ok ? 0 : 1;
 }

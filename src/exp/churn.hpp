@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/neighbor_tables.hpp"
+#include "geom/spatial_grid.hpp"
 
 namespace manet::obs {
 struct Session;
@@ -59,6 +60,24 @@ struct ChurnConfig {
   /// disconnected one (the paper's filter). Large sparse configs are
   /// essentially never connected — pass 1 to skip the wasted retries.
   std::size_t connect_attempts = 100;
+  /// Fail the run (std::invalid_argument naming the exhausted budget)
+  /// instead of silently continuing on a disconnected layout when every
+  /// connect attempt is rejected.
+  bool require_connected = false;
+  /// Cell storage for the engine's grids (incr::PipelineOptions::grid):
+  /// kSparse exercises the O(n) interned index regardless of lattice
+  /// size. State hashes are identical in every mode.
+  geom::GridIndex grid = geom::GridIndex::kAuto;
+  /// Build the initial topology CSR with the streaming counting sweep
+  /// (incr::PipelineOptions::streaming_build) — same graph, lower
+  /// cold-build peak RSS.
+  bool streaming_build = false;
+  /// Relabel the initial layout into spatial-grid slot order
+  /// (geom::cell_order_layout) before simulating: node ids become
+  /// cell-major, which keeps the engine's sweeps cache-friendly at large
+  /// n. Changes node labels (a different but equally distributed run),
+  /// so head-to-head hash comparisons must use it on both sides.
+  bool cell_order = false;
 };
 
 /// Aggregated outcome of one churn run.
@@ -84,6 +103,11 @@ struct ChurnResult {
   /// Process peak RSS in bytes after the run (0 where unsupported).
   /// Monotone per process: run ascending sizes to read per-size peaks.
   std::size_t peak_rss_bytes = 0;
+  /// Whether the initial topology was connected, and how many layouts
+  /// the rejection sampler generated to get it (== connect_attempts on
+  /// exhaustion).
+  bool connected = false;
+  std::size_t connect_attempts_used = 0;
 };
 
 /// Human-readable tag ("waypoint" / "direction") for reports.

@@ -14,6 +14,7 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "geom/point.hpp"
+#include "geom/spatial_grid.hpp"
 #include "graph/graph.hpp"
 
 namespace manet::geom {
@@ -45,9 +46,31 @@ UnitDiskNetwork generate_unit_disk(const UnitDiskConfig& config, Rng& rng);
 /// Builds the unit-disk graph induced by fixed positions (used by the
 /// mobility module after each movement step). Uses a spatial grid with
 /// cell size = range, so construction is expected O(n * d) instead of the
-/// naive O(n^2) pair scan.
-graph::Graph unit_disk_graph(const std::vector<Point>& positions,
-                             double range);
+/// naive O(n^2) pair scan. `index` picks the grid's cell storage (see
+/// GridIndex); the resulting graph is identical in every mode.
+graph::Graph unit_disk_graph(const std::vector<Point>& positions, double range,
+                             GridIndex index = GridIndex::kAuto);
+
+/// Same graph as unit_disk_graph, built by a two-pass counting sweep
+/// (degree count, prefix sum, cursor fill) straight into CSR arrays — no
+/// intermediate per-pair edge buffer, so peak RSS of a cold build is
+/// roughly halved. Slightly more distance arithmetic (each pair is tested
+/// twice); use for large-n cold builds where memory is the binding
+/// constraint.
+graph::Graph unit_disk_graph_streaming(const std::vector<Point>& positions,
+                                       double range,
+                                       GridIndex index = GridIndex::kAuto);
+
+/// Returns `positions` permuted into spatial-grid slot order (row-major
+/// cells of side >= cell_size, original index ascending within a cell).
+/// Re-gridding the returned layout at the same cell size maps node id k
+/// to slot k, which gives cache-friendly neighborhoods and lets
+/// unit_disk_graph_streaming emit sorted rows without a fix-up pass. For
+/// i.i.d. random placements the relabeling does not change the
+/// distribution.
+std::vector<Point> cell_order_layout(const std::vector<Point>& positions,
+                                     double cell_size,
+                                     GridIndex index = GridIndex::kAuto);
 
 /// Reference O(n^2) pair-scan implementation. Kept for cross-checking the
 /// grid-based unit_disk_graph (tests assert identical edge sets) and as
@@ -57,8 +80,11 @@ graph::Graph unit_disk_graph_reference(const std::vector<Point>& positions,
 
 /// Rejection-samples topologies until one is connected, or gives up after
 /// `max_attempts` (returns nullopt). The paper: "If the generated network
-/// is not connected, it is discarded."
+/// is not connected, it is discarded." When `attempts_used` is non-null
+/// it receives the number of topologies generated (== max_attempts on
+/// exhaustion), so callers can report the retry budget they spent.
 std::optional<UnitDiskNetwork> generate_connected_unit_disk(
-    const UnitDiskConfig& config, Rng& rng, std::size_t max_attempts = 10000);
+    const UnitDiskConfig& config, Rng& rng, std::size_t max_attempts = 10000,
+    std::size_t* attempts_used = nullptr);
 
 }  // namespace manet::geom

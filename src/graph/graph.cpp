@@ -6,6 +6,17 @@
 
 namespace manet::graph {
 
+Graph Graph::from_csr(std::vector<std::size_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  MANET_REQUIRE(!offsets.empty() && offsets.front() == 0 &&
+                    offsets.back() == adjacency.size(),
+                "malformed CSR offsets");
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 std::span<const NodeId> Graph::neighbors(NodeId v) const {
   MANET_REQUIRE(v < order(), "vertex id out of range");
   return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};

@@ -20,6 +20,15 @@ class Graph {
  public:
   Graph() = default;
 
+  /// Adopts pre-built CSR arrays: `offsets` has order+1 entries and
+  /// `adjacency[offsets[v]..offsets[v+1])` is the sorted neighbor list of
+  /// v, with every edge present in both directions. This is the zero-copy
+  /// entry point for streaming constructions (unit_disk_graph_streaming)
+  /// that count degrees and fill rows in place instead of accumulating an
+  /// intermediate edge list.
+  static Graph from_csr(std::vector<std::size_t> offsets,
+                        std::vector<NodeId> adjacency);
+
   /// Number of vertices.
   std::size_t order() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
 

@@ -539,20 +539,36 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
   obs_handles_.heads_reselected.add(recompute.size());
   obs_handles_.coverage_changes.add(stats.coverage_changes);
 
+  // --- CDS settling, the last stage of the sharded path: membership is a
+  // pure read of head_bits_/selection_refs_/cds_bits_ (all frozen here),
+  // so chunks over the sorted candidate set buffer their flips and the
+  // caller applies them in chunk order — the exact ascending flip
+  // sequence (and count) of the sequential loop.
   normalize(cds_candidates);
   {
     obs::Span span(tr, "incr", "cds_settle", ticks_applied_, "candidates");
     span.set_arg(cds_candidates.size());
-    for (const NodeId v : cds_candidates) {
-      const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
-      if (member != cds_bits_.test(v)) {
+    const auto chunks = plan_chunks(cds_candidates.size(), lanes);
+    std::vector<std::vector<std::pair<NodeId, bool>>> flips(chunks.size());
+    pool.run(chunks.size(), [&](std::size_t ci, std::size_t lane) {
+      timed(lane, "cds_chunk", chunks[ci].second, [&] {
+        const auto [begin, count] = chunks[ci];
+        for (std::size_t i = begin; i < begin + count; ++i) {
+          const NodeId v = cds_candidates[i];
+          const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
+          if (member != cds_bits_.test(v)) flips[ci].emplace_back(v, member);
+        }
+      });
+    });
+    for (const auto& part : flips)
+      for (const auto& [v, member] : part) {
         ++stats.backbone_changes;
         if (member)
           cds_bits_.set(v);
         else
           cds_bits_.reset(v);
       }
-    }
+    flush_spans();
   }
   obs_handles_.backbone_flips.add(stats.backbone_changes);
   return stats;

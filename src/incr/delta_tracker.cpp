@@ -7,11 +7,49 @@
 #include "geom/unit_disk.hpp"
 
 namespace manet::incr {
+namespace {
+
+// Per-dimension bound for the sparse lattice: keys row * cols + col stay
+// below 2^50 in a uint64. Capping only grows the cell side, which widens
+// rescan blocks but never loses an in-range pair.
+constexpr std::size_t kMaxSparseDim = std::size_t{1} << 25;
+
+// splitmix64 finalizer — the probe hash for both open-addressing maps.
+// A pure function of the key, so probing is deterministic across runs.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// floor(extent / cell) clamped into [1, kMaxSparseDim], computed in
+// double so degenerate huge-area / tiny-range inputs cannot overflow the
+// integer cast.
+std::size_t lattice_dim(double extent, double cell) {
+  const double cells = extent / cell;
+  if (!(cells > 1.0)) return 1;
+  if (cells >= static_cast<double>(kMaxSparseDim)) return kMaxSparseDim;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(cells));
+}
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t cap = 16;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
 
 DeltaTracker::DeltaTracker(std::vector<geom::Point> positions, double range,
-                           double width, double height)
+                           double width, double height, geom::GridIndex index,
+                           bool streaming_build)
     : positions_(std::move(positions)),
-      adjacency_(geom::unit_disk_graph(positions_, range)),
+      adjacency_(streaming_build
+                     ? geom::unit_disk_graph_streaming(positions_, range, index)
+                     : geom::unit_disk_graph(positions_, range, index)),
       range_(range),
       range_sq_(range * range),
       width_(width),
@@ -21,33 +59,41 @@ DeltaTracker::DeltaTracker(std::vector<geom::Point> positions, double range,
   MANET_REQUIRE(width_ > 0.0 && height_ > 0.0, "area must be positive");
 
   // Square cells of side >= range (so any in-range pair sits in the same
-  // or an adjacent cell), with the per-dimension cell count clamped to
-  // keep the cell array O(n) even for a tiny range over a huge area.
+  // or an adjacent cell). The dense index clamps the per-dimension cell
+  // count to keep the cell array O(n) even for a tiny range over a huge
+  // area; the sparse index runs the lattice unclamped and interns only
+  // occupied cells. kAuto goes sparse exactly when the dense clamp would
+  // have had to coarsen the cells.
+  const std::size_t n = positions_.size();
   const auto cap = static_cast<std::size_t>(
-      std::ceil(std::sqrt(4.0 * static_cast<double>(positions_.size())))) +
-      1;
-  const auto fit_x = static_cast<std::size_t>(width_ / range_);
-  const auto fit_y = static_cast<std::size_t>(height_ / range_);
-  cols_ = std::clamp<std::size_t>(fit_x, 1, cap);
-  rows_ = std::clamp<std::size_t>(fit_y, 1, cap);
+                       std::ceil(std::sqrt(4.0 * static_cast<double>(n)))) +
+                   1;
+  const std::size_t fit_x = lattice_dim(width_, range_);
+  const std::size_t fit_y = lattice_dim(height_, range_);
+  sparse_ = index == geom::GridIndex::kSparse ||
+            (index == geom::GridIndex::kAuto && (fit_x > cap || fit_y > cap));
+  cols_ = sparse_ ? fit_x : std::clamp<std::size_t>(fit_x, 1, cap);
+  rows_ = sparse_ ? fit_y : std::clamp<std::size_t>(fit_y, 1, cap);
   inv_cell_x_ = static_cast<double>(cols_) / width_;
   inv_cell_y_ = static_cast<double>(rows_) / height_;
 
-  cells_.resize(cols_ * rows_);
-  scan_stamp_.assign(cols_ * rows_, 0);
-  core_stamp_.assign(cols_ * rows_, 0);
-  paint_stamp_.assign(cols_ * rows_, 0);
-  paint_label_.assign(cols_ * rows_, 0);
-  cell_of_node_.resize(positions_.size());
-  is_staged_.assign(positions_.size(), 0);
-  for (NodeId v = 0; v < positions_.size(); ++v) {
-    const std::size_t cell = cell_index(positions_[v]);
-    cell_of_node_[v] = static_cast<std::uint32_t>(cell);
-    cells_[cell].push_back(v);
+  if (sparse_) {
+    const std::size_t table = pow2_at_least(2 * n);
+    table_keys_.assign(table, ~std::uint64_t{0});
+    table_slots_.resize(table);
+  } else {
+    cells_.resize(cols_ * rows_);
+  }
+  cell_of_node_.resize(n);
+  is_staged_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t slot = intern(cell_key(positions_[v]));
+    cell_of_node_[v] = slot;
+    cells_[slot].push_back(v);
   }
 }
 
-std::size_t DeltaTracker::cell_index(const geom::Point& p) const {
+std::uint64_t DeltaTracker::cell_key(const geom::Point& p) const {
   // Out-of-box positions clamp onto the border cells, like SpatialGrid.
   const std::size_t col =
       p.x <= 0.0 ? 0
@@ -57,7 +103,49 @@ std::size_t DeltaTracker::cell_index(const geom::Point& p) const {
       p.y <= 0.0 ? 0
                  : std::min(rows_ - 1,
                             static_cast<std::size_t>(p.y * inv_cell_y_));
-  return row * cols_ + col;
+  return static_cast<std::uint64_t>(row) * cols_ + col;
+}
+
+std::uint32_t DeltaTracker::slot_of(std::uint64_t key) const {
+  if (!sparse_) return static_cast<std::uint32_t>(key);
+  const std::size_t mask = table_keys_.size() - 1;
+  for (std::size_t h = mix64(key) & mask;; h = (h + 1) & mask) {
+    if (table_keys_[h] == key) return table_slots_[h];
+    if (table_keys_[h] == ~std::uint64_t{0}) return kNoSlot;
+  }
+}
+
+std::uint32_t DeltaTracker::intern(std::uint64_t key) {
+  if (!sparse_) return static_cast<std::uint32_t>(key);
+  const std::size_t mask = table_keys_.size() - 1;
+  for (std::size_t h = mix64(key) & mask;; h = (h + 1) & mask) {
+    if (table_keys_[h] == key) return table_slots_[h];
+    if (table_keys_[h] != ~std::uint64_t{0}) continue;
+    const auto slot = static_cast<std::uint32_t>(slot_keys_.size());
+    table_keys_[h] = key;
+    table_slots_[h] = slot;
+    slot_keys_.push_back(key);
+    cells_.emplace_back();
+    if (2 * slot_keys_.size() > table_keys_.size()) grow_table();
+    return slot;
+  }
+}
+
+std::uint64_t DeltaTracker::key_of_slot(std::uint32_t slot) const {
+  return sparse_ ? slot_keys_[slot] : slot;
+}
+
+void DeltaTracker::grow_table() {
+  const std::size_t cap = table_keys_.size() * 2;
+  table_keys_.assign(cap, ~std::uint64_t{0});
+  table_slots_.resize(cap);
+  const std::size_t mask = cap - 1;
+  for (std::uint32_t slot = 0; slot < slot_keys_.size(); ++slot) {
+    std::size_t h = mix64(slot_keys_[slot]) & mask;
+    while (table_keys_[h] != ~std::uint64_t{0}) h = (h + 1) & mask;
+    table_keys_[h] = slot_keys_[slot];
+    table_slots_[h] = slot;
+  }
 }
 
 void DeltaTracker::stage_move(NodeId v, geom::Point p) {
@@ -67,15 +155,6 @@ void DeltaTracker::stage_move(NodeId v, geom::Point p) {
     is_staged_[v] = 1;
     staged_.push_back(v);
   }
-}
-
-void DeltaTracker::bump_epoch() {
-  if (++epoch_ != 0) return;
-  // uint32 wrap: invalidate all stale stamps once, then restart at 1.
-  std::fill(scan_stamp_.begin(), scan_stamp_.end(), 0u);
-  std::fill(core_stamp_.begin(), core_stamp_.end(), 0u);
-  std::fill(paint_stamp_.begin(), paint_stamp_.end(), 0u);
-  epoch_ = 1;
 }
 
 EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
@@ -89,39 +168,40 @@ EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
     regions->rows = rows_;
   }
   if (staged_.empty()) return delta;
-  bump_epoch();
 
   // Phase 1: migrate every dirty node to its (possibly new) cell, so all
-  // neighborhood scans below see final positions. The pre-move cells are
+  // neighborhood scans below see final positions. The pre-move slots are
   // kept: removed edges live near the *old* positions, so the region
   // partition must treat both blocks of a mover as dirty.
-  std::vector<std::uint32_t> old_cells(staged_.size());
+  std::vector<std::uint32_t> old_slots(staged_.size());
   for (std::size_t i = 0; i < staged_.size(); ++i) {
     const NodeId v = staged_[i];
-    const std::size_t cell = cell_index(positions_[v]);
-    const std::size_t old_cell = cell_of_node_[v];
-    old_cells[i] = static_cast<std::uint32_t>(old_cell);
-    if (cell == old_cell) continue;
-    auto& bucket = cells_[old_cell];
+    const std::uint64_t key = cell_key(positions_[v]);
+    const std::uint32_t old_slot = cell_of_node_[v];
+    old_slots[i] = old_slot;
+    if (key == key_of_slot(old_slot)) continue;
+    const std::uint32_t slot = intern(key);
+    auto& bucket = cells_[old_slot];
     const auto it = std::find(bucket.begin(), bucket.end(), v);
     MANET_ASSERT(it != bucket.end(), "node missing from its grid cell");
     *it = bucket.back();
     bucket.pop_back();
-    cells_[cell].push_back(v);
-    cell_of_node_[v] = static_cast<std::uint32_t>(cell);
+    cells_[slot].push_back(v);
+    cell_of_node_[v] = slot;
   }
 
   // Phase 2: rescan each dirty node's 3x3 block and diff against the
   // adjacency overlay. Edits are applied immediately, so when a later
   // dirty node is diffed the already-repaired pairs are no longer in its
   // symmetric difference — every changed edge is recorded exactly once.
+  scanned_keys_.clear();
   std::vector<NodeId> now;
   std::vector<NodeId> old;
   for (const NodeId v : staged_) {
     const geom::Point p = positions_[v];
-    const std::size_t cell = cell_of_node_[v];
-    const std::size_t col = cell % cols_;
-    const std::size_t row = cell / cols_;
+    const std::uint64_t key = key_of_slot(cell_of_node_[v]);
+    const auto col = static_cast<std::size_t>(key % cols_);
+    const auto row = static_cast<std::size_t>(key / cols_);
     const std::size_t c0 = col > 0 ? col - 1 : 0;
     const std::size_t c1 = col + 1 < cols_ ? col + 1 : cols_ - 1;
     const std::size_t r0 = row > 0 ? row - 1 : 0;
@@ -129,12 +209,11 @@ EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
     now.clear();
     for (std::size_t r = r0; r <= r1; ++r)
       for (std::size_t c = c0; c <= c1; ++c) {
-        const std::size_t idx = r * cols_ + c;
-        if (scan_stamp_[idx] != epoch_) {
-          scan_stamp_[idx] = epoch_;  // count overlapping blocks once
-          ++last_cells_scanned_;
-        }
-        for (const NodeId w : cells_[idx])
+        const std::uint64_t k = static_cast<std::uint64_t>(r) * cols_ + c;
+        scanned_keys_.push_back(k);
+        const std::uint32_t slot = slot_of(k);
+        if (slot == kNoSlot) continue;  // sparse: cell never occupied
+        for (const NodeId w : cells_[slot])
           if (w != v && geom::distance_sq(p, positions_[w]) < range_sq_)
             now.push_back(w);
       }
@@ -158,6 +237,13 @@ EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
       delta.removed.emplace_back(std::min(v, w), std::max(v, w));
     }
   }
+  // Overlapping dirty blocks count once, whether or not their cells have
+  // ever been occupied (the dense index used to stamp per-cell scratch;
+  // key dedup gives the identical count without O(cells) state).
+  std::sort(scanned_keys_.begin(), scanned_keys_.end());
+  last_cells_scanned_ = static_cast<std::size_t>(
+      std::unique(scanned_keys_.begin(), scanned_keys_.end()) -
+      scanned_keys_.begin());
 
   for (const NodeId v : staged_) is_staged_[v] = 0;
 
@@ -173,13 +259,59 @@ EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
   }
   normalize(delta.touched);
 
-  if (regions) build_regions(delta, old_cells, *regions);
+  if (regions) build_regions(delta, old_slots, *regions);
   staged_.clear();
   return delta;
 }
 
+void DeltaTracker::paint_reset(std::size_t expected) {
+  const std::size_t cap = pow2_at_least(2 * expected);
+  if (paint_keys_.size() < cap) {
+    paint_keys_.assign(cap, ~std::uint64_t{0});
+    paint_labels_.resize(cap);
+  } else {
+    std::fill(paint_keys_.begin(), paint_keys_.end(), ~std::uint64_t{0});
+  }
+  paint_count_ = 0;
+}
+
+std::uint32_t DeltaTracker::paint_insert(std::uint64_t key,
+                                         std::uint32_t label) {
+  if (2 * paint_count_ >= paint_keys_.size()) {
+    // Rehash in place to 2x: stash live pairs, reset, reinsert.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> live;
+    live.reserve(paint_count_);
+    for (std::size_t h = 0; h < paint_keys_.size(); ++h)
+      if (paint_keys_[h] != ~std::uint64_t{0})
+        live.emplace_back(paint_keys_[h], paint_labels_[h]);
+    const std::size_t cap = paint_keys_.size() * 2;
+    paint_keys_.assign(cap, ~std::uint64_t{0});
+    paint_labels_.resize(cap);
+    paint_count_ = 0;
+    for (const auto& [k, l] : live) paint_insert(k, l);
+  }
+  const std::size_t mask = paint_keys_.size() - 1;
+  for (std::size_t h = mix64(key) & mask;; h = (h + 1) & mask) {
+    if (paint_keys_[h] == key) return paint_labels_[h];
+    if (paint_keys_[h] != ~std::uint64_t{0}) continue;
+    paint_keys_[h] = key;
+    paint_labels_[h] = label;
+    ++paint_count_;
+    return kNoSlot;
+  }
+}
+
+std::uint32_t DeltaTracker::paint_get(std::uint64_t key) const {
+  const std::size_t mask = paint_keys_.size() - 1;
+  for (std::size_t h = mix64(key) & mask;; h = (h + 1) & mask) {
+    if (paint_keys_[h] == key) return paint_labels_[h];
+    MANET_ASSERT(paint_keys_[h] != ~std::uint64_t{0},
+                 "delta endpoint outside the painted dirty region");
+  }
+}
+
 void DeltaTracker::build_regions(const EdgeDelta& delta,
-                                 const std::vector<std::uint32_t>& old_cells,
+                                 const std::vector<std::uint32_t>& old_slots,
                                  RegionPartition& out) {
   // Union-find over staged indices. One label covers BOTH of a mover's
   // blocks (old and new cell), so a teleporting node can never straddle
@@ -202,28 +334,31 @@ void DeltaTracker::build_regions(const EdgeDelta& delta,
   // Paint each staged node's two 3x3 blocks grown by kRegionGrowthCells;
   // blocks that land on an already-painted cell merge with its label.
   // Non-overlap of grown blocks then guarantees core cells of distinct
-  // regions are >= 2*kRegionGrowthCells+1 apart (Chebyshev).
+  // regions are >= 2*kRegionGrowthCells+1 apart (Chebyshev). The paint
+  // map is keyed by cell key, so unoccupied cells paint (and merge) the
+  // same way they did on the dense per-cell arrays.
   constexpr std::size_t kReach = 1 + kRegionGrowthCells;
+  // Sized for the common heavily-overlapping case (a few cells per
+  // mover); paint_insert doubles on demand up to the true worst case of
+  // 2 * (2*kReach+1)^2 distinct cells per mover.
+  paint_reset(4 * staged_.size() + 64);
   for (std::size_t i = 0; i < staged_.size(); ++i) {
-    const std::uint32_t centers[2] = {old_cells[i],
-                                      cell_of_node_[staged_[i]]};
+    const std::uint64_t centers[2] = {key_of_slot(old_slots[i]),
+                                      key_of_slot(cell_of_node_[staged_[i]])};
     for (int which = 0; which < (centers[0] == centers[1] ? 1 : 2);
          ++which) {
-      const std::size_t col = centers[which] % cols_;
-      const std::size_t row = centers[which] / cols_;
+      const auto col = static_cast<std::size_t>(centers[which] % cols_);
+      const auto row = static_cast<std::size_t>(centers[which] / cols_);
       const std::size_t c0 = col > kReach ? col - kReach : 0;
       const std::size_t c1 = std::min(col + kReach, cols_ - 1);
       const std::size_t r0 = row > kReach ? row - kReach : 0;
       const std::size_t r1 = std::min(row + kReach, rows_ - 1);
       for (std::size_t r = r0; r <= r1; ++r)
         for (std::size_t c = c0; c <= c1; ++c) {
-          const std::size_t idx = r * cols_ + c;
-          if (paint_stamp_[idx] == epoch_) {
-            unite(static_cast<std::uint32_t>(i), paint_label_[idx]);
-          } else {
-            paint_stamp_[idx] = epoch_;
-            paint_label_[idx] = static_cast<std::uint32_t>(i);
-          }
+          const std::uint64_t k = static_cast<std::uint64_t>(r) * cols_ + c;
+          const std::uint32_t prev =
+              paint_insert(k, static_cast<std::uint32_t>(i));
+          if (prev != kNoSlot) unite(static_cast<std::uint32_t>(i), prev);
         }
     }
   }
@@ -241,39 +376,38 @@ void DeltaTracker::build_regions(const EdgeDelta& delta,
   out.deltas.resize(out.count);
   out.core_cells.resize(out.count);
 
-  // Core cells (the ungrown 3x3 blocks), deduped across movers and
-  // attributed to their final region.
+  // Core cells (the ungrown 3x3 blocks), attributed to their final
+  // region and deduped per region at the end. Movers sharing a core cell
+  // always share a region (their grown blocks overlap), so per-region
+  // dedup equals the global dedup the dense stamps used to do.
   for (std::size_t i = 0; i < staged_.size(); ++i) {
-    const std::uint32_t centers[2] = {old_cells[i],
-                                      cell_of_node_[staged_[i]]};
+    const std::uint64_t centers[2] = {key_of_slot(old_slots[i]),
+                                      key_of_slot(cell_of_node_[staged_[i]])};
     for (int which = 0; which < (centers[0] == centers[1] ? 1 : 2);
          ++which) {
-      const std::size_t col = centers[which] % cols_;
-      const std::size_t row = centers[which] / cols_;
+      const auto col = static_cast<std::size_t>(centers[which] % cols_);
+      const auto row = static_cast<std::size_t>(centers[which] / cols_);
       const std::size_t c0 = col > 0 ? col - 1 : 0;
       const std::size_t c1 = std::min(col + 1, cols_ - 1);
       const std::size_t r0 = row > 0 ? row - 1 : 0;
       const std::size_t r1 = std::min(row + 1, rows_ - 1);
       for (std::size_t r = r0; r <= r1; ++r)
-        for (std::size_t c = c0; c <= c1; ++c) {
-          const std::size_t idx = r * cols_ + c;
-          if (core_stamp_[idx] == epoch_) continue;
-          core_stamp_[idx] = epoch_;
+        for (std::size_t c = c0; c <= c1; ++c)
           out.core_cells[region_of_staged[i]].push_back(
-              static_cast<std::uint32_t>(idx));
-        }
+              static_cast<std::uint64_t>(r) * cols_ + c);
     }
   }
-  for (auto& cells : out.core_cells) std::sort(cells.begin(), cells.end());
+  for (auto& cells : out.core_cells) {
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  }
 
   // Distribute the delta. Both endpoints of a changed edge sit in cells
   // of the same region (painting covers every endpoint's cell and the
   // blocks overlap), so any endpoint names the edge's region; iterating
   // the globally sorted lists keeps every per-region slice sorted.
-  const auto region_of_cell = [&](std::uint32_t cell) {
-    MANET_ASSERT(paint_stamp_[cell] == epoch_,
-                 "delta endpoint outside the painted dirty region");
-    return region_of_root[find(paint_label_[cell])];
+  const auto region_of_cell = [&](std::uint32_t slot) {
+    return region_of_root[find(paint_get(key_of_slot(slot)))];
   };
   for (const auto& e : delta.added) {
     const std::uint32_t r0 = region_of_cell(cell_of_node_[e.first]);

@@ -12,13 +12,25 @@
 // geom::unit_disk_graph, so the maintained adjacency overlay is always
 // edge-identical to a from-scratch unit_disk_graph over the current
 // positions (the pipeline's oracle mode asserts exactly that).
+//
+// Cell storage follows geom::GridIndex: the dense index allocates one
+// bucket per lattice cell with the per-dimension cell count clamped to
+// O(sqrt(n)) (the historical layout), while the sparse index interns
+// only cells that have ever held a node — uint64 row-major cell keys
+// mapped to compact bucket slots through an open-addressing table — so
+// memory stays O(n + moves) at full lattice resolution no matter how
+// large the field. Both indexes run the same commit path (a dense slot
+// IS its cell key), and the maintained adjacency, deltas, and region
+// partitions are pure functions of positions and range either way.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "geom/point.hpp"
+#include "geom/spatial_grid.hpp"
 #include "graph/dynamic_adjacency.hpp"
 #include "incr/edge_delta.hpp"
 
@@ -43,10 +55,12 @@ inline constexpr std::size_t kRegionGrowthCells = 2;
 struct RegionPartition {
   std::size_t count = 0;           ///< number of regions this commit
   std::vector<EdgeDelta> deltas;   ///< per-region slice of the delta
-  /// Per-region sorted-unique core cell indices (the 3x3 blocks around
-  /// each staged node's old and new cells, before growth): the region
-  /// size metric and the separation the property tests assert.
-  std::vector<std::vector<std::uint32_t>> core_cells;
+  /// Per-region sorted-unique core cell keys (row * cols + col of the
+  /// 3x3 blocks around each staged node's old and new cells, before
+  /// growth): the region size metric and the separation the property
+  /// tests assert. 64-bit because the sparse index runs the lattice
+  /// unclamped.
+  std::vector<std::vector<std::uint64_t>> core_cells;
   std::size_t cols = 1;            ///< grid shape, for cell geometry
   std::size_t rows = 1;
 };
@@ -59,12 +73,26 @@ class DeltaTracker {
   /// adjacency = unit-disk graph of `positions` at `range`. The working
   /// space [0, width] x [0, height] fixes the cell geometry; positions
   /// outside it are clamped onto border cells (matching SpatialGrid).
-  DeltaTracker(std::vector<geom::Point> positions, double range,
-               double width, double height);
+  /// `index` picks the cell storage (kAuto: dense until the lattice
+  /// outgrows the dense clamp). `streaming_build` constructs the
+  /// initial adjacency through unit_disk_graph_streaming — same graph,
+  /// no intermediate edge list, for memory-bound cold builds.
+  DeltaTracker(std::vector<geom::Point> positions, double range, double width,
+               double height, geom::GridIndex index = geom::GridIndex::kAuto,
+               bool streaming_build = false);
 
   std::size_t size() const { return positions_.size(); }
   double range() const { return range_; }
   const std::vector<geom::Point>& positions() const { return positions_; }
+
+  /// True when cell storage resolved to the sparse interned index.
+  bool sparse() const { return sparse_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+
+  /// Allocated cell buckets: cols*rows for the dense index, cells ever
+  /// occupied (O(n + committed moves)) for the sparse one.
+  std::size_t cell_slots() const { return cells_.size(); }
 
   /// The maintained adjacency overlay (always consistent with the last
   /// committed positions).
@@ -91,16 +119,41 @@ class DeltaTracker {
   EdgeDelta commit(RegionPartition* regions = nullptr);
 
  private:
-  std::size_t cell_index(const geom::Point& p) const;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
-  /// Advances the per-cell stamp epoch (wrap-safe).
-  void bump_epoch();
+  /// Row-major cell key of `p` (row * cols + col, 64-bit so the sparse
+  /// lattice never clamps).
+  std::uint64_t cell_key(const geom::Point& p) const;
+
+  /// Bucket slot of `key`, or kNoSlot when the sparse index has never
+  /// seen the cell. Dense: the key itself.
+  std::uint32_t slot_of(std::uint64_t key) const;
+
+  /// Slot of `key`, creating a bucket on first occupancy (sparse).
+  std::uint32_t intern(std::uint64_t key);
+
+  /// Inverse of intern for occupied slots.
+  std::uint64_t key_of_slot(std::uint32_t slot) const;
+
+  /// Doubles the sparse key->slot table.
+  void grow_table();
+
+  /// Prepares the per-commit paint map for ~`expected` distinct cells.
+  void paint_reset(std::size_t expected);
+
+  /// Records `label` as the painter of cell `key`. Returns the previous
+  /// painter's label if the cell was already painted this commit, else
+  /// kNoSlot. Grows on demand.
+  std::uint32_t paint_insert(std::uint64_t key, std::uint32_t label);
+
+  /// Label of the painter of `key`; asserts the cell was painted.
+  std::uint32_t paint_get(std::uint64_t key) const;
 
   /// Paints the grown dirty blocks, unions overlapping labels, and
-  /// fills `out` from the committed `delta`. `old_cells[i]` is the cell
+  /// fills `out` from the committed `delta`. `old_slots[i]` is the slot
   /// staged_[i] occupied before migration.
   void build_regions(const EdgeDelta& delta,
-                     const std::vector<std::uint32_t>& old_cells,
+                     const std::vector<std::uint32_t>& old_slots,
                      RegionPartition& out);
 
   std::vector<geom::Point> positions_;
@@ -109,24 +162,27 @@ class DeltaTracker {
   double range_sq_;
   double width_;
   double height_;
+  bool sparse_ = false;
   std::size_t cols_ = 1;
   std::size_t rows_ = 1;
   double inv_cell_x_ = 0.0;  // cols / width
   double inv_cell_y_ = 0.0;  // rows / height
-  std::vector<std::vector<NodeId>> cells_;    // per-cell id buckets
-  std::vector<std::uint32_t> cell_of_node_;   // node -> cell index
+  std::vector<std::vector<NodeId>> cells_;    // per-slot id buckets
+  std::vector<std::uint64_t> slot_keys_;      // sparse: slot -> cell key
+  std::vector<std::uint64_t> table_keys_;     // sparse: open addressing,
+  std::vector<std::uint32_t> table_slots_;    //   UINT64_MAX = empty
+  std::vector<std::uint32_t> cell_of_node_;   // node -> bucket slot
   std::vector<NodeId> staged_;                // dirty node ids
   std::vector<char> is_staged_;               // dedup flag per node
   std::size_t last_cells_scanned_ = 0;        // dirty-block cells, last commit
 
-  // Epoch-stamped per-cell scratch (allocated once, O(cells) = O(n)):
-  // a cell is "marked this commit" iff its stamp equals epoch_, so no
-  // per-commit clearing is needed.
-  std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> scan_stamp_;     // cells-scanned dedup
-  std::vector<std::uint32_t> core_stamp_;     // core-cell dedup (regions)
-  std::vector<std::uint32_t> paint_stamp_;    // grown-block painting
-  std::vector<std::uint32_t> paint_label_;    // painted staged-index label
+  // Per-commit scratch (allocated once, O(staged) per tick): dirty-block
+  // keys for the cells-scanned count, the open-addressing paint map of
+  // the region builder, and the union-find over staged indices.
+  std::vector<std::uint64_t> scanned_keys_;
+  std::vector<std::uint64_t> paint_keys_;     // pow2, UINT64_MAX = empty
+  std::vector<std::uint32_t> paint_labels_;
+  std::size_t paint_count_ = 0;
   std::vector<std::uint32_t> union_parent_;   // DSU over staged indices
 };
 

@@ -47,7 +47,8 @@ IncrementalPipeline::IncrementalPipeline(std::vector<geom::Point> positions,
                                          double range, double width,
                                          double height,
                                          PipelineOptions options)
-    : tracker_(std::move(positions), range, width, height),
+    : tracker_(std::move(positions), range, width, height, options.grid,
+               options.streaming_build),
       backbone_(tracker_.adjacency(), options.mode),
       options_(options) {
   if (options_.threads > 1)

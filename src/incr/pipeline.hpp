@@ -45,6 +45,16 @@ struct PipelineOptions {
   /// persistent pool of k-1 workers plus the calling thread fans out
   /// each tick's independent regions and row chunks.
   std::size_t threads = 1;
+  /// Cell storage of the DeltaTracker grid (and of the SpatialGrid used
+  /// for the initial topology build): kAuto = dense until the lattice
+  /// outgrows the dense clamp, kSparse = O(n) interned occupied cells at
+  /// full lattice resolution. The maintained state is identical in every
+  /// mode.
+  geom::GridIndex grid = geom::GridIndex::kAuto;
+  /// Build the initial unit-disk CSR with the streaming two-pass counting
+  /// sweep instead of the edge-list GraphBuilder — same graph, roughly
+  /// half the cold-build peak RSS.
+  bool streaming_build = false;
 };
 
 /// Delta-driven replacement for the per-tick full rebuild: feed it the

@@ -1,9 +1,12 @@
 // Tests for the experiment harness: scenario generation, the figure
-// runners (on a reduced grid), and the paper's qualitative shapes.
+// runners (on a reduced grid), the churn runner's topology handling,
+// and the paper's qualitative shapes.
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <stdexcept>
 
+#include "exp/churn.hpp"
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
@@ -52,6 +55,42 @@ TEST(ScenarioTest, ReplicationsAreIndependentButDeterministic) {
   const auto a_again = make_network(s, {30, 6.0}, 7, 0);
   EXPECT_NE(a.graph.edges(), b.graph.edges());
   EXPECT_EQ(a.graph.edges(), a_again.graph.edges());
+}
+
+TEST(ChurnRunnerTest, ReportsConnectedTopologyAndAttempts) {
+  // Small dense config: the rejection sampler finds a connected layout
+  // well within the budget, and the result says so.
+  ChurnConfig config;
+  config.nodes = 40;
+  config.degree = 18.0;
+  config.ticks = 3;
+  config.seed = 5;
+  config.rebuild_baseline = false;
+  const ChurnResult r = run_churn(config);
+  EXPECT_TRUE(r.connected);
+  EXPECT_GE(r.connect_attempts_used, 1u);
+  EXPECT_LE(r.connect_attempts_used, config.connect_attempts);
+  EXPECT_NE(r.state_hash, 0u);
+}
+
+TEST(ChurnRunnerTest, ExhaustedConnectBudgetIsReportedOrFatal) {
+  // 200 nodes at average degree 0.3 are never connected. By default the
+  // runner falls back to a disconnected layout but reports the spent
+  // budget; with require_connected it must fail loudly instead of
+  // silently running a different experiment.
+  ChurnConfig config;
+  config.nodes = 200;
+  config.degree = 0.3;
+  config.ticks = 2;
+  config.seed = 6;
+  config.rebuild_baseline = false;
+  config.connect_attempts = 3;
+  const ChurnResult r = run_churn(config);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.connect_attempts_used, 3u);
+
+  config.require_connected = true;
+  EXPECT_THROW(run_churn(config), std::invalid_argument);
 }
 
 TEST(Fig6RunnerTest, ShapesMatchThePaper) {

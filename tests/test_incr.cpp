@@ -115,24 +115,54 @@ void expect_adjacency_matches(const DeltaTracker& tracker,
       << "overlay diverged at round " << round;
 }
 
+// Two trackers over the same move stream, one per cell-index mode; the
+// sparse interned index must report the identical delta and converge to
+// the identical overlay, round for round. (Sparse keeps the unclamped
+// lattice, so the cell *geometry* may differ — the produced graph and
+// deltas may not.)
+struct TrackerPair {
+  TrackerPair(const std::vector<geom::Point>& positions, double range)
+      : dense(positions, range, 100, 100, geom::GridIndex::kDense),
+        sparse(positions, range, 100, 100, geom::GridIndex::kSparse) {}
+
+  void stage(NodeId v, geom::Point p) {
+    dense.stage_move(v, p);
+    sparse.stage_move(v, p);
+  }
+
+  void commit_and_check(const std::vector<geom::Point>& positions,
+                        double range, int round) {
+    const EdgeDelta d = dense.commit();
+    const EdgeDelta s = sparse.commit();
+    EXPECT_EQ(d.added, s.added) << "round " << round;
+    EXPECT_EQ(d.removed, s.removed) << "round " << round;
+    EXPECT_EQ(d.touched, s.touched) << "round " << round;
+    expect_adjacency_matches(dense, positions, range, round);
+    expect_adjacency_matches(sparse, positions, range, round);
+  }
+
+  DeltaTracker dense;
+  DeltaTracker sparse;
+};
+
 TEST(DeltaTrackerPropertyTest, CellBoundaryOscillation) {
   // Half the population parked on a vertical cell edge, nudged across it
   // and back every commit: maximal cell-migration churn from near-zero
-  // motion, the worst case for the bucket bookkeeping.
+  // motion, the worst case for the bucket bookkeeping (and for the
+  // sparse index's intern table, which keeps absorbing new cells).
   Rng rng(501);
   const std::size_t n = 60;
   const double range = 10.0;
   auto positions = random_layout(n, rng);
-  DeltaTracker tracker(positions, range, 100, 100);
+  TrackerPair pair(positions, range);
   for (int round = 0; round < 60; ++round) {
     for (NodeId v = 0; v < n; v += 2) {
       const double edge = std::round(positions[v].x / range) * range;
       const double eps = (round % 2 == 0) ? 1e-7 : -1e-7;
       positions[v].x = std::clamp(edge + eps, 0.0, 100.0);
-      tracker.stage_move(v, positions[v]);
+      pair.stage(v, positions[v]);
     }
-    tracker.commit();
-    expect_adjacency_matches(tracker, positions, range, round);
+    pair.commit_and_check(positions, range, round);
   }
 }
 
@@ -144,36 +174,57 @@ TEST(DeltaTrackerPropertyTest, MassTeleportAllNodes) {
   const double range = geom::range_for_average_degree(8.0, n, 100, 100);
   auto positions = random_layout(n, rng);
   DeltaTracker tracker(positions, range, 100, 100);
+  DeltaTracker sparse(positions, range, 100, 100, geom::GridIndex::kSparse);
   RegionPartition regions;
+  RegionPartition sparse_regions;
   for (int round = 0; round < 25; ++round) {
     for (NodeId v = 0; v < n; ++v) {
       positions[v] = {rng.uniform(0, 100), rng.uniform(0, 100)};
       tracker.stage_move(v, positions[v]);
+      sparse.stage_move(v, positions[v]);
     }
     tracker.commit(&regions);
+    sparse.commit(&sparse_regions);
     expect_adjacency_matches(tracker, positions, range, round);
+    expect_adjacency_matches(sparse, positions, range, round);
     EXPECT_GE(regions.count, 1u);
+    EXPECT_GE(sparse_regions.count, 1u);
   }
 }
 
 TEST(DeltaTrackerPropertyTest, AllNodesIntoOneCell) {
   // The density extremes: everyone converges into one cell (a clique in
-  // one bucket), then scatters back out.
+  // one bucket — the sparse index down to a single interned key), then
+  // scatters back out.
   Rng rng(503);
   const std::size_t n = 80;
   const double range = 10.0;
   auto positions = random_layout(n, rng);
-  DeltaTracker tracker(positions, range, 100, 100);
+  TrackerPair pair(positions, range);
   for (int round = 0; round < 6; ++round) {
     for (NodeId v = 0; v < n; ++v) {
       positions[v] =
           (round % 2 == 0)
               ? geom::Point{55.0 + rng.uniform(0, 4), 55.0 + rng.uniform(0, 4)}
               : geom::Point{rng.uniform(0, 100), rng.uniform(0, 100)};
-      tracker.stage_move(v, positions[v]);
+      pair.stage(v, positions[v]);
     }
-    tracker.commit();
-    expect_adjacency_matches(tracker, positions, range, round);
+    pair.commit_and_check(positions, range, round);
+  }
+}
+
+TEST(DeltaTrackerTest, StreamingBuildMatchesBuilderPath) {
+  // The streaming counting-sweep cold build must seed the tracker with
+  // the exact same adjacency as the GraphBuilder path, in both index
+  // modes.
+  Rng rng(505);
+  const std::size_t n = 150;
+  const double range = geom::range_for_average_degree(8.0, n, 100, 100);
+  const auto positions = random_layout(n, rng);
+  const auto expected = geom::unit_disk_graph(positions, range).edges();
+  for (const auto index : {geom::GridIndex::kDense, geom::GridIndex::kSparse}) {
+    DeltaTracker streamed(positions, range, 100, 100, index, true);
+    EXPECT_EQ(streamed.adjacency().freeze().edges(), expected);
   }
 }
 
@@ -188,16 +239,18 @@ TEST(DeltaTrackerTest, CellsScannedCountsDistinctCells) {
   EXPECT_EQ(tracker.last_cells_scanned(), 9u);
 }
 
-TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparated) {
+void region_partition_soak(geom::GridIndex index, std::uint64_t seed) {
   // The S30 contract: per-region deltas partition the tick delta exactly
   // (every changed edge, both endpoints, in one region) and core cells
   // of distinct regions stay >= 2*kRegionGrowthCells+1 grid cells apart
-  // in Chebyshev distance.
-  Rng rng(504);
+  // in Chebyshev distance. Holds in every index mode — the sparse index
+  // keeps the unclamped lattice, so its cell keys differ from the dense
+  // run's, but the partition invariants are geometry-relative.
+  Rng rng(seed);
   const std::size_t n = 400;
   const double range = geom::range_for_average_degree(6.0, n, 100, 100);
   auto positions = random_layout(n, rng);
-  DeltaTracker tracker(positions, range, 100, 100);
+  DeltaTracker tracker(positions, range, 100, 100, index);
   RegionPartition parts;
   const std::size_t min_sep = 2 * kRegionGrowthCells + 1;
   for (int round = 0; round < 40; ++round) {
@@ -233,8 +286,8 @@ TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparated) {
     for (std::size_t i = 0; i < parts.count; ++i) {
       EXPECT_FALSE(parts.core_cells[i].empty());
       for (std::size_t j = i + 1; j < parts.count; ++j) {
-        for (const std::uint32_t a : parts.core_cells[i]) {
-          for (const std::uint32_t b : parts.core_cells[j]) {
+        for (const std::uint64_t a : parts.core_cells[i]) {
+          for (const std::uint64_t b : parts.core_cells[j]) {
             const auto dc = std::max(a % parts.cols, b % parts.cols) -
                             std::min(a % parts.cols, b % parts.cols);
             const auto dr = std::max(a / parts.cols, b / parts.cols) -
@@ -246,6 +299,14 @@ TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparated) {
       }
     }
   }
+}
+
+TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparated) {
+  region_partition_soak(geom::GridIndex::kAuto, 504);
+}
+
+TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparatedSparse) {
+  region_partition_soak(geom::GridIndex::kSparse, 506);
 }
 
 TEST(DeltaTrackerPropertyTest, TeleportOldAndNewBlocksShareOneRegion) {

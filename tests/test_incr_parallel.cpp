@@ -272,5 +272,38 @@ TEST(ParallelDeterminismTest, ChurnSoakHashAndMetricsIdentical) {
   EXPECT_DOUBLE_EQ(r1.mean_regions, r8.mean_regions);
 }
 
+TEST(ParallelDeterminismTest, SparseIndexChurnHashMatchesDense) {
+  // The million-node machinery (sparse cell index + streaming cold
+  // build + sharded settling) must land on the same final state hash as
+  // the dense sequential engine, at every thread count. This is the
+  // equivalence the bench's --scale verify stage gates on. cell_order
+  // stays off: the relabeling permutation depends on the chosen grid's
+  // lattice (dense clamping coarsens it), so cross-mode comparisons
+  // need the original labels on both sides.
+  const auto run_at = [](geom::GridIndex grid, bool streaming,
+                         std::size_t threads) {
+    exp::ChurnConfig config;
+    config.nodes = 1000;
+    config.degree = 6.0;
+    config.ticks = 50;
+    config.move_fraction = 0.02;
+    config.seed = 77;
+    config.rebuild_baseline = false;
+    config.grid = grid;
+    config.streaming_build = streaming;
+    config.threads = threads;
+    return exp::run_churn(config);
+  };
+  const exp::ChurnResult dense = run_at(geom::GridIndex::kDense, false, 1);
+  EXPECT_NE(dense.state_hash, 0u);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const exp::ChurnResult sparse =
+        run_at(geom::GridIndex::kSparse, true, threads);
+    EXPECT_EQ(sparse.state_hash, dense.state_hash)
+        << "sparse engine diverged at threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace manet::incr

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -24,10 +25,18 @@ std::vector<Point> random_points(Rng& rng, std::size_t n, double width,
 }
 
 void expect_same_edges(const std::vector<Point>& pts, double range) {
-  const auto grid = unit_disk_graph(pts, range);
+  // Every construction path — builder and streaming, dense and sparse
+  // cell index — must reproduce the reference pair scan exactly.
   const auto ref = unit_disk_graph_reference(pts, range);
-  ASSERT_EQ(grid.order(), ref.order());
-  EXPECT_EQ(grid.edges(), ref.edges());
+  for (const auto index : {GridIndex::kAuto, GridIndex::kDense,
+                           GridIndex::kSparse}) {
+    const auto grid = unit_disk_graph(pts, range, index);
+    ASSERT_EQ(grid.order(), ref.order());
+    EXPECT_EQ(grid.edges(), ref.edges());
+    const auto streamed = unit_disk_graph_streaming(pts, range, index);
+    ASSERT_EQ(streamed.order(), ref.order());
+    EXPECT_EQ(streamed.edges(), ref.edges());
+  }
 }
 
 TEST(SpatialGridTest, BucketsEveryNodeExactlyOnce) {
@@ -66,10 +75,53 @@ TEST(SpatialGridTest, BlockContainsAllInRangeCandidates) {
 
 TEST(SpatialGridTest, TinyCellSizeStaysOrderN) {
   Rng rng(13);
-  const auto pts = random_points(rng, 50, 100.0, 100.0);
-  // A microscopic cell over a huge area must not allocate a huge grid.
+  const std::size_t n = 50;
+  const auto pts = random_points(rng, n, 100.0, 100.0);
+  // A microscopic cell over a huge area: kAuto must switch to the sparse
+  // index (storage proportional to occupied cells, not the lattice)...
   const SpatialGrid grid(pts, 1e-7);
-  EXPECT_LE(grid.cols() * grid.rows(), std::max<std::size_t>(64, 4 * 50));
+  EXPECT_TRUE(grid.sparse());
+  EXPECT_LE(grid.occupied_cells(), n);
+  std::size_t bucketed = 0;
+  grid.for_each_occupied(
+      [&](std::size_t, std::size_t, std::size_t begin, std::size_t end) {
+        ASSERT_LT(begin, end);
+        bucketed += end - begin;
+      });
+  EXPECT_EQ(bucketed, n);
+  // ...while an explicit dense request falls back to coarsening the
+  // lattice until the cell count is O(n), as before.
+  const SpatialGrid dense(pts, 1e-7, GridIndex::kDense);
+  EXPECT_FALSE(dense.sparse());
+  EXPECT_LE(dense.cols() * dense.rows(), std::max<std::size_t>(64, 4 * n));
+}
+
+TEST(SpatialGridTest, SparseIndexMatchesDenseBucketing) {
+  // At a lattice small enough for both modes, sparse and dense must put
+  // every node in the same (col, row) cell and enumerate the same
+  // occupied cells in the same row-major order.
+  Rng rng(14);
+  const auto pts = random_points(rng, 120, 100.0, 100.0);
+  const SpatialGrid dense(pts, 10.0, GridIndex::kDense);
+  const SpatialGrid sparse(pts, 10.0, GridIndex::kSparse);
+  ASSERT_EQ(dense.cols(), sparse.cols());
+  ASSERT_EQ(dense.rows(), sparse.rows());
+  EXPECT_FALSE(dense.sparse());
+  EXPECT_TRUE(sparse.sparse());
+  std::vector<std::pair<std::size_t, std::size_t>> dense_cells, sparse_cells;
+  dense.for_each_occupied([&](std::size_t c, std::size_t r, std::size_t,
+                              std::size_t) { dense_cells.push_back({r, c}); });
+  sparse.for_each_occupied([&](std::size_t c, std::size_t r, std::size_t,
+                               std::size_t) { sparse_cells.push_back({r, c}); });
+  EXPECT_EQ(dense_cells, sparse_cells);
+  EXPECT_EQ(sparse.occupied_cells(), sparse_cells.size());
+  for (const auto& [r, c] : sparse_cells) {
+    const auto d = dense.cell(c, r);
+    const auto s = sparse.cell(c, r);
+    EXPECT_TRUE(std::equal(d.begin(), d.end(), s.begin(), s.end()));
+  }
+  // Probing agrees cell for cell whether or not the cell is occupied.
+  EXPECT_EQ(dense.cell(0, 0).size(), sparse.cell(0, 0).size());
 }
 
 TEST(SpatialGridCrossCheckTest, RandomizedConfigsMatchReference) {
@@ -131,6 +183,25 @@ TEST(SpatialGridCrossCheckTest, DegenerateInputsMatchReference) {
   std::vector<Point> line;
   for (int i = 0; i < 40; ++i) line.push_back({i * 1.5, 7.0});
   expect_same_edges(line, 4.0);
+}
+
+TEST(SpatialGridCrossCheckTest, HugeAreaTinyRangeMatchesReference) {
+  // Clusters scattered over a 1e6 x 1e6 area with a range of 5: the full
+  // lattice would be 4e10 cells, so kAuto must go sparse — and still
+  // produce the reference edge set (including the lattice-dimension
+  // clamp's fall-back coarsening in the explicit dense mode).
+  Rng rng(15);
+  std::vector<Point> pts;
+  for (int cluster = 0; cluster < 8; ++cluster) {
+    const Point c{rng.uniform(0.0, 1e6), rng.uniform(0.0, 1e6)};
+    for (int i = 0; i < 12; ++i)
+      pts.push_back({c.x + rng.uniform(-6.0, 6.0),
+                     c.y + rng.uniform(-6.0, 6.0)});
+  }
+  expect_same_edges(pts, 5.0);
+  const SpatialGrid grid(pts, 5.0);
+  EXPECT_TRUE(grid.sparse());
+  EXPECT_LE(grid.occupied_cells(), pts.size());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -94,6 +95,70 @@ TEST(UnitDiskTest, ImpossibleConfigReturnsNullopt) {
   // 50 nodes with a microscopic range cannot form a connected graph.
   UnitDiskConfig cfg{100, 100, 50, 1e-6};
   EXPECT_FALSE(generate_connected_unit_disk(cfg, rng, 10).has_value());
+}
+
+TEST(UnitDiskTest, ConnectedGeneratorReportsAttemptsUsed) {
+  Rng rng(7);
+  UnitDiskConfig cfg;
+  cfg.nodes = 50;
+  cfg.range = range_for_average_degree(6.0, cfg.nodes, cfg.width, cfg.height);
+  std::size_t used = 0;
+  const auto net = generate_connected_unit_disk(cfg, rng, 10000, &used);
+  ASSERT_TRUE(net.has_value());
+  EXPECT_GE(used, 1u);
+  EXPECT_LE(used, 10000u);
+
+  // Exhaustion reports the whole budget as spent.
+  Rng rng2(3);
+  UnitDiskConfig impossible{100, 100, 50, 1e-6};
+  used = 0;
+  EXPECT_FALSE(generate_connected_unit_disk(impossible, rng2, 7, &used)
+                   .has_value());
+  EXPECT_EQ(used, 7u);
+}
+
+TEST(UnitDiskTest, StreamingBuildMatchesBuilderAtScale) {
+  // The counting-sweep CSR construction is a pure memory optimization:
+  // same graph as the GraphBuilder path on a dense random layout, in
+  // both cell-index modes.
+  Rng rng(17);
+  UnitDiskConfig cfg;
+  cfg.nodes = 1500;
+  cfg.range = range_for_average_degree(8.0, cfg.nodes, cfg.width, cfg.height);
+  const auto net = generate_unit_disk(cfg, rng);
+  for (const auto index : {GridIndex::kDense, GridIndex::kSparse}) {
+    const auto streamed =
+        unit_disk_graph_streaming(net.positions, cfg.range, index);
+    EXPECT_EQ(streamed.edges(), net.graph.edges());
+  }
+}
+
+TEST(UnitDiskTest, CellOrderLayoutIsIdentityOnRegrid) {
+  // cell_order_layout's contract: re-gridding the permuted layout at the
+  // same cell size maps node k to slot k (so downstream sweeps touch
+  // memory sequentially), and the layout is a permutation of the input.
+  Rng rng(19);
+  UnitDiskConfig cfg;
+  cfg.nodes = 700;
+  cfg.range = range_for_average_degree(6.0, cfg.nodes, cfg.width, cfg.height);
+  const auto net = generate_unit_disk(cfg, rng);
+  for (const auto index : {GridIndex::kDense, GridIndex::kSparse}) {
+    const auto layout = cell_order_layout(net.positions, cfg.range, index);
+    ASSERT_EQ(layout.size(), net.positions.size());
+    auto original = net.positions;
+    auto permuted = layout;
+    const auto lt = [](const Point& a, const Point& b) {
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    };
+    std::sort(original.begin(), original.end(), lt);
+    std::sort(permuted.begin(), permuted.end(), lt);
+    EXPECT_EQ(original, permuted);
+
+    const SpatialGrid regrid(layout, cfg.range, index);
+    const auto slots = regrid.slots();
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      ASSERT_EQ(slots[k], static_cast<NodeId>(k));
+  }
 }
 
 TEST(UnitDiskTest, AchievedDegreeTracksCalibration) {
