@@ -9,20 +9,26 @@
 //
 // Two extra sections ride on top of the matrix:
 //  * --threads=<k> with k > 1 additionally runs a sharded-vs-sequential
-//    comparison (waypoint, d=6, heavier churn) and cross-checks that
-//    both engines produced the same final state hash;
+//    comparison (waypoint, d=6, heavier churn) plus a pipelined
+//    (depth-2) row, and cross-checks that all engines produced the same
+//    final state hash;
 //  * --scale (or --scale-fast) appends the 100k/300k/1M scaling sweep —
 //    sparse cell index + streaming topology build + cell-major labels,
-//    ascending sizes, coarse rebuild stride (off at 1M), peak-RSS
-//    column — after a verify stage that pins the sparse engine's state
-//    hash at threads {1, 2, 8} against the dense sequential engine.
+//    ascending sizes, no rebuild baseline, peak-RSS column — after a
+//    verify stage that pins the sparse engine's state
+//    hash at threads {1, 2, 8}, pipelined depth 2 at threads {2, 8},
+//    against the dense sequential engine. Below 1M each size runs a
+//    threads sweep {1, 2, 4} (threaded rows pipelined at depth 2) and
+//    reports wall-clock speedup against the same-size threads=1 row.
 //    The sweep feeds the O(n) memory audit in docs/PERFORMANCE.md and
-//    the exit code gates both the hash check and the <= 1 KB/node RSS
+//    the exit code gates the hash checks and the <= 1 KB/node RSS
 //    budget of the largest row.
 //
 // Flags: --fast (fewer ticks, sizes capped at 500), --seed=<u64>,
 //        --ticks=<k>, --move-frac=<f> (default 0.01),
 //        --threads=<k> (default 1, engine lanes for every row),
+//        --pipeline (tick pipelining depth 2 for every engine row),
+//        --repeat=<k> (median-of-k scale rows; hashes must agree),
 //        --scale / --scale-fast (scaling sweep; fast stops at 10k),
 //        --json=<path> (default BENCH_churn.json under --out-dir,
 //        default results/),
@@ -35,6 +41,8 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/artifacts.hpp"
@@ -73,12 +81,15 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
         << exp::model_name(c.model) << "\", \"n\": " << c.nodes
         << ", \"degree\": " << c.degree
         << ", \"move_fraction\": " << c.move_fraction
-        << ", \"threads\": " << c.threads << ", \"ticks\": " << r.ticks
+        << ", \"threads\": " << c.threads
+        << ", \"pipeline_depth\": " << c.pipeline_depth
+        << ", \"ticks\": " << r.ticks
         << ", \"grid\": \"" << grid_name(c.grid) << "\""
         << ", \"streaming\": " << (c.streaming_build ? "true" : "false")
         << ", \"connected\": " << (r.connected ? "true" : "false")
         << ", \"connect_attempts_used\": " << r.connect_attempts_used
         << ", \"incremental_ms_per_tick\": " << r.incremental_ms_per_tick
+        << ", \"wall_ms_per_tick\": " << r.wall_ms_per_tick
         << ", \"rebuild_ms_per_tick\": " << r.rebuild_ms_per_tick
         << ", \"speedup\": " << r.speedup
         << ", \"mean_link_changes\": " << r.mean_link_changes
@@ -99,8 +110,15 @@ void write_json(const std::string& path, const std::vector<Record>& records) {
 struct ScaleRow {
   std::size_t n = 0;
   std::size_t threads = 0;
+  std::size_t pipeline_depth = 1;
   std::size_t ticks = 0;
+  std::size_t repeat = 1;
   double incr_ms_per_tick = 0.0;
+  double wall_ms_per_tick = 0.0;
+  /// Wall-clock speedup against the same-size threads=1 row (1.0 for
+  /// that row itself). Honest multi-core number: ~1x on a single
+  /// hardware thread no matter how many lanes are configured.
+  double wall_speedup_vs_1t = 0.0;
   std::size_t peak_rss_bytes = 0;
   std::uint64_t state_hash = 0;
 };
@@ -113,17 +131,24 @@ void write_scale_json(const std::string& path, std::uint64_t seed,
       << "  \"workload\": \"waypoint d=6, 0.5% movers, sparse grid + "
          "streaming build + cell-major labels\",\n"
       << "  \"seed\": " << seed << ",\n"
-      << "  \"verify_threads_1_2_8_and_dense_ok\": "
+      // Threaded rows only mean something relative to the physical
+      // parallelism of the host that produced the artifact.
+      << "  \"host_hw_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"verify_threads_1_2_8_pipelined_and_dense_ok\": "
       << (verify_ok ? "true" : "false") << ",\n"
       << "  \"rss_budget_1kb_per_node_ok\": " << (rss_ok ? "true" : "false")
       << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ScaleRow& r = rows[i];
     const double ticks_per_s =
-        r.incr_ms_per_tick > 0.0 ? 1000.0 / r.incr_ms_per_tick : 0.0;
+        r.wall_ms_per_tick > 0.0 ? 1000.0 / r.wall_ms_per_tick : 0.0;
     out << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
-        << ", \"ticks\": " << r.ticks
+        << ", \"pipeline_depth\": " << r.pipeline_depth
+        << ", \"ticks\": " << r.ticks << ", \"repeat\": " << r.repeat
         << ", \"incremental_ms_per_tick\": " << r.incr_ms_per_tick
+        << ", \"wall_ms_per_tick\": " << r.wall_ms_per_tick
+        << ", \"wall_speedup_vs_1t\": " << r.wall_speedup_vs_1t
         << ", \"ticks_per_s\": " << ticks_per_s
         << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
         << ", \"rss_bytes_per_node\": "
@@ -150,6 +175,28 @@ exp::ChurnResult run_record(exp::ChurnConfig config,
   return r;
 }
 
+/// Median-of-k by wall clock: timings on a shared machine are noisy,
+/// hashes are not — every repeat must land on the same state hash or
+/// `stable` trips (and with it the bench's exit code). All repeats are
+/// recorded; the caller publishes only the median row.
+exp::ChurnResult run_repeated(const exp::ChurnConfig& config,
+                              std::size_t repeat,
+                              std::vector<Record>& records,
+                              const std::string& section,
+                              const std::string& trace_path, bool& stable) {
+  std::vector<exp::ChurnResult> runs;
+  runs.reserve(repeat);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, repeat); ++i) {
+    runs.push_back(run_record(config, records, section, trace_path));
+    stable = stable && runs.back().state_hash == runs.front().state_hash;
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const exp::ChurnResult& a, const exp::ChurnResult& b) {
+              return a.wall_ms_per_tick < b.wall_ms_per_tick;
+            });
+  return runs[runs.size() / 2];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +208,10 @@ int main(int argc, char** argv) {
   const double move_frac = flags.get_double("move-frac", 0.01);
   const auto threads =
       static_cast<std::size_t>(flags.get_int("threads", 1));
+  const bool pipeline = flags.get_bool("pipeline");
+  const std::size_t depth = pipeline ? 2 : 1;
+  const auto repeat = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("repeat", 1)));
   const bool scale_fast = flags.get_bool("scale-fast");
   const bool scale = flags.get_bool("scale") || scale_fast;
   const std::string json_path =
@@ -193,6 +244,7 @@ int main(int argc, char** argv) {
         config.move_fraction = move_frac;
         config.seed = seed;
         config.threads = threads;
+        config.pipeline_depth = depth;
         const exp::ChurnResult r =
             run_record(config, records, "matrix", trace_path);
         std::printf(
@@ -211,9 +263,11 @@ int main(int argc, char** argv) {
     // blocks chain into a single region almost every tick and the
     // sharded path never engages, making the comparison (and the
     // state-hash cross-check) vacuous.
-    std::puts("\nparallel repair — sequential vs sharded (waypoint, d=6)");
-    std::printf("%6s %3s %10s %8s %6s  %s\n", "n", "thr", "incr_ms",
-                "speedup", "reg/t", "state_hash");
+    std::puts(
+        "\nparallel repair — sequential vs sharded vs pipelined "
+        "(waypoint, d=6)");
+    std::printf("%6s %3s %5s %10s %10s %8s %6s  %s\n", "n", "thr", "depth",
+                "incr_ms", "wall_ms", "speedup", "reg/t", "state_hash");
     exp::ChurnConfig config;
     config.model = exp::ChurnConfig::Model::kWaypoint;
     config.nodes = sizes.back();
@@ -228,22 +282,29 @@ int main(int argc, char** argv) {
     config.threads = threads;
     const exp::ChurnResult par =
         run_record(config, records, "parallel", trace_path);
-    const double tick_speedup =
-        par.incremental_ms_per_tick > 0.0
-            ? seq.incremental_ms_per_tick / par.incremental_ms_per_tick
-            : 0.0;
-    std::printf("%6zu %3d %10.4f %7s %6.1f  %016llx\n", config.nodes, 1,
-                seq.incremental_ms_per_tick, "-", seq.mean_regions,
-                static_cast<unsigned long long>(seq.state_hash));
-    std::printf("%6zu %3zu %10.4f %6.2fx %6.1f  %016llx\n", config.nodes,
-                threads, par.incremental_ms_per_tick, tick_speedup,
-                par.mean_regions,
-                static_cast<unsigned long long>(par.state_hash));
-    determinism_ok = seq.state_hash == par.state_hash;
+    config.pipeline_depth = 2;
+    const exp::ChurnResult piped =
+        run_record(config, records, "parallel", trace_path);
+    const auto row = [&](std::size_t thr, std::size_t d,
+                         const exp::ChurnResult& r) {
+      const double wall_speedup = r.wall_ms_per_tick > 0.0
+                                      ? seq.wall_ms_per_tick /
+                                            r.wall_ms_per_tick
+                                      : 0.0;
+      std::printf("%6zu %3zu %5zu %10.4f %10.4f %7.2fx %6.1f  %016llx\n",
+                  config.nodes, thr, d, r.incremental_ms_per_tick,
+                  r.wall_ms_per_tick, wall_speedup, r.mean_regions,
+                  static_cast<unsigned long long>(r.state_hash));
+    };
+    row(1, 1, seq);
+    row(threads, 1, par);
+    row(threads, 2, piped);
+    determinism_ok = seq.state_hash == par.state_hash &&
+                     seq.state_hash == piped.state_hash;
     std::printf("state hashes %s\n",
-                determinism_ok ? "identical — sharded run is bitwise "
-                                 "equivalent"
-                               : "DIVERGED — sharded engine bug");
+                determinism_ok ? "identical — sharded and pipelined runs "
+                                 "are bitwise equivalent"
+                               : "DIVERGED — parallel engine bug");
   }
 
   bool rss_ok = true;
@@ -252,9 +313,10 @@ int main(int argc, char** argv) {
     // sparse cell index, streaming topology build, cell-major node
     // labels, 0.5% movers, one-shot topology generation (connectivity is
     // hopeless at d=6 and these sizes). Ascending sizes so the monotone
-    // peak-RSS counter reads as a per-size peak; coarse rebuild-baseline
-    // stride below 1M, no baseline at 1M (a second full backbone would
-    // double the audited footprint).
+    // peak-RSS counter reads as a per-size peak; no rebuild baseline
+    // anywhere in the sweep (at 1M a second full backbone would double
+    // the audited footprint, and everywhere it would skew the threaded
+    // wall-clock comparison — see the sweep loop).
     std::vector<std::size_t> scale_sizes{100000, 300000, 1000000};
     if (scale_fast) scale_sizes = {10000};
     const std::size_t scale_ticks = scale_fast ? 10 : 30;
@@ -285,23 +347,28 @@ int main(int argc, char** argv) {
     // comparisons need the original labels on both sides.
     const std::size_t vn = scale_sizes.front();
     std::printf(
-        "\nscale verify — sparse engine at threads {1,2,8} vs dense "
-        "sequential (waypoint, d=6, n=%zu)\n",
+        "\nscale verify — sparse engine at threads {1,2,8}, pipelined "
+        "at {2,8}, vs dense sequential (waypoint, d=6, n=%zu)\n",
         vn);
-    std::printf("%7s %6s %3s %10s  %s\n", "n", "grid", "thr", "incr_ms",
-                "state_hash");
+    std::printf("%7s %6s %3s %5s %10s  %s\n", "n", "grid", "thr", "depth",
+                "incr_ms", "state_hash");
     std::uint64_t verify_hash = 0;
-    for (const std::size_t t : {std::size_t{1}, std::size_t{2},
-                                std::size_t{8}}) {
+    // (threads, pipeline_depth) pairs; the depth-2 entries prove that
+    // overlapping tick t+1's commit with tick t's repair lands on the
+    // bit-identical state the synchronous engine reaches (DESIGN S31).
+    const std::pair<std::size_t, std::size_t> verify_configs[] = {
+        {1, 1}, {2, 1}, {8, 1}, {2, 2}, {8, 2}};
+    for (const auto& [t, d] : verify_configs) {
       exp::ChurnConfig config = scale_config(vn);
       config.threads = t;
+      config.pipeline_depth = d;
       config.rebuild_baseline = false;
       config.cell_order = false;
       const exp::ChurnResult r =
           run_record(config, records, "scale-verify", trace_path);
-      if (t == 1) verify_hash = r.state_hash;
+      if (t == 1 && d == 1) verify_hash = r.state_hash;
       determinism_ok = determinism_ok && r.state_hash == verify_hash;
-      std::printf("%7zu %6s %3zu %10.4f  %016llx\n", vn, "sparse", t,
+      std::printf("%7zu %6s %3zu %5zu %10.4f  %016llx\n", vn, "sparse", t, d,
                   r.incremental_ms_per_tick,
                   static_cast<unsigned long long>(r.state_hash));
     }
@@ -315,40 +382,71 @@ int main(int argc, char** argv) {
       const exp::ChurnResult r =
           run_record(config, records, "scale-verify", trace_path);
       determinism_ok = determinism_ok && r.state_hash == verify_hash;
-      std::printf("%7zu %6s %3d %10.4f  %016llx\n", vn, "dense", 1,
+      std::printf("%7zu %6s %3d %5d %10.4f  %016llx\n", vn, "dense", 1, 1,
                   r.incremental_ms_per_tick,
                   static_cast<unsigned long long>(r.state_hash));
     }
     std::printf("scale verify %s\n",
                 determinism_ok
-                    ? "passed — one hash across threads and cell indexes"
+                    ? "passed — one hash across threads, pipelining and "
+                      "cell indexes"
                     : "FAILED — hashes diverged");
 
     std::puts("\nscaling sweep — waypoint, d=6, 0.5% movers, sparse+stream");
-    std::printf("%8s %3s %10s %10s %8s %6s %9s %9s  %s\n", "n", "thr",
-                "incr_ms", "rebuild_ms", "speedup", "reg/t", "rss_mb",
+    std::printf("%8s %3s %5s %10s %10s %8s %6s %9s %9s  %s\n", "n", "thr",
+                "depth", "incr_ms", "wall_ms", "wall_spd", "reg/t", "rss_mb",
                 "rss_b/n", "state_hash");
     std::vector<ScaleRow> scale_rows;
     for (const std::size_t n : scale_sizes) {
-      exp::ChurnConfig config = scale_config(n);
-      if (n >= 1000000) config.rebuild_baseline = false;
-      const exp::ChurnResult r =
-          run_record(config, records, "scale", trace_path);
-      const double rss_per_node = static_cast<double>(r.peak_rss_bytes) /
-                                  static_cast<double>(n);
-      std::printf("%8zu %3zu %10.4f %10.3f %7.1fx %6.1f %9.1f %9.0f  "
-                  "%016llx\n",
-                  n, threads, r.incremental_ms_per_tick,
-                  r.rebuild_ms_per_tick, r.speedup, r.mean_regions,
-                  static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0),
-                  rss_per_node,
-                  static_cast<unsigned long long>(r.state_hash));
-      scale_rows.push_back({n, threads, r.ticks, r.incremental_ms_per_tick,
-                            r.peak_rss_bytes, r.state_hash});
-      // The memory-audit gate: the largest row must hold the O(n) budget
-      // (RSS is monotone, so only the last row's reading is binding).
-      if (n == scale_sizes.back() && n >= 1000000 && rss_per_node > 1024.0)
-        rss_ok = false;
+      // Threads dimension: the threaded rows run pipelined at depth 2 so
+      // wall_ms reflects the full overlap machinery. Every sweep row
+      // drops the rebuild baseline — the rebuild-vs-incremental story
+      // lives in the matrix section, and an O(n) rebuild interleaved
+      // with only the threads=1 row would pollute its caches and fake a
+      // multi-core speedup the threaded rows never earned. The 1M row
+      // stays threads=1 — it is the memory-audit row, and RSS is
+      // monotone per process, so a threaded rerun would contaminate the
+      // reading.
+      std::vector<std::size_t> thread_sweep{1, 2, 4};
+      if (n >= 1000000) thread_sweep = {1};
+      double wall_1t = 0.0;
+      std::uint64_t row_hash = 0;
+      for (const std::size_t t : thread_sweep) {
+        exp::ChurnConfig config = scale_config(n);
+        config.threads = t;
+        config.rebuild_baseline = false;
+        if (t > 1) config.pipeline_depth = 2;
+        bool stable = true;
+        const exp::ChurnResult r = run_repeated(config, repeat, records,
+                                                "scale", trace_path, stable);
+        determinism_ok = determinism_ok && stable;
+        if (t == 1) {
+          wall_1t = r.wall_ms_per_tick;
+          row_hash = r.state_hash;
+        } else {
+          determinism_ok = determinism_ok && r.state_hash == row_hash;
+        }
+        const double wall_speedup =
+            r.wall_ms_per_tick > 0.0 ? wall_1t / r.wall_ms_per_tick : 0.0;
+        const double rss_per_node = static_cast<double>(r.peak_rss_bytes) /
+                                    static_cast<double>(n);
+        std::printf("%8zu %3zu %5zu %10.4f %10.4f %7.2fx %6.1f %9.1f "
+                    "%9.0f  %016llx\n",
+                    n, t, config.pipeline_depth, r.incremental_ms_per_tick,
+                    r.wall_ms_per_tick, wall_speedup, r.mean_regions,
+                    static_cast<double>(r.peak_rss_bytes) /
+                        (1024.0 * 1024.0),
+                    rss_per_node,
+                    static_cast<unsigned long long>(r.state_hash));
+        scale_rows.push_back({n, t, config.pipeline_depth, r.ticks, repeat,
+                              r.incremental_ms_per_tick, r.wall_ms_per_tick,
+                              wall_speedup, r.peak_rss_bytes, r.state_hash});
+        // The memory-audit gate: the largest row must hold the O(n)
+        // budget (RSS is monotone, so only the last reading is binding).
+        if (n == scale_sizes.back() && t == 1 && n >= 1000000 &&
+            rss_per_node > 1024.0)
+          rss_ok = false;
+      }
     }
     write_scale_json(scale_json_path, seed, scale_rows, determinism_ok,
                      rss_ok);

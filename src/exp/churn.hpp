@@ -52,6 +52,11 @@ struct ChurnConfig {
   /// Execution lanes for the engine's sharded repair path
   /// (incr::PipelineOptions::threads). 1 = the sequential engine.
   std::size_t threads = 1;
+  /// Tick pipelining (incr::PipelineOptions::pipeline_depth): 2 =
+  /// overlap each tick's repair with the next tick's ingest + commit.
+  /// Incompatible with oracle_check; the final state and hash are
+  /// identical to depth 1.
+  std::size_t pipeline_depth = 1;
   /// Run the rebuild baseline every k-th tick (1 = every tick). The
   /// 10k–100k scaling rows keep this coarse so the O(n) rebuild doesn't
   /// dominate wall-clock; reported means stay per-executed-tick.
@@ -84,6 +89,11 @@ struct ChurnConfig {
 struct ChurnResult {
   std::size_t ticks = 0;
   double incremental_ms_per_tick = 0.0;  ///< delta-driven engine
+  /// End-to-end wall clock of the incremental side (per-tick loop cost
+  /// plus the final drain), per tick. Equals incremental_ms_per_tick
+  /// for synchronous runs; under pipelining it is the honest multi-core
+  /// number — repair time hidden behind ingest does not show up here.
+  double wall_ms_per_tick = 0.0;
   double rebuild_ms_per_tick = 0.0;      ///< graph + LCC + backbone rebuild
   double speedup = 0.0;                  ///< rebuild / incremental
   // Mean per-tick churn (MaintenanceDelta definitions).

@@ -72,7 +72,49 @@ std::vector<std::pair<std::size_t, std::size_t>> plan_chunks(
   return chunks;
 }
 
+/// obs::Span lookalike that can buffer instead of writing the recorder:
+/// with `buf` non-null the completed span lands there (deferred-trace
+/// mode), otherwise it goes straight to `tr`. `tr == nullptr` disables.
+class StageSpan {
+ public:
+  StageSpan(obs::TraceRecorder* tr, std::vector<TraceSpanRec>* buf,
+            const char* name, std::uint64_t tick, const char* arg_name)
+      : tr_(tr), buf_(buf), name_(name), arg_name_(arg_name), tick_(tick) {
+    if (tr_) start_ns_ = tr_->now_ns();
+  }
+  ~StageSpan() {
+    if (!tr_) return;
+    const std::uint64_t dur = tr_->now_ns() - start_ns_;
+    if (buf_)
+      buf_->push_back({name_, start_ns_, dur, tick_, 0, arg_name_, arg_});
+    else
+      tr_->complete("incr", name_, start_ns_, dur, tick_, 0, arg_name_, arg_);
+  }
+  void set_arg(std::uint64_t v) { arg_ = v; }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  obs::TraceRecorder* tr_;
+  std::vector<TraceSpanRec>* buf_;
+  const char* name_;
+  const char* arg_name_;
+  std::uint64_t tick_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
+};
+
 }  // namespace
+
+void IncrementalBackbone::flush_trace() {
+  if (trace_buf_.empty()) return;
+  if (obs_) {
+    for (const TraceSpanRec& s : trace_buf_)
+      obs_->trace.complete("incr", s.name, s.ts, s.dur, s.tick, s.tid,
+                           s.arg_name, s.arg);
+  }
+  trace_buf_.clear();
+}
 
 IncrementalBackbone::IncrementalBackbone(const graph::DynamicAdjacency& g,
                                          core::CoverageMode mode) {
@@ -179,7 +221,8 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
 
   ClusterRepair rep;
   {
-    obs::Span span(tr, "incr", "cluster_repair", ticks_applied_, "flips");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "cluster_repair",
+                   ticks_applied_, "flips");
     rep = repair_clustering(g, delta, clustering_, head_bits_);
     span.set_arg(rep.declared.size() + rep.resigned.size());
   }
@@ -204,7 +247,8 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
 
   NodeSet hop1_changed;
   {
-    obs::Span span(tr, "incr", "hop1_scan", ticks_applied_, "rows");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "hop1_scan",
+                   ticks_applied_, "rows");
     span.set_arg(hop1_dirty.size());
     for (const NodeId v : hop1_dirty) {
       auto row = core::hop1_row(g, clustering_, v);
@@ -230,7 +274,8 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
 
   NodeSet changed_rows = hop1_changed;
   {
-    obs::Span span(tr, "incr", "hop2_scan", ticks_applied_, "rows");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "hop2_scan",
+                   ticks_applied_, "rows");
     span.set_arg(hop2_dirty.size());
     for (const NodeId v : hop2_dirty) {
       auto row =
@@ -273,7 +318,8 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
   const graph::NodeBitset declared_bits =
       graph::NodeBitset::from_node_set(g.order(), rep.declared);
   {
-    obs::Span span(tr, "incr", "head_reselect", ticks_applied_, "heads");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "head_reselect",
+                   ticks_applied_, "heads");
     span.set_arg(recompute.size());
     for (const NodeId h : recompute)
       commit_head_row(h, /*was_head=*/!declared_bits.test(h),
@@ -292,7 +338,8 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
   // reference count moved this tick.
   normalize(cds_candidates);
   {
-    obs::Span span(tr, "incr", "cds_settle", ticks_applied_, "candidates");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "cds_settle",
+                   ticks_applied_, "candidates");
     span.set_arg(cds_candidates.size());
     for (const NodeId v : cds_candidates) {
       const bool member = head_bits_.test(v) || selection_refs_[v] > 0;
@@ -348,9 +395,15 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
   const auto flush_spans = [&] {
     if (!tr) return;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      for (const LaneSpan& s : lane_spans[lane])
-        tr->complete("incr", s.name, s.ts, s.dur, ticks_applied_,
-                     static_cast<std::uint32_t>(lane + 1), "items", s.arg);
+      for (const LaneSpan& s : lane_spans[lane]) {
+        const auto tid = static_cast<std::uint32_t>(lane + 1);
+        if (defer_trace_)
+          trace_buf_.push_back(
+              {s.name, s.ts, s.dur, ticks_applied_, tid, "items", s.arg});
+        else
+          tr->complete("incr", s.name, s.ts, s.dur, ticks_applied_, tid,
+                       "items", s.arg);
+      }
       lane_spans[lane].clear();
     }
   };
@@ -363,7 +416,8 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
   // region's read radius).
   ClusterRepair rep;
   {
-    obs::Span span(tr, "incr", "cluster_repair", ticks_applied_, "flips");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "cluster_repair",
+                   ticks_applied_, "flips");
     std::vector<ClusterRepair> reps(partition.count);
     std::vector<HeadStatusOverlay> overlays(partition.count,
                                             HeadStatusOverlay(head_bits_));
@@ -434,7 +488,8 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
 
   NodeSet hop1_changed;
   {
-    obs::Span span(tr, "incr", "hop1_scan", ticks_applied_, "rows");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "hop1_scan",
+                   ticks_applied_, "rows");
     span.set_arg(hop1_dirty.size());
     const auto chunks = plan_chunks(hop1_dirty.size(), lanes);
     std::vector<NodeSet> changed(chunks.size());
@@ -468,7 +523,8 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
 
   NodeSet changed_rows = hop1_changed;
   {
-    obs::Span span(tr, "incr", "hop2_scan", ticks_applied_, "rows");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "hop2_scan",
+                   ticks_applied_, "rows");
     span.set_arg(hop2_dirty.size());
     const auto chunks = plan_chunks(hop2_dirty.size(), lanes);
     std::vector<NodeSet> changed(chunks.size());
@@ -520,7 +576,8 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
   const graph::NodeBitset declared_bits =
       graph::NodeBitset::from_node_set(g.order(), rep.declared);
   {
-    obs::Span span(tr, "incr", "head_reselect", ticks_applied_, "heads");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "head_reselect",
+                   ticks_applied_, "heads");
     span.set_arg(recompute.size());
     std::vector<HeadRow> rows(recompute.size());
     pool.run(recompute.size(), [&](std::size_t i, std::size_t lane) {
@@ -546,7 +603,8 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
   // sequence (and count) of the sequential loop.
   normalize(cds_candidates);
   {
-    obs::Span span(tr, "incr", "cds_settle", ticks_applied_, "candidates");
+    StageSpan span(tr, defer_trace_ ? &trace_buf_ : nullptr, "cds_settle",
+                   ticks_applied_, "candidates");
     span.set_arg(cds_candidates.size());
     const auto chunks = plan_chunks(cds_candidates.size(), lanes);
     std::vector<std::vector<std::pair<NodeId, bool>>> flips(chunks.size());

@@ -56,6 +56,20 @@ namespace manet::incr {
 struct RegionPartition;
 class WorkerPool;
 
+/// One buffered trace span. TraceRecorder is single-writer, so when the
+/// engine runs as an async pool batch (pipelined mode) it cannot write
+/// spans directly while the driver thread records its own: it buffers
+/// them as TraceSpanRec and the driver flushes after joining the tick.
+struct TraceSpanRec {
+  const char* name = "";
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint64_t tick = 0;
+  std::uint32_t tid = 0;
+  const char* arg_name = nullptr;
+  std::uint64_t arg = 0;
+};
+
 /// What one tick cost and churned. The churn counters use the same
 /// definitions as mobility::MaintenanceDelta, so the maintenance-cost
 /// experiments can read them straight off the engine.
@@ -100,6 +114,13 @@ class IncrementalBackbone {
   /// flight recorder, `incr.*` counters/histograms to its registry.
   /// nullptr detaches. The session must outlive the backbone.
   void set_obs(obs::Session* session);
+
+  /// Deferred-trace mode: apply()/apply_parallel() buffer every span
+  /// instead of writing the recorder, so a tick may run concurrently
+  /// with the driver thread's own recording. Metrics stay live (atomic
+  /// adds commute). The driver calls flush_trace() after joining.
+  void set_defer_trace(bool on) { defer_trace_ = on; }
+  void flush_trace();
 
   core::CoverageMode mode() const { return tables_.mode; }
   const cluster::Clustering& clustering() const { return clustering_; }
@@ -161,6 +182,8 @@ class IncrementalBackbone {
   graph::NodeBitset cds_bits_;  ///< head_bits_ ∪ {v : selection_refs_[v]>0}
   obs::Session* obs_ = nullptr;
   ObsHandles obs_handles_;
+  bool defer_trace_ = false;
+  std::vector<TraceSpanRec> trace_buf_;
   std::uint64_t ticks_applied_ = 0;  ///< trace span "tick" argument
   /// Reusable coverage bitsets: [0] serves the sequential path, one per
   /// lane serves apply_parallel (sized on first parallel tick).

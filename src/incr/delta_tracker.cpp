@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/assert.hpp"
 #include "geom/unit_disk.hpp"
+#include "incr/worker_pool.hpp"
 
 namespace manet::incr {
 namespace {
@@ -39,6 +41,28 @@ std::size_t pow2_at_least(std::size_t n) {
   std::size_t cap = 16;
   while (cap < n) cap <<= 1;
   return cap;
+}
+
+// Folds sorted per-chunk vectors into one sorted vector (stable k-way
+// merge, so cross-chunk duplicates stay adjacent for a later unique).
+// Done iteratively because k is a handful of chunks per lane.
+template <typename T>
+std::vector<T> merge_sorted(std::vector<std::vector<T>>& parts) {
+  std::vector<T> merged;
+  std::vector<T> tmp;
+  for (auto& part : parts) {
+    if (part.empty()) continue;
+    if (merged.empty()) {
+      merged = std::move(part);
+      continue;
+    }
+    tmp.clear();
+    tmp.reserve(merged.size() + part.size());
+    std::merge(merged.begin(), merged.end(), part.begin(), part.end(),
+               std::back_inserter(tmp));
+    merged.swap(tmp);
+  }
+  return merged;
 }
 
 }  // namespace
@@ -89,6 +113,7 @@ DeltaTracker::DeltaTracker(std::vector<geom::Point> positions, double range,
   for (NodeId v = 0; v < n; ++v) {
     const std::uint32_t slot = intern(cell_key(positions_[v]));
     cell_of_node_[v] = slot;
+    if (cells_[slot].empty()) ++occupied_cells_;
     cells_[slot].push_back(v);
   }
 }
@@ -135,8 +160,9 @@ std::uint64_t DeltaTracker::key_of_slot(std::uint32_t slot) const {
   return sparse_ ? slot_keys_[slot] : slot;
 }
 
-void DeltaTracker::grow_table() {
-  const std::size_t cap = table_keys_.size() * 2;
+void DeltaTracker::grow_table() { rebuild_table(table_keys_.size() * 2); }
+
+void DeltaTracker::rebuild_table(std::size_t cap) {
   table_keys_.assign(cap, ~std::uint64_t{0});
   table_slots_.resize(cap);
   const std::size_t mask = cap - 1;
@@ -146,6 +172,37 @@ void DeltaTracker::grow_table() {
     table_keys_[h] = slot_keys_[slot];
     table_slots_[h] = slot;
   }
+}
+
+void DeltaTracker::maybe_compact() {
+  if (!sparse_) return;
+  if (slot_keys_.size() < 4 * occupied_cells_ + 64) return;
+  ++compactions_;
+
+  // Survivors keep their relative order, so the renumbering (and with
+  // it every future intern) is a pure function of the commit history —
+  // independent of thread count or pipelining.
+  std::vector<std::uint32_t> remap(slot_keys_.size(), kNoSlot);
+  std::vector<std::uint64_t> keys;
+  std::vector<std::vector<NodeId>> buckets;
+  keys.reserve(occupied_cells_);
+  buckets.reserve(occupied_cells_);
+  for (std::uint32_t slot = 0; slot < slot_keys_.size(); ++slot) {
+    if (cells_[slot].empty()) continue;
+    remap[slot] = static_cast<std::uint32_t>(keys.size());
+    keys.push_back(slot_keys_[slot]);
+    buckets.push_back(std::move(cells_[slot]));
+  }
+  MANET_ASSERT(keys.size() == occupied_cells_,
+               "occupancy count out of sync with cell buckets");
+  slot_keys_ = std::move(keys);
+  cells_ = std::move(buckets);
+  for (auto& slot : cell_of_node_) {
+    slot = remap[slot];  // every node's cell is occupied by definition
+    MANET_ASSERT(slot != kNoSlot, "node mapped to an evicted cell slot");
+  }
+  rebuild_table(pow2_at_least(
+      2 * std::max(positions_.size(), slot_keys_.size())));
 }
 
 void DeltaTracker::stage_move(NodeId v, geom::Point p) {
@@ -158,14 +215,80 @@ void DeltaTracker::stage_move(NodeId v, geom::Point p) {
 }
 
 EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
+  CommitOptions opts;
+  opts.regions = regions;
+  return commit(opts);
+}
+
+void DeltaTracker::scan_chunk(std::size_t begin, std::size_t end,
+                              EdgeDelta& delta,
+                              std::vector<std::uint64_t>& keys) const {
+  // Diff against the *frozen* pre-commit adjacency. The classic serial
+  // commit mutated the overlay mid-scan so each changed edge fell out of
+  // exactly one endpoint's symmetric difference; against a frozen
+  // overlay a staged-staged edge shows up at both endpoints instead, so
+  // the smaller endpoint claims it. Both rules select the same edge set
+  // (every changed pair incident to a staged node, once), which is what
+  // keeps deferred, parallel, and serial commits hash-identical.
+  std::vector<NodeId> now;
+  std::vector<NodeId> old;
+  std::vector<NodeId> to_add;
+  std::vector<NodeId> to_remove;
+  for (std::size_t i = begin; i < end; ++i) {
+    const NodeId v = staged_[i];
+    const geom::Point p = positions_[v];
+    const std::uint64_t key = key_of_slot(cell_of_node_[v]);
+    const auto col = static_cast<std::size_t>(key % cols_);
+    const auto row = static_cast<std::size_t>(key / cols_);
+    const std::size_t c0 = col > 0 ? col - 1 : 0;
+    const std::size_t c1 = col + 1 < cols_ ? col + 1 : cols_ - 1;
+    const std::size_t r0 = row > 0 ? row - 1 : 0;
+    const std::size_t r1 = row + 1 < rows_ ? row + 1 : rows_ - 1;
+    now.clear();
+    for (std::size_t r = r0; r <= r1; ++r)
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const std::uint64_t k = static_cast<std::uint64_t>(r) * cols_ + c;
+        keys.push_back(k);
+        const std::uint32_t slot = slot_of(k);
+        if (slot == kNoSlot) continue;  // sparse: cell never occupied
+        for (const NodeId w : cells_[slot])
+          if (w != v && geom::distance_sq(p, positions_[w]) < range_sq_)
+            now.push_back(w);
+      }
+    std::sort(now.begin(), now.end());
+
+    const auto nb = adjacency_.neighbors(v);
+    old.assign(nb.begin(), nb.end());
+    to_add.clear();
+    to_remove.clear();
+    std::set_difference(now.begin(), now.end(), old.begin(), old.end(),
+                        std::back_inserter(to_add));
+    std::set_difference(old.begin(), old.end(), now.begin(), now.end(),
+                        std::back_inserter(to_remove));
+    for (const NodeId w : to_add)
+      if (!is_staged_[w] || v < w)
+        delta.added.emplace_back(std::min(v, w), std::max(v, w));
+    for (const NodeId w : to_remove)
+      if (!is_staged_[w] || v < w)
+        delta.removed.emplace_back(std::min(v, w), std::max(v, w));
+  }
+  // Partial sorts inside the (possibly worker-side) chunk; the caller
+  // k-way merges, so the serial tail is O(changes), not O(changes log).
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+EdgeDelta DeltaTracker::commit(const CommitOptions& opts) {
   EdgeDelta delta;
   last_cells_scanned_ = 0;
-  if (regions) {
-    regions->count = 0;
-    regions->deltas.clear();
-    regions->core_cells.clear();
-    regions->cols = cols_;
-    regions->rows = rows_;
+  if (opts.regions) {
+    opts.regions->count = 0;
+    opts.regions->deltas.clear();
+    opts.regions->core_cells.clear();
+    opts.regions->cols = cols_;
+    opts.regions->rows = rows_;
   }
   if (staged_.empty()) return delta;
 
@@ -186,69 +309,52 @@ EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
     MANET_ASSERT(it != bucket.end(), "node missing from its grid cell");
     *it = bucket.back();
     bucket.pop_back();
+    if (bucket.empty()) --occupied_cells_;
+    if (cells_[slot].empty()) ++occupied_cells_;
     cells_[slot].push_back(v);
     cell_of_node_[v] = slot;
   }
 
-  // Phase 2: rescan each dirty node's 3x3 block and diff against the
-  // adjacency overlay. Edits are applied immediately, so when a later
-  // dirty node is diffed the already-repaired pairs are no longer in its
-  // symmetric difference — every changed edge is recorded exactly once.
-  scanned_keys_.clear();
-  std::vector<NodeId> now;
-  std::vector<NodeId> old;
-  for (const NodeId v : staged_) {
-    const geom::Point p = positions_[v];
-    const std::uint64_t key = key_of_slot(cell_of_node_[v]);
-    const auto col = static_cast<std::size_t>(key % cols_);
-    const auto row = static_cast<std::size_t>(key / cols_);
-    const std::size_t c0 = col > 0 ? col - 1 : 0;
-    const std::size_t c1 = col + 1 < cols_ ? col + 1 : cols_ - 1;
-    const std::size_t r0 = row > 0 ? row - 1 : 0;
-    const std::size_t r1 = row + 1 < rows_ ? row + 1 : rows_ - 1;
-    now.clear();
-    for (std::size_t r = r0; r <= r1; ++r)
-      for (std::size_t c = c0; c <= c1; ++c) {
-        const std::uint64_t k = static_cast<std::uint64_t>(r) * cols_ + c;
-        scanned_keys_.push_back(k);
-        const std::uint32_t slot = slot_of(k);
-        if (slot == kNoSlot) continue;  // sparse: cell never occupied
-        for (const NodeId w : cells_[slot])
-          if (w != v && geom::distance_sq(p, positions_[w]) < range_sq_)
-            now.push_back(w);
-      }
-    std::sort(now.begin(), now.end());
+  // Phase 2: rescan the dirty 3x3 blocks against the frozen adjacency,
+  // sharded into contiguous staged ranges when a pool is attached. The
+  // chunking never shows: chunk outputs are disjoint by the
+  // smaller-endpoint rule and the merge below restores the one global
+  // sorted order the serial scan produces.
+  const std::size_t lanes = opts.pool ? opts.pool->lanes() : 1;
+  const std::size_t n_chunks =
+      lanes <= 1 ? 1 : std::min(staged_.size(), lanes * 4);
+  std::vector<EdgeDelta> chunk_deltas(n_chunks);
+  std::vector<std::vector<std::uint64_t>> chunk_keys(n_chunks);
+  const auto scan_job = [&](std::size_t job, std::size_t /*lane*/) {
+    const std::size_t begin = job * staged_.size() / n_chunks;
+    const std::size_t end = (job + 1) * staged_.size() / n_chunks;
+    scan_chunk(begin, end, chunk_deltas[job], chunk_keys[job]);
+  };
+  if (opts.pool && n_chunks > 1) {
+    opts.pool->run(n_chunks, scan_job);
+  } else {
+    scan_job(0, 0);
+  }
 
-    const auto nb = adjacency_.neighbors(v);
-    old.assign(nb.begin(), nb.end());
-    // Sorted two-pointer diff; mutations are deferred past the spans.
-    std::vector<NodeId> to_add;
-    std::vector<NodeId> to_remove;
-    std::set_difference(now.begin(), now.end(), old.begin(), old.end(),
-                        std::back_inserter(to_add));
-    std::set_difference(old.begin(), old.end(), now.begin(), now.end(),
-                        std::back_inserter(to_remove));
-    for (const NodeId w : to_add) {
-      adjacency_.add_edge(v, w);
-      delta.added.emplace_back(std::min(v, w), std::max(v, w));
-    }
-    for (const NodeId w : to_remove) {
-      adjacency_.remove_edge(v, w);
-      delta.removed.emplace_back(std::min(v, w), std::max(v, w));
-    }
+  {
+    std::vector<std::vector<std::pair<NodeId, NodeId>>> parts;
+    parts.reserve(n_chunks);
+    for (auto& c : chunk_deltas) parts.push_back(std::move(c.added));
+    delta.added = merge_sorted(parts);
+    parts.clear();
+    for (auto& c : chunk_deltas) parts.push_back(std::move(c.removed));
+    delta.removed = merge_sorted(parts);
   }
   // Overlapping dirty blocks count once, whether or not their cells have
   // ever been occupied (the dense index used to stamp per-cell scratch;
   // key dedup gives the identical count without O(cells) state).
-  std::sort(scanned_keys_.begin(), scanned_keys_.end());
+  scanned_keys_ = merge_sorted(chunk_keys);
   last_cells_scanned_ = static_cast<std::size_t>(
       std::unique(scanned_keys_.begin(), scanned_keys_.end()) -
       scanned_keys_.begin());
 
   for (const NodeId v : staged_) is_staged_[v] = 0;
 
-  std::sort(delta.added.begin(), delta.added.end());
-  std::sort(delta.removed.begin(), delta.removed.end());
   for (const auto& [u, w] : delta.added) {
     delta.touched.push_back(u);
     delta.touched.push_back(w);
@@ -259,9 +365,24 @@ EdgeDelta DeltaTracker::commit(RegionPartition* regions) {
   }
   normalize(delta.touched);
 
-  if (regions) build_regions(delta, old_slots, *regions);
+  if (!opts.defer_adjacency) apply_delta(delta);
+  if (opts.regions) build_regions(delta, old_slots, *opts.regions);
   staged_.clear();
+  maybe_compact();
   return delta;
+}
+
+void DeltaTracker::apply_delta(const EdgeDelta& delta) {
+  for (const auto& [u, w] : delta.added) {
+    const bool fresh = adjacency_.add_edge(u, w);
+    MANET_ASSERT(fresh, "delta add replayed onto an existing edge");
+    (void)fresh;
+  }
+  for (const auto& [u, w] : delta.removed) {
+    const bool gone = adjacency_.remove_edge(u, w);
+    MANET_ASSERT(gone, "delta removed a missing edge");
+    (void)gone;
+  }
 }
 
 void DeltaTracker::paint_reset(std::size_t expected) {

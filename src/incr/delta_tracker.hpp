@@ -36,6 +36,8 @@
 
 namespace manet::incr {
 
+class WorkerPool;
+
 /// How far, in grid cells, each staged node's dirty 3x3 block is grown
 /// when forming independent repair regions (DESIGN S30). The parallel
 /// cluster-repair stage writes head status within 1 hop of a region's
@@ -63,6 +65,22 @@ struct RegionPartition {
   std::vector<std::vector<std::uint64_t>> core_cells;
   std::size_t cols = 1;            ///< grid shape, for cell geometry
   std::size_t rows = 1;
+};
+
+/// Knobs of one commit(). Defaults reproduce the classic synchronous
+/// serial commit; every combination yields the bitwise-identical delta,
+/// because the scan diffs against the frozen pre-commit adjacency and
+/// the results are merged in a canonical order (DESIGN S31).
+struct CommitOptions {
+  /// Filled with the tick's independent-region partition when non-null.
+  RegionPartition* regions = nullptr;
+  /// Shards the dirty-block scan over the pool's lanes when non-null.
+  WorkerPool* pool = nullptr;
+  /// Leave the adjacency overlay untouched: the returned delta is the
+  /// exact edit list, to be replayed later via apply_delta(). This is
+  /// what lets a pipelined engine commit tick t+1 while tick t's repair
+  /// is still reading the overlay.
+  bool defer_adjacency = false;
 };
 
 /// Maintains node positions, a mutable cell grid over a fixed working
@@ -118,6 +136,22 @@ class DeltaTracker {
   /// partition (same cost class: O(dirty) cells painted).
   EdgeDelta commit(RegionPartition* regions = nullptr);
 
+  /// Full-control commit: parallel scan and/or deferred adjacency
+  /// edits. See CommitOptions; the delta is identical in every mode.
+  EdgeDelta commit(const CommitOptions& opts);
+
+  /// Replays a delta returned by a defer_adjacency commit onto the
+  /// overlay. Must be applied in commit order before the next commit's
+  /// scan (the scan diffs against the current overlay).
+  void apply_delta(const EdgeDelta& delta);
+
+  /// Sparse-index slot compactions performed so far (satellite: the
+  /// intern table used to grow forever under long teleporting churn).
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// Cell buckets currently holding at least one node.
+  std::size_t occupied_cells() const { return occupied_cells_; }
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
@@ -137,6 +171,26 @@ class DeltaTracker {
 
   /// Doubles the sparse key->slot table.
   void grow_table();
+
+  /// Rebuilds the key->slot table at `cap` buckets (pow2) from
+  /// slot_keys_.
+  void rebuild_table(std::size_t cap);
+
+  /// Sparse index only: when the ever-interned slot count has outgrown
+  /// the occupied-cell count by 4x, drop the empty buckets and renumber
+  /// the survivors (ascending old-slot order, so the result is a pure
+  /// function of the commit history). Slot ids are internal — nothing
+  /// outside the tracker keys off them — so renumbering is invisible to
+  /// deltas, regions, and adjacency.
+  void maybe_compact();
+
+  /// Diffs staged_[i], i in [begin, end), against the frozen adjacency
+  /// and appends normalized changed edges plus scanned cell keys to the
+  /// chunk outputs; sorts all three on return. An edge between two
+  /// staged nodes is recorded only by its smaller endpoint, so the
+  /// concatenation over chunks has no duplicates.
+  void scan_chunk(std::size_t begin, std::size_t end, EdgeDelta& delta,
+                  std::vector<std::uint64_t>& keys) const;
 
   /// Prepares the per-commit paint map for ~`expected` distinct cells.
   void paint_reset(std::size_t expected);
@@ -175,6 +229,8 @@ class DeltaTracker {
   std::vector<NodeId> staged_;                // dirty node ids
   std::vector<char> is_staged_;               // dedup flag per node
   std::size_t last_cells_scanned_ = 0;        // dirty-block cells, last commit
+  std::size_t occupied_cells_ = 0;            // buckets with >= 1 node
+  std::uint64_t compactions_ = 0;             // sparse slot compactions
 
   // Per-commit scratch (allocated once, O(staged) per tick): dirty-block
   // keys for the cells-scanned count, the open-addressing paint map of

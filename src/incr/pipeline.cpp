@@ -51,15 +51,32 @@ IncrementalPipeline::IncrementalPipeline(std::vector<geom::Point> positions,
                options.streaming_build),
       backbone_(tracker_.adjacency(), options.mode),
       options_(options) {
-  if (options_.threads > 1)
+  MANET_REQUIRE(options_.pipeline_depth >= 1 && options_.pipeline_depth <= 2,
+                "pipeline_depth must be 1 or 2: consecutive repairs are "
+                "sequentially dependent, so deeper pipelines cannot exist");
+  MANET_REQUIRE(!(options_.oracle_check && options_.pipeline_depth > 1),
+                "oracle mode must observe every tick synchronously; use "
+                "pipeline_depth 1");
+  if (options_.threads > 1 || options_.pipeline_depth > 1)
     pool_ = std::make_unique<WorkerPool>(options_.threads);
+  backbone_.set_defer_trace(options_.pipeline_depth > 1);
   if (options_.oracle_check) oracle_previous_ = backbone_.clustering();
   set_obs(options_.obs);
+}
+
+IncrementalPipeline::~IncrementalPipeline() {
+  try {
+    join_pending();
+  } catch (...) {
+    // A repair that threw has already poisoned the maintained state;
+    // destruction is not the place to escalate.
+  }
 }
 
 void IncrementalPipeline::set_obs(obs::Session* session) {
   options_.obs = session;
   backbone_.set_obs(session);
+  if (pool_) pool_->set_obs(session);
   if (session) {
     auto& r = session->registry;
     ticks_counter_ = r.counter("incr.ticks");
@@ -68,16 +85,93 @@ void IncrementalPipeline::set_obs(obs::Session* session) {
     regions_counter_ = r.counter("incr.regions");
     region_size_hist_ = r.histogram("incr.region_size",
                                     {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    compactions_gauge_ = r.gauge("incr.slot_compactions");
+    // Configuration record, not a measurement — but it differs between
+    // runs that must otherwise snapshot identically (depth 1 vs 2), so
+    // it lives under the .pool. prefix that deterministic() drops.
+    r.gauge("incr.pool.pipeline_depth")
+        .set(static_cast<std::int64_t>(options_.pipeline_depth));
   } else {
     ticks_counter_ = obs::Counter();
     staged_counter_ = obs::Counter();
     dirty_cells_counter_ = obs::Counter();
     regions_counter_ = obs::Counter();
     region_size_hist_ = obs::Histogram();
+    compactions_gauge_ = obs::Gauge();
   }
 }
 
+TickStats IncrementalPipeline::run_repair(const EdgeDelta& delta,
+                                          const RegionPartition& partition) {
+  TickStats stats;
+  if (pool_ && partition.count >= 2 && !delta.empty()) {
+    stats = backbone_.apply_parallel(tracker_.adjacency(), delta, partition,
+                                     *pool_);
+  } else {
+    stats = backbone_.apply(tracker_.adjacency(), delta);
+    stats.regions = partition.count;
+  }
+  return stats;
+}
+
+TickStats IncrementalPipeline::join_pending() {
+  if (!pending_) return {};
+  InFlight& p = *pending_;
+  pending_ = nullptr;
+  pool_->wait(p.ticket);
+  backbone_.flush_trace();
+  return p.stats;
+}
+
+TickStats IncrementalPipeline::drain() { return join_pending(); }
+
 TickStats IncrementalPipeline::tick() {
+  return options_.pipeline_depth > 1 ? tick_pipelined() : tick_sync();
+}
+
+TickStats IncrementalPipeline::tick_pipelined() {
+  ++tick_index_;
+  obs::TraceRecorder* tr = options_.obs ? &options_.obs->trace : nullptr;
+  obs::Span tick_span(tr, "incr", "tick", tick_index_, "links");
+  ticks_counter_.add();
+  staged_counter_.add(tracker_.staged_count());
+
+  // Commit this tick against the frozen overlay while the previous
+  // tick's repair is still reading it (both read-only — S31). The other
+  // slot belongs to that repair; this one finished two ticks ago.
+  InFlight& cur = slots_[tick_index_ % 2];
+  MANET_ASSERT(&cur != pending_, "commit slot still owned by a repair");
+  {
+    obs::Span span(tr, "incr", "delta_commit", tick_index_, "links");
+    CommitOptions copts;
+    copts.regions = &cur.partition;
+    copts.pool = pool_.get();
+    copts.defer_adjacency = true;
+    cur.delta = tracker_.commit(copts);
+    span.set_arg(cur.delta.link_changes());
+  }
+  dirty_cells_counter_.add(tracker_.last_cells_scanned());
+  compactions_gauge_.set(static_cast<std::int64_t>(tracker_.compactions()));
+  regions_counter_.add(cur.partition.count);
+  for (const auto& cells : cur.partition.core_cells)
+    region_size_hist_.record(cells.size());
+  tick_span.set_arg(cur.delta.link_changes());
+
+  // Join the previous repair; its stats become this call's return
+  // value. Only now is the overlay safe to advance.
+  TickStats out = join_pending();
+  {
+    obs::Span span(tr, "incr", "delta_apply", tick_index_, "links");
+    tracker_.apply_delta(cur.delta);
+  }
+  cur.ticket = pool_->submit(1, [this, &cur](std::size_t, std::size_t) {
+    cur.stats = run_repair(cur.delta, cur.partition);
+  });
+  pending_ = &cur;
+  return out;
+}
+
+TickStats IncrementalPipeline::tick_sync() {
   ++tick_index_;
   obs::TraceRecorder* tr = options_.obs ? &options_.obs->trace : nullptr;
   obs::Span tick_span(tr, "incr", "tick", tick_index_, "links");
@@ -90,23 +184,20 @@ TickStats IncrementalPipeline::tick() {
     // The partition is always built (O(dirty)), not just when a pool is
     // attached: the incr.regions metrics must come out identical at any
     // thread count for the determinism soaks to hold byte-for-byte.
-    delta = tracker_.commit(&partition_);
+    CommitOptions copts;
+    copts.regions = &partition_;
+    copts.pool = pool_.get();
+    delta = tracker_.commit(copts);
     span.set_arg(delta.link_changes());
   }
   dirty_cells_counter_.add(tracker_.last_cells_scanned());
+  compactions_gauge_.set(static_cast<std::int64_t>(tracker_.compactions()));
   regions_counter_.add(partition_.count);
   for (const auto& cells : partition_.core_cells)
     region_size_hist_.record(cells.size());
   tick_span.set_arg(delta.link_changes());
 
-  TickStats stats;
-  if (pool_ && partition_.count >= 2 && !delta.empty()) {
-    stats = backbone_.apply_parallel(tracker_.adjacency(), delta, partition_,
-                                     *pool_);
-  } else {
-    stats = backbone_.apply(tracker_.adjacency(), delta);
-    stats.regions = partition_.count;
-  }
+  TickStats stats = run_repair(delta, partition_);
 
   if (options_.oracle_check) {
     // Full rebuild from first principles: re-derive the topology from the

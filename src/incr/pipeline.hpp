@@ -43,8 +43,20 @@ struct PipelineOptions {
   /// Execution lanes for the sharded repair path (1 = fully sequential,
   /// no pool, byte-for-byte the pre-sharding engine). With k > 1 a
   /// persistent pool of k-1 workers plus the calling thread fans out
-  /// each tick's independent regions and row chunks.
+  /// each tick's independent regions, row chunks, and the delta-commit
+  /// cell scans.
   std::size_t threads = 1;
+  /// Tick pipelining. 1 = classic synchronous ticks. 2 = tick t's
+  /// repair runs as an async pool batch while the caller stages and
+  /// commits tick t+1 (the commit diffs the frozen overlay read-only
+  /// and defers its edge edits, so the two overlap safely — DESIGN
+  /// S31). tick() then returns the *previous* tick's stats; call
+  /// drain() to join the last repair. The maintained state after drain
+  /// is bitwise identical to depth 1 at any thread count. Depth > 2 is
+  /// impossible: tick t+1's repair needs tick t's repaired state.
+  /// Incompatible with oracle_check (which must observe every tick
+  /// synchronously).
+  std::size_t pipeline_depth = 1;
   /// Cell storage of the DeltaTracker grid (and of the SpatialGrid used
   /// for the initial topology build): kAuto = dense until the lattice
   /// outgrows the dense clamp, kSparse = O(n) interned occupied cells at
@@ -64,6 +76,8 @@ class IncrementalPipeline {
  public:
   IncrementalPipeline(std::vector<geom::Point> positions, double range,
                       double width, double height, PipelineOptions options);
+  /// Joins any in-flight repair before tearing the pool down.
+  ~IncrementalPipeline();
 
   std::size_t size() const { return tracker_.size(); }
   const std::vector<geom::Point>& positions() const {
@@ -88,7 +102,18 @@ class IncrementalPipeline {
   /// Commits all staged moves and repairs every maintained structure.
   /// With oracle_check on, throws std::invalid_argument describing the
   /// first mismatch against the full rebuild (i.e. an engine bug).
+  /// With pipeline_depth 2 the repair is launched asynchronously and
+  /// the stats of the *previous* tick are returned (zeros on the first
+  /// call); the maintained backbone lags the topology by the in-flight
+  /// tick until drain().
   TickStats tick();
+
+  /// Joins the in-flight repair (pipeline_depth 2) and returns its
+  /// tick's stats; zeros when nothing is pending. Synchronous engines
+  /// return zeros immediately. After drain() the maintained state
+  /// equals what the synchronous engine would hold after the same
+  /// moves, bit for bit.
+  TickStats drain();
 
   /// CSR snapshot of the maintained topology.
   graph::Graph freeze_graph() const { return tracker_.adjacency().freeze(); }
@@ -97,18 +122,43 @@ class IncrementalPipeline {
   core::StaticBackbone materialize() const { return backbone_.materialize(); }
 
  private:
+  /// Double-buffered per-tick state for pipelined mode: while tick t's
+  /// repair reads its slot, tick t+1's commit fills the other. Depth 2
+  /// never has more than one repair in flight, so two slots suffice.
+  struct InFlight {
+    EdgeDelta delta;
+    RegionPartition partition;
+    TickStats stats;
+    WorkerPool::Ticket ticket;
+  };
+
+  TickStats tick_sync();
+  TickStats tick_pipelined();
+  /// The repair half of a tick: sharded when a pool and >= 2 regions
+  /// are available, sequential otherwise (identical state either way).
+  TickStats run_repair(const EdgeDelta& delta,
+                       const RegionPartition& partition);
+  /// Joins the pending repair slot, flushes its buffered trace spans,
+  /// and returns its stats; zeros when nothing is pending.
+  TickStats join_pending();
+
   DeltaTracker tracker_;
   IncrementalBackbone backbone_;
   PipelineOptions options_;
   std::uint64_t tick_index_ = 0;
   /// Reused per tick; filled by DeltaTracker::commit when threads > 1.
   RegionPartition partition_;
-  std::unique_ptr<WorkerPool> pool_;  ///< null when threads == 1
+  std::unique_ptr<WorkerPool> pool_;  ///< null when threads == 1, depth 1
+  InFlight slots_[2];
+  InFlight* pending_ = nullptr;  ///< slot whose repair is in flight
   obs::Counter ticks_counter_;
   obs::Counter staged_counter_;
   obs::Counter dirty_cells_counter_;
   obs::Counter regions_counter_;
   obs::Histogram region_size_hist_;
+  /// Sparse intern-table compactions so far — a pure function of the
+  /// commit history, so it stays in the deterministic snapshot.
+  obs::Gauge compactions_gauge_;
   /// Previous oracle clustering (oracle mode): the full-rebuild path is
   /// lcc_update from the previous tick's structure, exactly what the
   /// engine repairs incrementally.

@@ -34,6 +34,21 @@ void append_uint_list(std::string& out,
 
 }  // namespace
 
+MetricsSnapshot MetricsSnapshot::deterministic() const {
+  const auto is_scheduling = [](std::string_view name) {
+    return name.find(".lane.") != std::string_view::npos ||
+           name.find(".pool.") != std::string_view::npos;
+  };
+  MetricsSnapshot out;
+  for (const auto& c : counters)
+    if (!is_scheduling(c.name)) out.counters.push_back(c);
+  for (const auto& g : gauges)
+    if (!is_scheduling(g.name)) out.gauges.push_back(g);
+  for (const auto& h : histograms)
+    if (!is_scheduling(h.name)) out.histograms.push_back(h);
+  return out;
+}
+
 std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
                                           std::uint64_t fallback) const {
   for (const auto& c : counters)

@@ -142,6 +142,14 @@ struct MetricsSnapshot {
   std::uint64_t counter_or(std::string_view name,
                            std::uint64_t fallback = 0) const;
 
+  /// Copy with the scheduling/wall-clock metrics removed: any metric
+  /// whose name contains ".lane." or ".pool." records which thread did
+  /// what or how long it took, which legitimately varies across thread
+  /// counts and reruns. Everything else is covered by the determinism
+  /// contract — compare `deterministic()` snapshots, not full ones,
+  /// when asserting cross-thread-count equality.
+  MetricsSnapshot deterministic() const;
+
   /// Compact single-line JSON (fixed key order, integers only) — embeds
   /// verbatim as the `metrics` block of bench records.
   std::string to_json() const;

@@ -21,6 +21,7 @@
 #include "incr/delta_tracker.hpp"
 #include "incr/edge_delta.hpp"
 #include "incr/pipeline.hpp"
+#include "incr/worker_pool.hpp"
 #include "mobility/random_direction.hpp"
 #include "mobility/waypoint.hpp"
 
@@ -210,6 +211,73 @@ TEST(DeltaTrackerPropertyTest, AllNodesIntoOneCell) {
       pair.stage(v, positions[v]);
     }
     pair.commit_and_check(positions, range, round);
+  }
+}
+
+TEST(DeltaTrackerPropertyTest, SparseSlotCompactionBoundsInternTable) {
+  // A marching flock over the sparse index: every round the whole
+  // population teleports into a fresh patch of the world, abandoning
+  // its old cells. Without compaction the intern table accumulates one
+  // slot per cell ever visited; with it, slot count must stay within
+  // the compaction threshold of the live cell count — while the overlay
+  // keeps matching the from-scratch graph exactly.
+  Rng rng(506);
+  const std::size_t n = 60;
+  const double range = 2.0;  // 500x500-cell lattice — sparse territory
+  std::vector<geom::Point> positions;
+  for (std::size_t i = 0; i < n; ++i)
+    positions.push_back({rng.uniform(0, 8), rng.uniform(0, 8)});
+  DeltaTracker tracker(positions, range, 1000, 1000,
+                       geom::GridIndex::kSparse);
+  for (int round = 0; round < 80; ++round) {
+    const double ox = rng.uniform(0, 992);
+    const double oy = rng.uniform(0, 992);
+    for (NodeId v = 0; v < n; ++v) {
+      positions[v] = {ox + rng.uniform(0, 8), oy + rng.uniform(0, 8)};
+      tracker.stage_move(v, positions[v]);
+    }
+    tracker.commit();
+    expect_adjacency_matches(tracker, positions, range, round);
+    ASSERT_LE(tracker.cell_slots(), 4 * tracker.occupied_cells() + 64)
+        << "intern table leaked abandoned slots at round " << round;
+  }
+  EXPECT_GT(tracker.compactions(), 0u);
+  // Occupancy accounting stayed truthful: the flock fits in few cells.
+  EXPECT_LE(tracker.occupied_cells(), n);
+  EXPECT_GE(tracker.occupied_cells(), 1u);
+}
+
+TEST(DeltaTrackerTest, DeferredCommitMatchesImmediate) {
+  // defer_adjacency splits commit into scan + apply_delta; the delta
+  // and the post-apply overlay must be identical to the immediate path,
+  // with and without a pool (the pipelined engine relies on this).
+  Rng rng(507);
+  const std::size_t n = 150;
+  const double range = geom::range_for_average_degree(8.0, n, 100, 100);
+  auto positions = random_layout(n, rng);
+  DeltaTracker immediate(positions, range, 100, 100);
+  DeltaTracker deferred(positions, range, 100, 100);
+  WorkerPool pool(4);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t movers = 1 + rng.index(12);
+    for (std::size_t j = 0; j < movers; ++j) {
+      const auto v = static_cast<NodeId>(rng.index(n));
+      positions[v] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+      immediate.stage_move(v, positions[v]);
+      deferred.stage_move(v, positions[v]);
+    }
+    const EdgeDelta base = immediate.commit();
+    CommitOptions opts;
+    opts.defer_adjacency = true;
+    if (round % 2 == 1) opts.pool = &pool;  // alternate serial / parallel
+    const EdgeDelta delta = deferred.commit(opts);
+    EXPECT_EQ(delta.added, base.added) << "round " << round;
+    EXPECT_EQ(delta.removed, base.removed) << "round " << round;
+    EXPECT_EQ(delta.touched, base.touched) << "round " << round;
+    // Before apply_delta the deferred overlay still shows the previous
+    // round's topology; after it, the current one.
+    deferred.apply_delta(delta);
+    expect_adjacency_matches(deferred, positions, range, round);
   }
 }
 

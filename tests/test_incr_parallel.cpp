@@ -1,9 +1,10 @@
 // Tests for the sharded parallel repair path (src/incr worker_pool +
-// apply_parallel): the WorkerPool primitive, oracle equivalence of the
+// apply_parallel) and the depth-2 tick pipeline: the WorkerPool
+// primitive (fork-join and submit/wait), oracle equivalence of the
 // parallel engine at every tick, and bitwise determinism of the
 // maintained state, metrics and churn-record hashes across thread
-// counts. These suites (plus ReplicatorTest/ScenarioTest) are the ones
-// CI runs under ThreadSanitizer.
+// counts and pipeline depths. These suites (plus ReplicatorTest/
+// ScenarioTest) are the ones CI runs under ThreadSanitizer.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -80,6 +81,59 @@ TEST(WorkerPoolTest, ReusableAcrossManyBatches) {
   for (int batch = 0; batch < 50; ++batch)
     pool.run(7, [&](std::size_t, std::size_t) { ++total; });
   EXPECT_EQ(total.load(), 350u);
+}
+
+TEST(WorkerPoolTest, SubmitWaitRunsEveryJobOnce) {
+  WorkerPool pool(4);
+  constexpr std::size_t kJobs = 32;
+  std::vector<std::atomic<int>> hits(kJobs);
+  WorkerPool::Ticket ticket =
+      pool.submit(kJobs, [&](std::size_t job, std::size_t) { ++hits[job]; });
+  EXPECT_TRUE(ticket);
+  pool.wait(ticket);
+  EXPECT_FALSE(ticket);
+  for (std::size_t j = 0; j < kJobs; ++j) EXPECT_EQ(hits[j].load(), 1);
+}
+
+TEST(WorkerPoolTest, SingleLaneSubmitDefersUntilWait) {
+  // With no workers the async batch cannot make progress on its own;
+  // wait() must execute it on the calling thread (this is what lets a
+  // threads=1 pipeline still run at pipeline_depth 2).
+  WorkerPool pool(1);
+  int ran = 0;
+  WorkerPool::Ticket ticket =
+      pool.submit(3, [&](std::size_t, std::size_t lane) {
+        EXPECT_EQ(lane, 0u);
+        ++ran;
+      });
+  EXPECT_EQ(ran, 0);
+  pool.wait(ticket);
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(WorkerPoolTest, WaitRethrowsAndPoolSurvives) {
+  WorkerPool pool(2);
+  WorkerPool::Ticket ticket = pool.submit(8, [&](std::size_t job,
+                                                 std::size_t) {
+    if (job == 5) throw std::runtime_error("async job failed");
+  });
+  EXPECT_THROW(pool.wait(ticket), std::runtime_error);
+  std::atomic<int> done{0};
+  pool.run(4, [&](std::size_t, std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsUnwaitedBatch) {
+  // A submitted batch that is never waited on must still run exactly
+  // once before the workers exit (the pipeline relies on join-on-
+  // destruction; the pool backstops it).
+  std::vector<std::atomic<int>> hits(16);
+  {
+    WorkerPool pool(4);
+    (void)pool.submit(16,
+                      [&](std::size_t job, std::size_t) { ++hits[job]; });
+  }
+  for (std::size_t j = 0; j < 16; ++j) EXPECT_EQ(hits[j].load(), 1);
 }
 
 /// Oracle soak with the sharded engine: every tick rebuilds everything
@@ -244,7 +298,10 @@ TEST(ParallelDeterminismTest, LockstepStateIdenticalAcrossThreadCounts) {
 
 TEST(ParallelDeterminismTest, ChurnSoakHashAndMetricsIdentical) {
   // The bench-level contract: run_churn differing only in `threads`
-  // produces the same final state hash and the same metric snapshot.
+  // produces the same final state hash and the same deterministic
+  // metric snapshot. The filter drops the scheduling-plane families
+  // (`.lane.` timings, `.pool.` gauges) — those legitimately vary with
+  // the lane count; everything else must match byte for byte.
   const auto run_at = [](std::size_t threads, std::string* metrics) {
     exp::ChurnConfig config;
     config.nodes = 1000;
@@ -257,7 +314,7 @@ TEST(ParallelDeterminismTest, ChurnSoakHashAndMetricsIdentical) {
     obs::Session session;
     config.obs = &session;
     const exp::ChurnResult r = exp::run_churn(config);
-    *metrics = session.registry.snapshot().to_json();
+    *metrics = session.registry.snapshot().deterministic().to_json();
     return r;
   };
   std::string m1, m2, m8;
@@ -270,6 +327,102 @@ TEST(ParallelDeterminismTest, ChurnSoakHashAndMetricsIdentical) {
   EXPECT_EQ(m1, m2);
   EXPECT_EQ(m1, m8);
   EXPECT_DOUBLE_EQ(r1.mean_regions, r8.mean_regions);
+}
+
+TEST(PipelinedDeterminismTest, LockstepPipelinedMatchesSequential) {
+  // A depth-2 pipeline fed the same move stream as the synchronous
+  // engine must land on the bit-identical maintained state after
+  // drain(), and its per-tick accounting — shifted one tick late by the
+  // pipeline — must aggregate to the same totals.
+  Rng rng(816);
+  const std::size_t n = 1000;
+  const double range = geom::range_for_average_degree(6.0, n, 100, 100);
+  auto positions = random_layout(n, rng);
+
+  const auto make = [&](std::size_t threads, std::size_t depth) {
+    PipelineOptions opts;
+    opts.mode = core::CoverageMode::kTwoPointFiveHop;
+    opts.threads = threads;
+    opts.pipeline_depth = depth;
+    return IncrementalPipeline(positions, range, 100, 100, opts);
+  };
+  IncrementalPipeline sync = make(1, 1);
+  IncrementalPipeline piped1 = make(1, 2);
+  IncrementalPipeline piped8 = make(8, 2);
+
+  const geom::Point anchors[] = {{15, 15}, {85, 15}, {15, 85}, {85, 85}};
+  constexpr double kHalf = 12.0;
+  std::size_t sync_links = 0, piped1_links = 0, piped8_links = 0;
+  for (std::size_t t = 0; t < 80; ++t) {
+    std::vector<NodeId> movers;
+    for (const geom::Point a : anchors) {
+      std::vector<NodeId> near;
+      for (std::size_t v = 0; v < n; ++v)
+        if (std::abs(positions[v].x - a.x) <= kHalf &&
+            std::abs(positions[v].y - a.y) <= kHalf)
+          near.push_back(static_cast<NodeId>(v));
+      ASSERT_FALSE(near.empty());
+      const NodeId v = near[rng.index(near.size())];
+      positions[v] = {rng.uniform(a.x - kHalf, a.x + kHalf),
+                      rng.uniform(a.y - kHalf, a.y + kHalf)};
+      movers.push_back(v);
+    }
+    movers.push_back(static_cast<NodeId>(rng.index(n)));
+    positions[movers.back()] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    for (const NodeId v : movers) {
+      sync.stage_move(v, positions[v]);
+      piped1.stage_move(v, positions[v]);
+      piped8.stage_move(v, positions[v]);
+    }
+    sync_links += sync.tick().link_changes;
+    piped1_links += piped1.tick().link_changes;
+    piped8_links += piped8.tick().link_changes;
+  }
+  piped1_links += piped1.drain().link_changes;
+  piped8_links += piped8.drain().link_changes;
+  EXPECT_EQ(sync.backbone().diff_against(piped1.materialize()), "");
+  EXPECT_EQ(sync.backbone().diff_against(piped8.materialize()), "");
+  EXPECT_EQ(sync_links, piped1_links);
+  EXPECT_EQ(sync_links, piped8_links);
+  EXPECT_GT(sync_links, 0u);
+  // drain() is idempotent once everything has been joined.
+  EXPECT_EQ(piped8.drain().link_changes, 0u);
+}
+
+TEST(PipelinedDeterminismTest, ChurnPipelinedHashAndMetricsIdentical) {
+  // run_churn at pipeline_depth 2, threads {1, 2, 8}: same final state
+  // hash and same deterministic metric snapshot as the synchronous
+  // depth-1 run (the pipeline_depth gauge sits under `.pool.` exactly
+  // so this filtered comparison can hold).
+  const auto run_at = [](std::size_t threads, std::size_t depth,
+                         std::string* metrics) {
+    exp::ChurnConfig config;
+    config.nodes = 1000;
+    config.degree = 6.0;
+    config.ticks = 60;
+    config.move_fraction = 0.02;
+    config.seed = 43;
+    config.rebuild_baseline = false;
+    config.threads = threads;
+    config.pipeline_depth = depth;
+    obs::Session session;
+    config.obs = &session;
+    const exp::ChurnResult r = exp::run_churn(config);
+    *metrics = session.registry.snapshot().deterministic().to_json();
+    return r;
+  };
+  std::string base_metrics;
+  const exp::ChurnResult base = run_at(1, 1, &base_metrics);
+  EXPECT_NE(base.state_hash, 0u);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    std::string metrics;
+    const exp::ChurnResult piped = run_at(threads, 2, &metrics);
+    EXPECT_EQ(piped.state_hash, base.state_hash)
+        << "pipelined engine diverged at threads=" << threads;
+    EXPECT_EQ(metrics, base_metrics)
+        << "metric snapshot diverged at threads=" << threads;
+  }
 }
 
 TEST(ParallelDeterminismTest, SparseIndexChurnHashMatchesDense) {

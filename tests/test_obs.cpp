@@ -112,6 +112,36 @@ TEST(ObsRegistryTest, SnapshotJsonIsDeterministic) {
   EXPECT_NE(first.to_json().find("\"a.hist\""), std::string::npos);
 }
 
+TEST(ObsRegistryTest, DeterministicDropsSchedulingPlaneMetrics) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Registry reg;
+  reg.counter("incr.ticks").add(7);
+  reg.counter("incr.lane.0.busy_us").add(12345);
+  reg.counter("incr.lane.3.jobs").add(9);
+  reg.gauge("incr.pool.queue_depth").set(2);
+  reg.gauge("incr.pool.pipeline_depth").set(2);
+  reg.gauge("incr.slot_compactions").set(4);
+  reg.histogram("incr.region_size", {1, 2, 4}).record(3);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricsSnapshot det = snap.deterministic();
+  // Wall-clock / lane-count dependent families are gone...
+  EXPECT_EQ(det.counter_or("incr.lane.0.busy_us", 999), 999u);
+  EXPECT_EQ(det.counter_or("incr.lane.3.jobs", 999), 999u);
+  for (const auto& g : det.gauges) {
+    EXPECT_EQ(g.name.find(".pool."), std::string::npos);
+    EXPECT_EQ(g.name.find(".lane."), std::string::npos);
+  }
+  // ...and everything deterministic survives untouched.
+  EXPECT_EQ(det.counter_or("incr.ticks"), 7u);
+  ASSERT_EQ(det.gauges.size(), 1u);
+  EXPECT_EQ(det.gauges[0].name, "incr.slot_compactions");
+  EXPECT_EQ(det.gauges[0].value, 4);
+  ASSERT_EQ(det.histograms.size(), 1u);
+  EXPECT_EQ(det.histograms[0].count, 1u);
+  // The full snapshot is untouched by the filtering copy.
+  EXPECT_EQ(snap.counter_or("incr.lane.0.busy_us"), 12345u);
+}
+
 TEST(ObsRegistryTest, CompiledOutRegistryStaysEmpty) {
   if (obs::kEnabled) GTEST_SKIP() << "only meaningful with -DMANET_OBS=OFF";
   obs::Registry reg;
