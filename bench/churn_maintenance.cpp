@@ -139,13 +139,19 @@ void write_scale_json(const std::string& path, std::uint64_t seed,
       << (verify_ok ? "true" : "false") << ",\n"
       << "  \"rss_budget_1kb_per_node_ok\": " << (rss_ok ? "true" : "false")
       << ",\n  \"rows\": [\n";
+  // A threaded row produced on a single-hardware-thread host measured
+  // scheduling overhead, not parallel speedup — tag it so downstream
+  // trajectory tooling never compares it against a real multi-core row.
+  const bool throttled = std::thread::hardware_concurrency() <= 1;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ScaleRow& r = rows[i];
     const double ticks_per_s =
         r.wall_ms_per_tick > 0.0 ? 1000.0 / r.wall_ms_per_tick : 0.0;
     out << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
         << ", \"pipeline_depth\": " << r.pipeline_depth
-        << ", \"ticks\": " << r.ticks << ", \"repeat\": " << r.repeat
+        << ", \"ticks\": " << r.ticks << ", \"repeat\": " << r.repeat;
+    if (throttled && r.threads > 1) out << ", \"throttled_host\": true";
+    out
         << ", \"incremental_ms_per_tick\": " << r.incr_ms_per_tick
         << ", \"wall_ms_per_tick\": " << r.wall_ms_per_tick
         << ", \"wall_speedup_vs_1t\": " << r.wall_speedup_vs_1t
@@ -451,6 +457,12 @@ int main(int argc, char** argv) {
     write_scale_json(scale_json_path, seed, scale_rows, determinism_ok,
                      rss_ok);
     std::printf("scale summary written to %s\n", scale_json_path.c_str());
+    if (std::thread::hardware_concurrency() <= 1)
+      std::puts(
+          "\n*** WARNING: this host exposes a single hardware thread — the "
+          "threaded sweep rows measured scheduler overhead, not parallel "
+          "speedup. They are tagged \"throttled_host\" in the JSON; do not "
+          "read their wall_speedup_vs_1t as engine performance. ***");
     if (!rss_ok)
       std::printf("RSS budget EXCEEDED: largest row above 1 KB/node\n");
   }

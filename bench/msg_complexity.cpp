@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
       {20, 40, 60, 80, 100}, {6.0, 18.0}, reps, seed);
 
   TextTable table({"n", "d", "hello", "roles", "hop1", "hop2", "gateway",
-                   "total", "msgs/node", "rounds", "data"});
+                   "total", "msgs/node", "rounds", "data", "delivered",
+                   "resets"});
+  bool delivery_linear = true;
   for (const auto& r : rows) {
     table.row({std::to_string(r.nodes), TextTable::num(r.degree, 0),
                TextTable::num(r.hello, 1), TextTable::num(r.roles, 1),
@@ -36,8 +38,23 @@ int main(int argc, char** argv) {
                TextTable::num(r.gateway, 1),
                TextTable::num(r.construction_total, 1),
                TextTable::num(r.per_node, 2), TextTable::num(r.rounds, 1),
-               TextTable::num(r.data, 1)});
+               TextTable::num(r.data, 1), TextTable::num(r.deliveries, 1),
+               TextTable::num(r.inbox_resets, 1)});
+    // Pointer-based delivery: every populated inbox was filled by at
+    // least one delivered message and is reset exactly once, so resets
+    // can never exceed deliveries. A per-(node, round) clearing or
+    // copying regression breaks this immediately (resets would scale
+    // with n * rounds instead of with the message volume).
+    delivery_linear = delivery_linear && r.inbox_resets <= r.deliveries;
   }
   std::fputs(table.render().c_str(), stdout);
+  if (!delivery_linear) {
+    std::fputs("\nFAIL: inbox resets exceed deliveries — delivery cost is "
+               "no longer O(messages)\n",
+               stdout);
+    return 1;
+  }
+  std::puts("\ndelivery-cost check: inbox resets <= deliveries on every "
+            "row (O(messages) delivery)");
   return 0;
 }

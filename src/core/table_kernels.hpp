@@ -10,6 +10,15 @@
 // `Adj` requirements (satisfied by graph::Graph and
 // graph::DynamicAdjacency): `neighbors(v)` returning a sorted forward
 // range of NodeId, and `has_edge(u, v)`.
+//
+// The clustering / row-store parameters are templates too: besides the
+// canonical cluster::Clustering and NeighborTables, the message-driven
+// maintenance node (src/proto) runs the same kernels over its
+// per-neighbor message caches through thin view adapters (`Clust` needs
+// `is_head(v)` and `head_of[v]`; `Hop1Rows` / `Tables` need the row
+// lookups used below). One kernel, every engine — that is what makes
+// the recomputed rows bit-identical across the batch, incremental and
+// protocol paths.
 #pragma once
 
 #include <algorithm>
@@ -25,8 +34,8 @@ namespace manet::core {
 
 /// CH_HOP1 row of `v`: sorted clusterheads adjacent to v. Heads do not
 /// broadcast CH_HOP1, so their rows stay empty.
-template <typename Adj>
-NodeSet hop1_row(const Adj& g, const cluster::Clustering& c, NodeId v) {
+template <typename Adj, typename Clust = cluster::Clustering>
+NodeSet hop1_row(const Adj& g, const Clust& c, NodeId v) {
   NodeSet out;
   if (c.is_head(v)) return out;
   for (NodeId w : g.neighbors(v))
@@ -39,10 +48,11 @@ NodeSet hop1_row(const Adj& g, const cluster::Clustering& c, NodeId v) {
 /// A head reported by neighbor x is recorded unless it is already v's
 /// own neighbor ("If the clusterhead of x is a neighbor of v, v ignores
 /// the message").
-template <typename Adj>
-std::vector<Hop2Entry> hop2_row(const Adj& g, const cluster::Clustering& c,
-                                CoverageMode mode,
-                                const std::vector<NodeSet>& hop1, NodeId v) {
+template <typename Adj, typename Clust = cluster::Clustering,
+          typename Hop1Rows = std::vector<NodeSet>>
+std::vector<Hop2Entry> hop2_row(const Adj& g, const Clust& c,
+                                CoverageMode mode, const Hop1Rows& hop1,
+                                NodeId v) {
   std::vector<Hop2Entry> entries;
   if (c.is_head(v)) return entries;
   for (NodeId x : g.neighbors(v)) {
@@ -73,10 +83,9 @@ struct CoverageScratch {
 /// Coverage set C(head) = C²(head) ∪ C³(head) assembled from the table
 /// rows of head's neighbors (which must be current). `universe` sizes the
 /// scratch bitsets (pass the node count).
-template <typename Adj>
-Coverage coverage_row(const Adj& g, const NeighborTables& tables,
-                      NodeId head, std::size_t universe,
-                      CoverageScratch& scratch) {
+template <typename Adj, typename Tables = NeighborTables>
+Coverage coverage_row(const Adj& g, const Tables& tables, NodeId head,
+                      std::size_t universe, CoverageScratch& scratch) {
   if (scratch.two.capacity() < universe) {
     scratch.two = graph::NodeBitset(universe);
     scratch.three = graph::NodeBitset(universe);
@@ -105,9 +114,9 @@ Coverage coverage_row(const Adj& g, const NeighborTables& tables,
 }
 
 /// Scratch-less convenience overload (cold paths, tests).
-template <typename Adj>
-Coverage coverage_row(const Adj& g, const NeighborTables& tables,
-                      NodeId head, std::size_t universe) {
+template <typename Adj, typename Tables = NeighborTables>
+Coverage coverage_row(const Adj& g, const Tables& tables, NodeId head,
+                      std::size_t universe) {
   CoverageScratch scratch;
   return coverage_row(g, tables, head, universe, scratch);
 }

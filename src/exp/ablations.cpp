@@ -53,7 +53,7 @@ std::vector<MsgComplexityRow> run_msg_complexity(
   for (double d : degrees) {
     for (std::size_t n : sizes) {
       stats::RunningStats hello, roles, hop1, hop2, gateway, total, rounds,
-          data;
+          data, deliveries, resets;
       for (std::size_t rep = 0; rep < replications; ++rep) {
         const auto net = make_network(scenario, {n, d}, seed, rep);
         const auto run = net::run_distributed_backbone(
@@ -66,6 +66,8 @@ std::vector<MsgComplexityRow> run_msg_complexity(
         gateway.add(static_cast<double>(run.counts.gateway));
         total.add(static_cast<double>(run.counts.total()));
         rounds.add(static_cast<double>(run.rounds));
+        deliveries.add(static_cast<double>(run.delivery.deliveries));
+        resets.add(static_cast<double>(run.delivery.inbox_resets));
         const auto bcast = net::run_distributed_broadcast(
             net.graph, core::CoverageMode::kTwoPointFiveHop, 0);
         data.add(static_cast<double>(bcast.data_messages));
@@ -73,7 +75,7 @@ std::vector<MsgComplexityRow> run_msg_complexity(
       rows.push_back({n, d, hello.mean(), roles.mean(), hop1.mean(),
                       hop2.mean(), gateway.mean(), total.mean(),
                       total.mean() / static_cast<double>(n), rounds.mean(),
-                      data.mean()});
+                      data.mean(), deliveries.mean(), resets.mean()});
     }
   }
   return rows;

@@ -41,6 +41,12 @@ struct MsgComplexityRow {
   double per_node;  ///< construction_total / n — flat <=> O(n)
   double rounds;
   double data;      ///< data messages of one SD broadcast from node 0
+  /// Delivery-layer cost (net::DeliveryStats): with pointer-based inbox
+  /// delivery each transmission costs one pointer push per receiver and
+  /// each populated inbox is reset exactly once, so inbox_resets <=
+  /// deliveries — the bench asserts it (the copying regression guard).
+  double deliveries;
+  double inbox_resets;
 };
 
 std::vector<MsgComplexityRow> run_msg_complexity(

@@ -1,21 +1,18 @@
 #include "exp/churn.hpp"
 
 #include <chrono>
-#include <cmath>
 #include <span>
 #include <utility>
-#include <variant>
 #include <vector>
 
 #include "cluster/lcc.hpp"
 #include "common/assert.hpp"
-#include "common/rng.hpp"
 #include "common/rss.hpp"
+#include "core/state_hash.hpp"
 #include "core/static_backbone.hpp"
+#include "exp/mobility_mix.hpp"
 #include "geom/unit_disk.hpp"
 #include "incr/pipeline.hpp"
-#include "mobility/random_direction.hpp"
-#include "mobility/waypoint.hpp"
 #include "obs/session.hpp"
 
 namespace manet::exp {
@@ -28,66 +25,15 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-/// Either mobility model behind the two operations the runner needs.
-using Mover =
-    std::variant<mobility::WaypointModel, mobility::RandomDirectionModel>;
-
-Mover make_mover(const ChurnConfig& config, std::vector<geom::Point> initial,
-                 Rng rng) {
-  if (config.model == ChurnConfig::Model::kWaypoint) {
-    mobility::WaypointConfig mc;
-    mc.width = config.width;
-    mc.height = config.height;
-    return Mover{std::in_place_type<mobility::WaypointModel>,
-                 std::move(initial), mc, rng};
-  }
-  mobility::RandomDirectionConfig mc;
-  mc.width = config.width;
-  mc.height = config.height;
-  return Mover{std::in_place_type<mobility::RandomDirectionModel>,
-               std::move(initial), mc, rng};
-}
-
-// FNV-1a folded over 64-bit words; every container is length-prefixed
-// so distinct shapes can't collide by concatenation.
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffu;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::uint64_t hash_nodes(std::uint64_t h, const NodeSet& nodes) {
-  h = fnv1a(h, nodes.size());
-  for (const NodeId v : nodes) h = fnv1a(h, v);
-  return h;
-}
-
 // Hashes the maintained state through the backbone's accessors — field
 // for field the same digest as hashing a materialize() copy, without the
 // full O(n) duplication of tables and coverage (which would double peak
-// RSS right at the end of a memory-audited run).
+// RSS right at the end of a memory-audited run). The fold itself lives
+// in core/state_hash.hpp so the message-driven engine (src/proto) lands
+// on the bitwise-identical digest.
 std::uint64_t hash_backbone(const incr::IncrementalBackbone& b) {
-  std::uint64_t h = 14695981039346656037ULL;
-  h = hash_nodes(h, b.clustering().heads);
-  h = fnv1a(h, b.clustering().head_of.size());
-  for (const NodeId v : b.clustering().head_of) h = fnv1a(h, v);
-  for (const auto role : b.clustering().roles)
-    h = fnv1a(h, static_cast<std::uint64_t>(role));
-  for (const NodeSet& row : b.tables().ch_hop1) h = hash_nodes(h, row);
-  for (const auto& row : b.tables().ch_hop2) {
-    h = fnv1a(h, row.size());
-    for (const auto& e : row) h = fnv1a(h, (std::uint64_t{e.head} << 32) | e.via);
-  }
-  for (const auto& cov : b.coverage()) {
-    h = hash_nodes(h, cov.two_hop);
-    h = hash_nodes(h, cov.three_hop);
-  }
-  for (const auto& sel : b.selection()) h = hash_nodes(h, sel.gateways);
-  h = hash_nodes(h, b.gateways());
-  h = hash_nodes(h, b.cds());
-  return h;
+  return core::backbone_state_hash(b.clustering(), b.tables(), b.coverage(),
+                                   b.selection(), b.gateways(), b.cds());
 }
 
 }  // namespace
@@ -97,50 +43,12 @@ std::string model_name(ChurnConfig::Model model) {
 }
 
 ChurnResult run_churn(const ChurnConfig& config) {
-  MANET_REQUIRE(config.nodes >= 2, "churn run needs at least two nodes");
   MANET_REQUIRE(config.ticks > 0, "churn run needs at least one tick");
-  MANET_REQUIRE(config.move_fraction > 0.0 && config.move_fraction <= 1.0,
-                "move fraction must be in (0, 1]");
   MANET_REQUIRE(config.rebuild_every > 0, "rebuild stride must be >= 1");
 
-  const std::size_t n = config.nodes;
-  geom::UnitDiskConfig net;
-  net.width = config.width;
-  net.height = config.height;
-  net.nodes = n;
-  net.range =
-      geom::range_for_average_degree(config.degree, n, config.width,
-                                     config.height);
-  Rng topo_rng(derive_seed(config.seed, 0, 0));
-  // Prefer a connected start (the paper's filter), but don't insist
-  // unless asked: at the bench's large sparse settings (n=2000, d=6)
-  // full connectivity is vanishingly rare, and the engine maintains
-  // disconnected topologies just as well (clusters and coverage are
-  // per-component anyway). The result reports what happened either way.
-  const std::size_t attempt_budget =
-      std::max<std::size_t>(1, config.connect_attempts);
-  std::size_t attempts_used = 0;
-  auto network = geom::generate_connected_unit_disk(net, topo_rng,
-                                                    attempt_budget,
-                                                    &attempts_used);
-  const bool connected = network.has_value();
-  if (!network) {
-    MANET_REQUIRE(!config.require_connected,
-                  "churn: no connected topology in " +
-                      std::to_string(attempt_budget) + " attempts (n=" +
-                      std::to_string(n) + ", degree=" +
-                      std::to_string(config.degree) +
-                      ") — raise connect_attempts, raise the degree, or "
-                      "drop require_connected");
-    network = geom::generate_unit_disk(net, topo_rng);
-  }
-  if (config.cell_order)
-    network->positions =
-        geom::cell_order_layout(network->positions, net.range, config.grid);
-
-  Mover mover = make_mover(config, network->positions,
-                           Rng(derive_seed(config.seed, 0, 1)));
-  Rng sample_rng(derive_seed(config.seed, 0, 2));
+  // Layout + mobility model + mover sampling, on the fixed per-seed rng
+  // streams shared with run_msg_churn (identical trajectories).
+  MobilityMix mix(config);
 
   incr::PipelineOptions options;
   options.mode = config.mode;
@@ -150,19 +58,13 @@ ChurnResult run_churn(const ChurnConfig& config) {
   options.pipeline_depth = config.pipeline_depth;
   options.grid = config.grid;
   options.streaming_build = config.streaming_build;
-  incr::IncrementalPipeline pipeline(network->positions, net.range,
+  incr::IncrementalPipeline pipeline(mix.positions(), mix.range(),
                                      config.width, config.height, options);
   obs::TraceRecorder* tr = config.obs ? &config.obs->trace : nullptr;
 
   // Rebuild baseline state: the previous tick's clustering, repaired by a
   // full LCC pass each tick (what a snapshot-based deployment would run).
   cluster::Clustering rebuild_previous = pipeline.clustering();
-
-  const std::size_t movers_per_tick = std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             std::llround(config.move_fraction * static_cast<double>(n))));
-  std::vector<NodeId> ids(n);
-  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<NodeId>(i);
 
   ChurnResult result;
   result.ticks = config.ticks;
@@ -171,19 +73,8 @@ ChurnResult run_churn(const ChurnConfig& config) {
   std::size_t rebuild_ticks = 0;
 
   for (std::size_t tick = 0; tick < config.ticks; ++tick) {
-    // Sample `movers_per_tick` distinct nodes (partial Fisher–Yates).
-    for (std::size_t j = 0; j < movers_per_tick; ++j) {
-      const std::size_t k =
-          j + static_cast<std::size_t>(sample_rng.below(n - j));
-      std::swap(ids[j], ids[k]);
-    }
-    const std::span<const NodeId> moved(ids.data(), movers_per_tick);
-    const std::vector<geom::Point>& positions = std::visit(
-        [&](auto& m) -> const std::vector<geom::Point>& {
-          m.step_nodes(moved, config.dt);
-          return m.positions();
-        },
-        mover);
+    const std::span<const NodeId> moved = mix.advance();
+    const std::vector<geom::Point>& positions = mix.positions();
 
     // Incremental path: stage the moved nodes, repair from the delta.
     const auto incr_start = Clock::now();
@@ -200,7 +91,7 @@ ChurnResult run_churn(const ChurnConfig& config) {
       obs::Span span(tr, "churn", "rebuild_baseline",
                      static_cast<std::uint64_t>(tick + 1), "links");
       const auto rebuild_start = Clock::now();
-      const graph::Graph g = geom::unit_disk_graph(positions, net.range);
+      const graph::Graph g = geom::unit_disk_graph(positions, mix.range());
       cluster::Clustering repaired =
           cluster::lcc_update(g, rebuild_previous);
       const core::StaticBackbone full =
@@ -266,8 +157,8 @@ ChurnResult run_churn(const ChurnConfig& config) {
   result.mean_regions /= ticks;
   result.state_hash = hash_backbone(pipeline.backbone());
   result.peak_rss_bytes = peak_rss_bytes();
-  result.connected = connected;
-  result.connect_attempts_used = attempts_used;
+  result.connected = mix.connected();
+  result.connect_attempts_used = mix.connect_attempts_used();
   return result;
 }
 

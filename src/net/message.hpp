@@ -1,6 +1,9 @@
-// Wire messages of the distributed backbone-construction protocol
-// (paper §3): HELLO, CLUSTER_HEAD, NON_CLUSTER_HEAD, CH_HOP1, CH_HOP2
-// and GATEWAY.
+// Wire messages of the distributed backbone protocols: the construction
+// phase (paper §3: HELLO, CLUSTER_HEAD, NON_CLUSTER_HEAD, CH_HOP1,
+// CH_HOP2, GATEWAY, DATA) and the maintenance phase (src/proto:
+// MAINT_HELLO beacons plus the LCC rule-1/rule-2 repair announcements;
+// CH_HOP1/CH_HOP2/GATEWAY are reused as the incremental row and
+// selection updates).
 #pragma once
 
 #include <cstdint>
@@ -34,11 +37,15 @@ struct ChHop2Msg {
 };
 
 /// A clusterhead's gateway announcement, flooded 2 hops by the selected
-/// nodes themselves (TTL counts remaining forwards).
+/// nodes themselves (TTL counts remaining forwards). The maintenance
+/// protocol reuses it as the incremental selection update, stamped with
+/// a per-origin sequence number so cached re-announcements (sent to
+/// newly formed links) can never roll a fresher selection back.
 struct GatewayMsg {
   NodeId origin;     ///< selecting clusterhead
   NodeSet selected;  ///< its gateways (first- and second-hop)
   std::uint8_t ttl;
+  std::uint32_t seq = 0;  ///< maintenance: origin's selection version
 };
 
 /// A broadcast data packet of the SD-CDS dynamic backbone: the upstream
@@ -50,9 +57,41 @@ struct DataMsg {
   NodeSet forward_set;  ///< F(origin) piggyback
 };
 
+/// Maintenance-phase HELLO beacon (src/proto): sent once per mobility
+/// tick by every node. Carries the sender's cluster status (so new
+/// neighbors can seed their caches and heads can spot added head-head
+/// edges) and its neighbor list as of the previous tick (the paper's
+/// bidirectional-link verification payload). A node that misses a
+/// neighbor's beacon expires the link.
+struct MaintHelloMsg {
+  bool is_head;
+  NodeId head;        ///< sender's clusterhead (itself when is_head)
+  NodeSet neighbors;  ///< sender's neighbor set as of the last tick
+};
+
+/// LCC rule-1 announcement of an affected previous head (one whose
+/// neighborhood gained a head-head edge this tick). `final_` false means
+/// "my survival depends on a smaller affected head, decision pending" —
+/// members hearing it know they may have to re-affiliate.
+struct R1StatusMsg {
+  bool final_;
+  bool survived;  ///< meaningful only when final_
+};
+
+/// LCC rule-2 announcement of a node whose affiliation broke (or may
+/// break). Pending first, then final with the chosen head; `declared`
+/// marks a self-declaration (the sender is now a clusterhead).
+struct R2StatusMsg {
+  bool final_;
+  NodeId head;    ///< new affiliation (sender id when declared)
+  bool declared;  ///< sender became a clusterhead
+};
+
 /// Message body (one alternative per protocol message type).
-using MessageBody = std::variant<HelloMsg, ClusterHeadMsg, NonClusterHeadMsg,
-                                 ChHop1Msg, ChHop2Msg, GatewayMsg, DataMsg>;
+using MessageBody =
+    std::variant<HelloMsg, ClusterHeadMsg, NonClusterHeadMsg, ChHop1Msg,
+                 ChHop2Msg, GatewayMsg, DataMsg, MaintHelloMsg, R1StatusMsg,
+                 R2StatusMsg>;
 
 /// A transmission on the (ideal, collision-free) broadcast medium.
 struct Message {
@@ -65,7 +104,8 @@ inline const char* message_type_name(const MessageBody& body) {
   static constexpr const char* kNames[] = {
       "HELLO",   "CLUSTER_HEAD", "NON_CLUSTER_HEAD",
       "CH_HOP1", "CH_HOP2",      "GATEWAY",
-      "DATA"};
+      "DATA",    "MAINT_HELLO",  "R1_STATUS",
+      "R2_STATUS"};
   static_assert(std::variant_size_v<MessageBody> ==
                 sizeof(kNames) / sizeof(kNames[0]));
   return kNames[body.index()];
@@ -81,6 +121,9 @@ struct MessageCounts {
   std::size_t ch_hop2 = 0;
   std::size_t gateway = 0;
   std::size_t data = 0;
+  std::size_t maint_hello = 0;
+  std::size_t r1_status = 0;
+  std::size_t r2_status = 0;
 
   /// Construction-phase total (HELLO through GATEWAY).
   std::size_t total() const {
@@ -88,7 +131,28 @@ struct MessageCounts {
            gateway;
   }
 
+  /// Maintenance-phase total: beacons, repair announcements, and the
+  /// reused row/selection updates (src/proto never sends the
+  /// construction-only types).
+  std::size_t maintenance_total() const {
+    return maint_hello + r1_status + r2_status + ch_hop1 + ch_hop2 + gateway;
+  }
+
   void count(const MessageBody& body);
+
+  friend MessageCounts operator-(MessageCounts a, const MessageCounts& b) {
+    a.hello -= b.hello;
+    a.cluster_head -= b.cluster_head;
+    a.non_cluster_head -= b.non_cluster_head;
+    a.ch_hop1 -= b.ch_hop1;
+    a.ch_hop2 -= b.ch_hop2;
+    a.gateway -= b.gateway;
+    a.data -= b.data;
+    a.maint_hello -= b.maint_hello;
+    a.r1_status -= b.r1_status;
+    a.r2_status -= b.r2_status;
+    return a;
+  }
 };
 
 }  // namespace manet::net

@@ -47,10 +47,10 @@ std::size_t BackboneNode::non_head_neighbor_count() const {
   return count;
 }
 
-void BackboneNode::on_round(std::uint32_t round,
-                            const std::vector<Message>& inbox, Mailbox& out) {
+void BackboneNode::on_round(std::uint32_t round, Inbox inbox, Mailbox& out) {
   // Ingest everything delivered this round.
-  for (const auto& m : inbox) {
+  for (const Message* mp : inbox) {
+    const Message& m = *mp;
     if (std::holds_alternative<HelloMsg>(m.body)) {
       insert_sorted(neighbors_, m.from);
     } else if (std::holds_alternative<ClusterHeadMsg>(m.body)) {
@@ -242,6 +242,7 @@ DistributedRun run_distributed_backbone(const graph::Graph& g,
   DistributedRun run;
   run.rounds = sim.run();
   run.counts = sim.counts();
+  run.delivery = sim.delivery_stats();
 
   const std::size_t n = g.order();
   run.clustering.head_of.assign(n, kInvalidNode);

@@ -43,8 +43,7 @@ class BackboneNode final : public NodeProcess {
 
   // NodeProcess interface.
   void start(Mailbox& out) override;
-  void on_round(std::uint32_t round, const std::vector<Message>& inbox,
-                Mailbox& out) override;
+  void on_round(std::uint32_t round, Inbox inbox, Mailbox& out) override;
   bool done() const override;
 
   // Result accessors (valid after the simulation is quiescent).
@@ -120,6 +119,7 @@ struct DistributedRun {
   std::vector<core::GatewaySelection> selection;    ///< indexed by node id
   NodeSet backbone;                                 ///< heads + informed gateways
   MessageCounts counts;
+  DeliveryStats delivery;
   std::uint32_t rounds = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "net/simulator.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,18 +17,17 @@ constexpr std::size_t kLivelockWindow = 8;
 /// exchanges line up round-by-round in Perfetto.
 constexpr std::uint64_t kRoundNs = 1'000'000;
 
-/// Collects one node's outgoing transmissions for the current round.
-class QueueMailbox final : public Mailbox {
+/// Fixed-graph adapter: delivery reads the snapshot's adjacency.
+class GraphTopology final : public Topology {
  public:
-  explicit QueueMailbox(NodeId from) : from_(from) {}
-  void send(MessageBody body) override {
-    queued_.push_back({from_, std::move(body)});
+  explicit GraphTopology(const graph::Graph& g) : g_(g) {}
+  std::size_t order() const override { return g_.order(); }
+  std::span<const NodeId> neighbors(NodeId v) const override {
+    return g_.neighbors(v);
   }
-  std::vector<Message> take() { return std::move(queued_); }
 
  private:
-  NodeId from_;
-  std::vector<Message> queued_;
+  const graph::Graph& g_;
 };
 
 }  // namespace
@@ -42,14 +42,55 @@ void MessageCounts::count(const MessageBody& body) {
     void operator()(const ChHop2Msg&) { ++c.ch_hop2; }
     void operator()(const GatewayMsg&) { ++c.gateway; }
     void operator()(const DataMsg&) { ++c.data; }
+    void operator()(const MaintHelloMsg&) { ++c.maint_hello; }
+    void operator()(const R1StatusMsg&) { ++c.r1_status; }
+    void operator()(const R2StatusMsg&) { ++c.r2_status; }
   };
   std::visit(Visitor{*this}, body);
 }
 
-Simulator::Simulator(const graph::Graph& g, const Factory& factory) : g_(g) {
+/// Collects one sender's transmissions into a target flight buffer,
+/// counting each at send time. Rounds send into next_flight_; start(),
+/// on_timer() and inject() send into in_flight_ (delivered in the first
+/// round of the next run()).
+class Simulator::RoundMailbox final : public Mailbox {
+ public:
+  RoundMailbox(Simulator& sim, std::vector<Message>& target, NodeId from)
+      : sim_(sim), target_(target), from_(from) {}
+  void send(MessageBody body) override {
+    Message m{from_, std::move(body)};
+    sim_.record_send(m);
+    target_.push_back(std::move(m));
+  }
+  void retarget(NodeId from) { from_ = from; }
+
+ private:
+  Simulator& sim_;
+  std::vector<Message>& target_;
+  NodeId from_;
+};
+
+Simulator::Simulator(const graph::Graph& g, const Factory& factory)
+    : owned_topo_(std::make_unique<GraphTopology>(g)),
+      dispatch_(Dispatch::kEveryNode) {
+  topo_ = owned_topo_.get();
   MANET_REQUIRE(factory != nullptr, "node factory required");
-  nodes_.reserve(g.order());
-  for (NodeId v = 0; v < g.order(); ++v) nodes_.push_back(factory(v));
+  const std::size_t n = topo_->order();
+  nodes_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) nodes_.push_back(factory(v));
+  inboxes_.resize(n);
+  seen_stamp_.assign(n, 0);
+}
+
+Simulator::Simulator(const Topology& topo, const Factory& factory,
+                     Dispatch dispatch)
+    : topo_(&topo), dispatch_(dispatch) {
+  MANET_REQUIRE(factory != nullptr, "node factory required");
+  const std::size_t n = topo_->order();
+  nodes_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) nodes_.push_back(factory(v));
+  inboxes_.resize(n);
+  seen_stamp_.assign(n, 0);
 }
 
 NodeProcess& Simulator::process(NodeId v) {
@@ -72,9 +113,11 @@ void Simulator::set_obs(obs::Session* session) {
   if (!session) return;
   auto& r = session->registry;
   static constexpr const char* kCounterNames[] = {
-      "net.msg.hello",   "net.msg.cluster_head", "net.msg.non_cluster_head",
-      "net.msg.ch_hop1", "net.msg.ch_hop2",      "net.msg.gateway",
-      "net.msg.data"};
+      "net.msg.hello",       "net.msg.cluster_head",
+      "net.msg.non_cluster_head", "net.msg.ch_hop1",
+      "net.msg.ch_hop2",     "net.msg.gateway",
+      "net.msg.data",        "net.msg.maint_hello",
+      "net.msg.r1_status",   "net.msg.r2_status"};
   static_assert(std::variant_size_v<MessageBody> ==
                 sizeof(kCounterNames) / sizeof(kCounterNames[0]));
   for (std::size_t i = 0; i < std::variant_size_v<MessageBody>; ++i)
@@ -98,60 +141,131 @@ void Simulator::record_send(const Message& m) {
 }
 
 void Simulator::inject(NodeId from, MessageBody body) {
-  MANET_REQUIRE(from < g_.order(), "inject source out of range");
+  MANET_REQUIRE(from < topo_->order(), "inject source out of range");
   Message m{from, std::move(body)};
   record_send(m);
   in_flight_.push_back(std::move(m));
 }
 
+void Simulator::poll_awake() {
+  awake_.clear();
+  if (dispatch_ != Dispatch::kEventDriven) return;
+  for (NodeId v = 0; v < nodes_.size(); ++v)
+    if (nodes_[v]->awake()) awake_.push_back(v);
+}
+
+void Simulator::trigger_timers() {
+  if (!started_) {
+    started_ = true;
+    RoundMailbox mb(*this, in_flight_, 0);
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      mb.retarget(v);
+      nodes_[v]->start(mb);
+    }
+  }
+  RoundMailbox mb(*this, in_flight_, 0);
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    mb.retarget(v);
+    nodes_[v]->on_timer(round_, mb);
+  }
+  poll_awake();
+}
+
 std::uint32_t Simulator::run(std::uint32_t max_rounds) {
-  const std::size_t n = g_.order();
+  const std::size_t n = topo_->order();
 
   if (!started_) {
     // start(): nodes queue their round-0 transmissions (HELLO).
     started_ = true;
+    RoundMailbox mb(*this, in_flight_, 0);
     for (NodeId v = 0; v < n; ++v) {
-      QueueMailbox mb(v);
+      mb.retarget(v);
       nodes_[v]->start(mb);
-      for (auto& m : mb.take()) {
-        record_send(m);
-        in_flight_.push_back(std::move(m));
-      }
     }
+    poll_awake();
   }
 
   std::uint32_t executed = 0;
-  std::vector<std::vector<Message>> inboxes(n);
+  std::vector<NodeId> dispatch_set;
   while (true) {
-    // Deliver last round's transmissions to every neighbor.
-    for (auto& box : inboxes) box.clear();
-    for (const auto& m : in_flight_)
-      for (NodeId w : g_.neighbors(m.from)) inboxes[w].push_back(m);
-    const bool had_traffic = !in_flight_.empty();
-    in_flight_.clear();
-    if (obs_) {
-      for (const auto& box : inboxes)
-        if (!box.empty()) inbox_hist_.record(box.size());
-    }
+    if (dispatch_ == Dispatch::kEventDriven && in_flight_.empty() &&
+        awake_.empty())
+      break;  // quiescent before the round even starts
 
-    // Let every node react (and possibly transmit for next round).
-    ++round_;
-    ++executed;
-    for (NodeId v = 0; v < n; ++v) {
-      QueueMailbox mb(v);
-      nodes_[v]->on_round(round_, inboxes[v], mb);
-      for (auto& m : mb.take()) {
-        record_send(m);
-        in_flight_.push_back(std::move(m));
+    // Deliver last round's transmissions to every current neighbor of
+    // the sender. Only inboxes that received something last round are
+    // non-empty, so clearing is O(receivers), not O(n).
+    for (const NodeId w : touched_) {
+      inboxes_[w].clear();
+      ++delivery_.inbox_resets;
+    }
+    touched_.clear();
+    for (const auto& m : in_flight_) {
+      for (const NodeId w : topo_->neighbors(m.from)) {
+        if (inboxes_[w].empty()) touched_.push_back(w);
+        inboxes_[w].push_back(&m);
+        ++delivery_.deliveries;
       }
     }
+    const bool had_traffic = !in_flight_.empty();
+    if (obs_) {
+      for (const NodeId w : touched_) inbox_hist_.record(inboxes_[w].size());
+    }
+
+    // Let the dispatched nodes react (sends land in next_flight_, so
+    // inbox pointers into in_flight_ stay valid all round).
+    ++round_;
+    ++executed;
+    RoundMailbox mb(*this, next_flight_, 0);
+    if (dispatch_ == Dispatch::kEveryNode) {
+      for (NodeId v = 0; v < n; ++v) {
+        mb.retarget(v);
+        nodes_[v]->on_round(round_, inboxes_[v], mb);
+        ++delivery_.dispatches;
+      }
+    } else {
+      // Invocation set = receivers + self-awake nodes, in id order (the
+      // order is immaterial to semantics — sends deliver next round —
+      // but determinism keeps runs reproducible).
+      dispatch_set.clear();
+      ++dispatch_epoch_;
+      for (const NodeId v : touched_) {
+        if (seen_stamp_[v] != dispatch_epoch_) {
+          seen_stamp_[v] = dispatch_epoch_;
+          dispatch_set.push_back(v);
+        }
+      }
+      for (const NodeId v : awake_) {
+        if (seen_stamp_[v] != dispatch_epoch_) {
+          seen_stamp_[v] = dispatch_epoch_;
+          dispatch_set.push_back(v);
+        }
+      }
+      std::sort(dispatch_set.begin(), dispatch_set.end());
+      for (const NodeId v : dispatch_set) {
+        mb.retarget(v);
+        nodes_[v]->on_round(round_, inboxes_[v], mb);
+        ++delivery_.dispatches;
+      }
+      // Every previously awake node was just dispatched, and awake() only
+      // changes during a dispatch — so re-polling the dispatched set
+      // alone keeps awake_ exact.
+      awake_.clear();
+      for (const NodeId v : dispatch_set)
+        if (nodes_[v]->awake()) awake_.push_back(v);
+    }
+
+    in_flight_.clear();
+    std::swap(in_flight_, next_flight_);
 
     if (obs_) in_flight_hist_.record(in_flight_.size());
     if (recent_in_flight_.size() >= kLivelockWindow)
       recent_in_flight_.erase(recent_in_flight_.begin());
     recent_in_flight_.emplace_back(round_, in_flight_.size());
 
-    if (in_flight_.empty() && !had_traffic) break;  // quiescent
+    if (dispatch_ == Dispatch::kEveryNode && in_flight_.empty() &&
+        !had_traffic)
+      break;  // a full round with no traffic in or out
     if (executed >= max_rounds) {
       // Livelock guard: report how much traffic was still circulating in
       // the final rounds — "the round limit elapsed" alone says nothing

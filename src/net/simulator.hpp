@@ -8,10 +8,19 @@
 // medium is lossless. Each node is a protocol state machine; the
 // simulation runs until no messages are in flight and no node wants to
 // transmit.
+//
+// Two topology sources: a fixed graph::Graph snapshot (construction
+// protocols) or any Topology implementation whose adjacency may change
+// between run() calls (the maintenance protocol reads the mobile
+// unit-disk overlay through it). Delivery is by reference: each receiver
+// gets pointers into the shared in-flight storage, never a copy of the
+// message bodies (which carry whole NodeSets), so one round's delivery
+// work is O(messages x degree) pointer pushes regardless of payload.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -33,6 +42,11 @@ class Mailbox {
   virtual void send(MessageBody body) = 0;
 };
 
+/// Messages delivered to one node this round, as pointers into the
+/// simulator's shared in-flight storage (valid for the duration of the
+/// on_round call).
+using Inbox = std::span<const Message* const>;
+
 /// A protocol state machine living on one node.
 class NodeProcess {
  public:
@@ -41,14 +55,48 @@ class NodeProcess {
   /// Called once before round 0.
   virtual void start(Mailbox& out) = 0;
 
-  /// Called every round with the messages delivered this round (possibly
-  /// none). May transmit via `out`.
-  virtual void on_round(std::uint32_t round,
-                        const std::vector<Message>& inbox, Mailbox& out) = 0;
+  /// Called every round the node is dispatched, with the messages
+  /// delivered this round (possibly none). May transmit via `out`.
+  virtual void on_round(std::uint32_t round, Inbox inbox, Mailbox& out) = 0;
+
+  /// Timer tick (Simulator::trigger_timers — e.g. the maintenance
+  /// protocol's per-mobility-tick HELLO pacing). Default: no-op.
+  virtual void on_timer(std::uint32_t round, Mailbox& out) {
+    (void)round;
+    (void)out;
+  }
+
+  /// Event-driven dispatch only: true while the node has pending
+  /// obligations (running expiry timers, undecided repair state) and
+  /// must be dispatched next round even with an empty inbox. A node
+  /// with no inbox and awake() == false sleeps through the round.
+  virtual bool awake() const { return false; }
 
   /// True once the node will never transmit again regardless of input
   /// (used only as a liveness diagnostic).
   virtual bool done() const = 0;
+};
+
+/// Topology the medium delivers over. Implementations may mutate their
+/// adjacency between run() calls (never during one); the simulator reads
+/// through the interface every round.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  virtual std::size_t order() const = 0;
+  /// Sorted neighbors of `v`.
+  virtual std::span<const NodeId> neighbors(NodeId v) const = 0;
+};
+
+/// Delivery-layer cost accounting: the satellite O(messages) contract.
+/// `deliveries` counts inbox pointer pushes (one per message x receiving
+/// neighbor); `inbox_resets` counts per-round inbox clears, which only
+/// happen on inboxes that received something (so bookkeeping never scales
+/// with the node count); `dispatches` counts on_round invocations.
+struct DeliveryStats {
+  std::size_t deliveries = 0;
+  std::size_t inbox_resets = 0;
+  std::size_t dispatches = 0;
 };
 
 /// Runs a set of NodeProcesses over the topology until quiescence.
@@ -56,8 +104,26 @@ class Simulator {
  public:
   using Factory = std::function<std::unique_ptr<NodeProcess>(NodeId)>;
 
+  /// How nodes are dispatched each round.
+  enum class Dispatch {
+    /// Every node, every round (the construction protocols' round
+    /// clock doubles as their phase driver). Quiescence = a full round
+    /// with no traffic in or out.
+    kEveryNode,
+    /// Only nodes with a non-empty inbox or awake() == true — O(work),
+    /// not O(n), per round. Quiescence = nothing in flight and no node
+    /// awake. The maintenance protocol's mode.
+    kEventDriven,
+  };
+
   /// Creates one process per vertex of `g` via `factory`.
   Simulator(const graph::Graph& g, const Factory& factory);
+
+  /// Dynamic-topology mode: delivery reads `topo` (which must outlive
+  /// the simulator) every round, so adjacency edits between run() calls
+  /// take effect immediately.
+  Simulator(const Topology& topo, const Factory& factory,
+            Dispatch dispatch = Dispatch::kEventDriven);
 
   /// Runs to quiescence; returns the number of rounds executed by this
   /// call. Throws std::runtime_error if `max_rounds` elapse first
@@ -65,6 +131,12 @@ class Simulator {
   /// later calls resume — inject() then run() models multi-phase
   /// protocols (e.g. backbone construction followed by data broadcasts).
   std::uint32_t run(std::uint32_t max_rounds = 100000);
+
+  /// Invokes every process's on_timer (queued transmissions deliver in
+  /// the first round of the next run()) and re-polls awake(). The
+  /// maintenance engine calls this once per mobility tick, after
+  /// committing the tick's adjacency changes.
+  void trigger_timers();
 
   /// Queues a transmission from `from` for the next run() (an external
   /// stimulus, e.g. a data packet handed to the network layer).
@@ -83,21 +155,42 @@ class Simulator {
   void set_obs(obs::Session* session);
 
   const MessageCounts& counts() const { return counts_; }
+  const DeliveryStats& delivery_stats() const { return delivery_; }
+  std::uint32_t round() const { return round_; }
 
   /// Access to a node's process (for result extraction after run()).
   NodeProcess& process(NodeId v);
   const NodeProcess& process(NodeId v) const;
 
  private:
+  class RoundMailbox;
+
   /// Counts one transmission: protocol counters, the user observer, the
   /// obs session (counter by type + instant trace event).
   void record_send(const Message& m);
 
-  const graph::Graph& g_;
+  /// Rebuilds awake_ by polling every process (start / timer edges).
+  void poll_awake();
+
+  const Topology* topo_;  ///< delivery adjacency (never null)
+  /// Owned adapter when constructed from a graph::Graph.
+  std::unique_ptr<Topology> owned_topo_;
+  Dispatch dispatch_;
   std::vector<std::unique_ptr<NodeProcess>> nodes_;
   MessageCounts counts_;
+  DeliveryStats delivery_;
   Observer observer_;
-  std::vector<Message> in_flight_;
+  std::vector<Message> in_flight_;   ///< being delivered this round
+  std::vector<Message> next_flight_; ///< queued during this round
+  /// Per-node inboxes of pointers into in_flight_; only entries listed
+  /// in touched_ are non-empty between rounds.
+  std::vector<std::vector<const Message*>> inboxes_;
+  std::vector<NodeId> touched_;
+  /// Nodes awake() after their last dispatch (event-driven mode).
+  std::vector<NodeId> awake_;
+  /// Dispatch dedup stamps (touched vs awake), epoch = dispatch_epoch_.
+  std::vector<std::uint32_t> seen_stamp_;
+  std::uint32_t dispatch_epoch_ = 0;
   bool started_ = false;
   std::uint32_t round_ = 0;
   obs::Session* obs_ = nullptr;

@@ -1,0 +1,348 @@
+#include "proto/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/lcc.hpp"
+#include "common/assert.hpp"
+#include "obs/session.hpp"
+
+namespace manet::proto {
+
+/// Simulator adapter over the DeltaTracker's maintained adjacency
+/// overlay: commits between run() calls are immediately visible to
+/// delivery.
+class MaintenanceEngine::AdjacencyTopology final : public net::Topology {
+ public:
+  explicit AdjacencyTopology(const graph::DynamicAdjacency& adj)
+      : adj_(adj) {}
+  std::size_t order() const override { return adj_.order(); }
+  std::span<const NodeId> neighbors(NodeId v) const override {
+    return adj_.neighbors(v);
+  }
+
+ private:
+  const graph::DynamicAdjacency& adj_;
+};
+
+MaintenanceEngine::MaintenanceEngine(std::vector<geom::Point> positions,
+                                     double range, double width,
+                                     double height, EngineOptions options)
+    : options_(options),
+      tracker_(std::move(positions), range, width, height, options.grid,
+               options.streaming_build) {
+  const std::size_t n = tracker_.size();
+
+  // Bootstrap: the converged construction-phase backbone over the
+  // initial topology (exactly what the incremental engine starts from,
+  // so tick-0 hashes already agree).
+  {
+    const graph::Graph g = tracker_.adjacency().freeze();
+    core::StaticBackbone seed = core::build_static_backbone(g, options_.mode);
+    clustering_ = std::move(seed.clustering);
+    tables_ = std::move(seed.tables);
+    coverage_ = std::move(seed.coverage);
+    selection_ = std::move(seed.selection);
+    gateways_ = std::move(seed.gateways);
+  }
+  selection_refs_.assign(n, 0);
+  for (const NodeId h : clustering_.heads)
+    for (const NodeId w : selection_[h].gateways) ++selection_refs_[w];
+
+  topo_ = std::make_unique<AdjacencyTopology>(tracker_.adjacency());
+  sim_ = std::make_unique<net::Simulator>(
+      *topo_,
+      [this, n](NodeId v) {
+        return std::make_unique<MaintenanceNode>(v, options_.mode, n,
+                                                 &ledger_, &scratch_);
+      },
+      net::Simulator::Dispatch::kEventDriven);
+
+  // Seed every node's protocol state from the converged backbone: its
+  // affiliation, its neighbors' affiliations and cached rows, its own
+  // rows, and (heads) coverage + selection.
+  for (NodeId v = 0; v < n; ++v) {
+    MaintenanceNode& nd = node_mut(v);
+    nd.seed_clustering(clustering_.head_of[v], clustering_.roles[v]);
+    for (const NodeId w : tracker_.adjacency().neighbors(v)) {
+      NeighborCache cache;
+      cache.id = w;
+      cache.head_of = clustering_.head_of[w];
+      cache.hop1 = tables_.ch_hop1[w];
+      cache.hop2 = tables_.ch_hop2[w];
+      nd.seed_neighbor(cache);
+    }
+    nd.seed_rows(tables_.ch_hop1[v], tables_.ch_hop2[v]);
+    if (clustering_.is_head(v))
+      nd.seed_head_rows(coverage_[v], selection_[v]);
+  }
+  // Gateway-selection soft state: exactly the selected nodes hold an
+  // entry for the selecting origin (seq 0 = the bootstrap flood).
+  for (const NodeId h : clustering_.heads)
+    for (const NodeId w : selection_[h].gateways)
+      node_mut(w).seed_origin(h, true, selection_[h].gateways);
+
+  if (options_.obs != nullptr) set_obs(options_.obs);
+}
+
+const MaintenanceNode& MaintenanceEngine::node(NodeId v) const {
+  return static_cast<const MaintenanceNode&>(sim_->process(v));
+}
+
+MaintenanceNode& MaintenanceEngine::node_mut(NodeId v) {
+  return static_cast<MaintenanceNode&>(sim_->process(v));
+}
+
+void MaintenanceEngine::set_obs(obs::Session* session) {
+  obs_ = session;
+  sim_->set_obs(session);
+  ticks_counter_ = obs::Counter();
+  rounds_counter_ = obs::Counter();
+  link_changes_counter_ = obs::Counter();
+  head_changes_counter_ = obs::Counter();
+  rows_changed_counter_ = obs::Counter();
+  reselects_counter_ = obs::Counter();
+  rounds_hist_ = obs::Histogram();
+  msgs_hist_ = obs::Histogram();
+  if (session == nullptr) return;
+  auto& r = session->registry;
+  ticks_counter_ = r.counter("proto.ticks");
+  rounds_counter_ = r.counter("proto.rounds");
+  link_changes_counter_ = r.counter("proto.link_changes");
+  head_changes_counter_ = r.counter("proto.head_changes");
+  rows_changed_counter_ = r.counter("proto.rows_changed");
+  reselects_counter_ = r.counter("proto.heads_reselected");
+  rounds_hist_ = r.histogram("proto.rounds_per_tick",
+                             {1, 2, 4, 6, 8, 12, 16, 32, 64});
+  msgs_hist_ = r.histogram("proto.msgs_per_tick",
+                           {8, 64, 512, 4096, 32768, 262144});
+}
+
+MaintTickStats MaintenanceEngine::tick() {
+  MaintTickStats stats;
+  const net::MessageCounts counts_before = sim_->counts();
+  const net::DeliveryStats delivery_before = sim_->delivery_stats();
+  const std::uint64_t t0 = obs_ != nullptr ? obs_->trace.now_ns() : 0;
+
+  const incr::EdgeDelta delta = tracker_.commit();
+  stats.link_changes = delta.added.size() + delta.removed.size();
+
+  sim_->trigger_timers();
+  stats.rounds = sim_->run(options_.max_rounds_per_tick);
+
+  // The oracle's expected state must be derived from the *previous*
+  // clustering (LCC repairs a structure, it does not rebuild one), so
+  // compute it before the drain overwrites the mirror.
+  std::optional<graph::Graph> oracle_graph;
+  core::StaticBackbone expected;
+  if (options_.oracle_check) {
+    oracle_graph.emplace(tracker_.adjacency().freeze());
+    const cluster::Clustering repaired =
+        cluster::lcc_update(*oracle_graph, clustering_);
+    expected =
+        core::build_static_backbone(*oracle_graph, repaired, options_.mode);
+  }
+
+  drain_ledger(stats);
+
+  const net::MessageCounts counts_after = sim_->counts();
+  stats.messages = counts_after - counts_before;
+  const net::DeliveryStats delivery_after = sim_->delivery_stats();
+  stats.delivery.deliveries =
+      delivery_after.deliveries - delivery_before.deliveries;
+  stats.delivery.inbox_resets =
+      delivery_after.inbox_resets - delivery_before.inbox_resets;
+  stats.delivery.dispatches =
+      delivery_after.dispatches - delivery_before.dispatches;
+
+  if (options_.oracle_check) {
+    std::string diff = diff_against(expected);
+    if (diff.empty()) diff = check_gateway_flags(*oracle_graph);
+    if (!diff.empty()) {
+      std::ostringstream os;
+      os << "maintenance protocol diverged from the oracle at tick "
+         << ticks_ + 1 << ": " << diff;
+      throw std::logic_error(os.str());
+    }
+  }
+
+  ++ticks_;
+  if (obs_ != nullptr) {
+    ticks_counter_.add();
+    rounds_counter_.add(stats.rounds);
+    link_changes_counter_.add(stats.link_changes);
+    head_changes_counter_.add(stats.head_changes);
+    rows_changed_counter_.add(stats.rows_changed);
+    reselects_counter_.add(stats.heads_refreshed);
+    rounds_hist_.record(stats.rounds);
+    msgs_hist_.record(stats.messages.maintenance_total());
+    obs_->trace.complete("proto", "tick", t0, obs_->trace.now_ns() - t0,
+                         ticks_, 0, "rounds", stats.rounds);
+  }
+  return stats;
+}
+
+void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
+  const auto dedup = [](std::vector<NodeId>& ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  };
+
+  dedup(ledger_.cluster_changed);
+  for (const NodeId v : ledger_.cluster_changed) {
+    const MaintenanceNode& nd = node(v);
+    if (clustering_.head_of[v] != nd.head()) {
+      ++stats.head_changes;
+      const bool was_head = clustering_.head_of[v] == v;
+      const bool now_head = nd.is_head();
+      if (was_head != now_head) {
+        if (now_head)
+          insert_sorted(clustering_.heads, v);
+        else
+          erase_sorted(clustering_.heads, v);
+      }
+      clustering_.head_of[v] = nd.head();
+    }
+    if (clustering_.roles[v] != nd.role()) {
+      ++stats.role_changes;
+      clustering_.roles[v] = nd.role();
+    }
+  }
+  ledger_.cluster_changed.clear();
+
+  dedup(ledger_.rows_changed);
+  for (const NodeId v : ledger_.rows_changed) {
+    const MaintenanceNode& nd = node(v);
+    ++stats.rows_changed;
+    tables_.ch_hop1[v] = nd.hop1_row();
+    tables_.ch_hop2[v] = nd.hop2_row();
+  }
+  ledger_.rows_changed.clear();
+
+  dedup(ledger_.head_rows_changed);
+  for (const NodeId v : ledger_.head_rows_changed) {
+    const MaintenanceNode& nd = node(v);
+    ++stats.heads_refreshed;
+    coverage_[v] = nd.coverage();
+    const NodeSet& fresh = nd.selection().gateways;
+    const NodeSet& stale = selection_[v].gateways;
+    if (fresh != stale) {
+      for (const NodeId w : stale)
+        if (!contains_sorted(fresh, w) && --selection_refs_[w] == 0)
+          erase_sorted(gateways_, w);
+      for (const NodeId w : fresh)
+        if (!contains_sorted(stale, w) && selection_refs_[w]++ == 0)
+          insert_sorted(gateways_, w);
+    }
+    selection_[v] = nd.selection();
+  }
+  ledger_.head_rows_changed.clear();
+}
+
+std::uint64_t MaintenanceEngine::state_hash() const {
+  return core::backbone_state_hash(clustering_, tables_, coverage_,
+                                   selection_, gateways_, cds());
+}
+
+std::string MaintenanceEngine::diff_against(
+    const core::StaticBackbone& oracle) const {
+  std::ostringstream os;
+  if (clustering_.heads != oracle.clustering.heads) {
+    os << "clusterhead sets differ (" << clustering_.heads.size()
+       << " maintained vs " << oracle.clustering.heads.size() << " oracle)";
+    return os.str();
+  }
+  const std::size_t n = clustering_.head_of.size();
+  for (NodeId v = 0; v < n; ++v) {
+    if (clustering_.head_of[v] != oracle.clustering.head_of[v]) {
+      os << "head_of[" << v << "]: " << clustering_.head_of[v] << " vs "
+         << oracle.clustering.head_of[v];
+      return os.str();
+    }
+    if (clustering_.roles[v] != oracle.clustering.roles[v]) {
+      os << "role[" << v << "] differs";
+      return os.str();
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (tables_.ch_hop1[v] != oracle.tables.ch_hop1[v]) {
+      os << "ch_hop1[" << v << "] differs";
+      return os.str();
+    }
+    if (!(tables_.ch_hop2[v] == oracle.tables.ch_hop2[v])) {
+      os << "ch_hop2[" << v << "] differs";
+      return os.str();
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!(coverage_[v] == oracle.coverage[v])) {
+      os << "coverage[" << v << "] differs";
+      return os.str();
+    }
+    if (selection_[v].gateways != oracle.selection[v].gateways) {
+      os << "selection[" << v << "] differs";
+      return os.str();
+    }
+  }
+  if (gateways_ != oracle.gateways) {
+    os << "gateway unions differ";
+    return os.str();
+  }
+  if (cds() != oracle.cds) {
+    os << "CDS differs";
+    return os.str();
+  }
+  return "";
+}
+
+std::string MaintenanceEngine::check_gateway_flags(
+    const graph::Graph& g) const {
+  std::ostringstream os;
+  for (NodeId v = 0; v < g.order(); ++v) {
+    const MaintenanceNode& nd = node(v);
+    const bool truth = selection_refs_[v] > 0;
+    const bool flag = nd.gateway_flag();
+    if (truth && !flag) {
+      os << "node " << v << " is selected but its gateway flag is clear";
+      return os.str();
+    }
+    if (flag && !truth) {
+      if (options_.mode == core::CoverageMode::kThreeHop) {
+        os << "node " << v
+           << " holds a stale gateway flag (3-hop GC should be exact)";
+        return os.str();
+      }
+      // 2.5-hop mode keeps entries without reachability GC; a stale set
+      // flag is tolerable only when every set entry's origin can no
+      // longer reach the node (outside its 2-hop ball).
+      for (const auto& e : nd.origins()) {
+        if (!e.selected) continue;
+        // A dead origin (resigned since) can sit at any distance: its
+        // retraction flood covered the ball it had *then*, not the ball
+        // this node wandered into afterwards. Only a live head keeps
+        // its 2-hop ball current.
+        if (clustering_.head_of[e.origin] != e.origin) continue;
+        bool in_ball = g.has_edge(v, e.origin);
+        if (!in_ball) {
+          for (const NodeId w : g.neighbors(v)) {
+            if (g.has_edge(w, e.origin)) {
+              in_ball = true;
+              break;
+            }
+          }
+        }
+        if (in_ball) {
+          os << "node " << v << " holds a stale gateway flag from origin "
+             << e.origin << " inside its 2-hop ball";
+          return os.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace manet::proto

@@ -1,0 +1,157 @@
+// The maintenance-phase protocol engine: MaintenanceNode state machines
+// over the event-driven round simulator, fed per-tick link deltas by the
+// same DeltaTracker geometry the incremental engine uses.
+//
+// One tick = commit the staged moves (adjacency overlay updates in
+// place; the simulator reads it through a Topology adapter), fire every
+// node's HELLO timer, run the simulator to quiescence, then drain the
+// nodes' change ledger into a hashable mirror (clustering, tables,
+// coverage, selections, gateway union) in O(changes). The mirror exists
+// so state_hash() and the oracle diff never rescan all n nodes — the
+// protocol's own messages already told us exactly what moved.
+//
+// Oracle mode rebuilds the expected state from scratch every tick
+// (lcc_update over the previous clustering + build_static_backbone) and
+// requires bitwise equality — the proof that HELLO-paced, message-driven
+// repair lands on the same structure as the snapshot-driven src/incr
+// engine, and therefore hashes identically to it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "core/state_hash.hpp"
+#include "core/static_backbone.hpp"
+#include "core/table_kernels.hpp"
+#include "geom/point.hpp"
+#include "geom/spatial_grid.hpp"
+#include "incr/delta_tracker.hpp"
+#include "net/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "proto/node.hpp"
+
+namespace manet::obs {
+struct Session;
+}
+
+namespace manet::proto {
+
+/// Engine configuration.
+struct EngineOptions {
+  core::CoverageMode mode = core::CoverageMode::kTwoPointFiveHop;
+  /// After every tick, rebuild the expected state from scratch and
+  /// require bitwise equality plus gateway-flag consistency. Slow — for
+  /// tests and the equivalence soak only.
+  bool oracle_check = false;
+  /// Cell storage of the DeltaTracker grid (identical state either way).
+  geom::GridIndex grid = geom::GridIndex::kAuto;
+  /// Build the initial unit-disk CSR with the streaming counting sweep.
+  bool streaming_build = false;
+  /// Observability session (`proto.*` metrics, per-tick trace spans,
+  /// plus the simulator's `net.*` instrumentation). Must outlive the
+  /// engine. nullptr = unobserved.
+  obs::Session* obs = nullptr;
+  /// Simulator livelock guard, per tick.
+  std::uint32_t max_rounds_per_tick = 100000;
+};
+
+/// What one maintenance tick cost on the wire and churned in the state.
+struct MaintTickStats {
+  std::uint32_t rounds = 0;          ///< simulator rounds to quiescence
+  std::size_t link_changes = 0;      ///< edges appearing or disappearing
+  std::size_t head_changes = 0;      ///< nodes whose clusterhead changed
+  std::size_t role_changes = 0;      ///< nodes whose cluster role changed
+  std::size_t rows_changed = 0;      ///< nodes with a changed table row
+  std::size_t heads_refreshed = 0;   ///< heads with new coverage/selection
+  net::MessageCounts messages;       ///< transmissions this tick, by type
+  net::DeliveryStats delivery;       ///< delivery-layer cost this tick
+};
+
+/// The message-driven maintained backbone of a mobile unit-disk network.
+class MaintenanceEngine {
+ public:
+  MaintenanceEngine(std::vector<geom::Point> positions, double range,
+                    double width, double height, EngineOptions options);
+
+  std::size_t size() const { return tracker_.size(); }
+  core::CoverageMode mode() const { return options_.mode; }
+
+  /// Stages a position update (applied at the next tick()).
+  void stage_move(NodeId v, geom::Point p) { tracker_.stage_move(v, p); }
+
+  /// One mobility tick: commit moves, beacon, run the protocol to
+  /// quiescence, refresh the mirror. Throws std::logic_error on an
+  /// oracle mismatch (oracle_check mode).
+  MaintTickStats tick();
+
+  // ---- Maintained state (the hashable mirror) ----
+  const cluster::Clustering& clustering() const { return clustering_; }
+  const core::NeighborTables& tables() const { return tables_; }
+  const std::vector<core::Coverage>& coverage() const { return coverage_; }
+  const std::vector<core::GatewaySelection>& selection() const {
+    return selection_;
+  }
+  /// Union of all selected gateways (maintained by reference counts).
+  const NodeSet& gateways() const { return gateways_; }
+  /// The SI-CDS: clusterheads ∪ gateways.
+  NodeSet cds() const { return set_union(clustering_.heads, gateways_); }
+
+  /// FNV-1a digest of the maintained state — bitwise-identical to
+  /// exp::run_churn's digest of the incremental engine over the same
+  /// move sequence (core::backbone_state_hash contract).
+  std::uint64_t state_hash() const;
+
+  const incr::DeltaTracker& tracker() const { return tracker_; }
+  const net::Simulator& simulator() const { return *sim_; }
+  const MaintenanceNode& node(NodeId v) const;
+  std::uint64_t ticks() const { return ticks_; }
+
+  /// Field-by-field comparison of the mirror against a from-scratch
+  /// rebuild; empty string on bitwise equality.
+  std::string diff_against(const core::StaticBackbone& oracle) const;
+
+  /// Gateway-flag soft-state consistency: a selected node's flag must be
+  /// set; an unselected node's flag must be clear in 3-hop mode (exact
+  /// GC), and in 2.5-hop mode any stale set flag must come only from
+  /// origins that cannot refresh the node — a live head outside the
+  /// node's current 2-hop ball, or an ex-head whose retraction flood
+  /// fired out of the node's earshot. Empty string when consistent. `g`
+  /// is the current topology (god's-eye ball check).
+  std::string check_gateway_flags(const graph::Graph& g) const;
+
+  void set_obs(obs::Session* session);
+
+ private:
+  class AdjacencyTopology;
+
+  MaintenanceNode& node_mut(NodeId v);
+  void drain_ledger(MaintTickStats& stats);
+
+  EngineOptions options_;
+  incr::DeltaTracker tracker_;
+  Ledger ledger_;
+  core::CoverageScratch scratch_;  ///< shared by all nodes (sequential sim)
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<net::Simulator> sim_;
+
+  // The hashable mirror (same shapes as incr::IncrementalBackbone).
+  cluster::Clustering clustering_;
+  core::NeighborTables tables_;
+  std::vector<core::Coverage> coverage_;
+  std::vector<core::GatewaySelection> selection_;
+  /// selection_refs_[v] = number of heads whose selection contains v.
+  std::vector<std::uint32_t> selection_refs_;
+  NodeSet gateways_;  ///< {v : selection_refs_[v] > 0}
+
+  std::uint64_t ticks_ = 0;
+  obs::Session* obs_ = nullptr;
+  obs::Counter ticks_counter_, rounds_counter_, link_changes_counter_,
+      head_changes_counter_, rows_changed_counter_, reselects_counter_;
+  obs::Histogram rounds_hist_, msgs_hist_;
+};
+
+}  // namespace manet::proto

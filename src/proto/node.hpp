@@ -1,0 +1,217 @@
+// One node of the message-driven maintenance protocol (the paper's
+// maintenance phase, run as a persistent per-node state machine on the
+// round simulator).
+//
+// Each mobility tick the engine fires every node's on_timer: the node
+// broadcasts a MAINT_HELLO beacon carrying its cluster status and
+// neighbor list. From the beacons delivered one round later (tick round
+// tr1) a node learns its exact current neighborhood — a cached neighbor
+// whose beacon is missing has moved out of range (the medium is
+// lossless, so one missed HELLO is conclusive), and a beacon from an
+// unknown sender is a new link. Everything after that is the localized
+// LCC repair and the incremental table/selection refresh, driven purely
+// by received messages plus the round clock:
+//
+//  * Rule 1 (adjacent heads). Previous heads were pairwise non-adjacent,
+//    so every head-head link visible at tr1 appeared this tick; its
+//    endpoints are exactly lcc_update's affected heads, each of which
+//    announces R1_STATUS at tr1 — FINAL(survived) when it has no
+//    smaller-id head neighbor, else PENDING. Pending heads resolve in
+//    ascending-id waves: a head resigns iff some smaller adjacent head
+//    announced FINAL(survived). Silence is information: a head that
+//    announced nothing by tr2 was unaffected and survives.
+//  * Rule 2 (re-affiliation). A member turns dirty when its head's link
+//    is gone (announces R2_STATUS PENDING at tr1) or its head announced
+//    R1 PENDING/resigned (announces PENDING at tr2). All pendings are
+//    therefore delivered by tr3, which makes the set of dirty smaller
+//    neighbors conclusively known from tr3 on. A dirty node decides once
+//    its old head's fate is final, every adjacent previous head is
+//    resolved, and every dirty smaller neighbor announced its R2 FINAL —
+//    replicating lcc_update's ascending scan exactly: declarations by
+//    smaller nodes are visible, declarations by larger nodes are not
+//    (and a resigned head never re-declares: its blocker is an adjacent
+//    surviving head it can join instead).
+//  * Refresh. After the adjacent repair state settles (>= tr3, all
+//    adjacent pendings final), nodes recompute their CH_HOP1/CH_HOP2
+//    rows with the shared core kernels over their message caches and
+//    re-broadcast rows that changed (plus everything a newly formed
+//    link's peer is missing); heads re-run coverage + gateway selection
+//    when their inputs change and flood GATEWAY updates stamped with a
+//    per-origin sequence number. Every recomputation is reactive, so by
+//    quiescence each cache equals the batch value — which is what makes
+//    the engine's state hash bitwise-equal to src/incr every tick.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/lowest_id.hpp"
+#include "common/ids.hpp"
+#include "core/coverage.hpp"
+#include "core/gateway_selection.hpp"
+#include "core/neighbor_tables.hpp"
+#include "core/table_kernels.hpp"
+#include "net/simulator.hpp"
+
+namespace manet::proto {
+
+/// Change notifications the nodes push to the engine (so the engine can
+/// refresh its hashable mirror in O(changes) instead of rescanning all n
+/// nodes every tick). Ids may repeat; the engine dedups.
+struct Ledger {
+  std::vector<NodeId> cluster_changed;  ///< head_of and/or role changed
+  std::vector<NodeId> rows_changed;     ///< CH_HOP1/CH_HOP2 row changed
+  std::vector<NodeId> head_rows_changed;  ///< coverage/selection changed
+};
+
+/// A node's view of one current neighbor, fed by that neighbor's
+/// messages (MAINT_HELLO, repair announcements, row re-broadcasts).
+struct NeighborCache {
+  NodeId id = kInvalidNode;
+  NodeId head_of = kInvalidNode;  ///< the neighbor's clusterhead
+  NodeSet hop1;                   ///< its last CH_HOP1 payload
+  std::vector<core::Hop2Entry> hop2;  ///< its last CH_HOP2 payload
+  bool heard = false;             ///< beacon received this tick
+
+  // Per-tick repair bookkeeping (reset by the tick beacon).
+  bool was_head = false;   ///< head status carried by this tick's beacon
+  std::uint8_t r1 = 0;     ///< kNone/kPending/kSurvived/kResigned
+  std::uint8_t r2 = 0;     ///< kNone/kPending/kFinal
+
+  bool is_head() const { return head_of == id; }
+};
+
+/// Cached gateway-selection status from one clusterhead origin (soft
+/// state behind the node's backbone-membership flag).
+struct OriginCache {
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;        ///< freshest selection version seen
+  std::uint32_t forwarded = 0;  ///< highest seq this node forwarded
+  bool selected = false;        ///< this node is in origin's selection
+  NodeSet payload;              ///< full selected set (for re-sends on
+                                ///< link formation)
+};
+
+/// The maintenance-phase state machine of one node.
+class MaintenanceNode final : public net::NodeProcess {
+ public:
+  /// `universe` sizes the coverage bitsets (total node count); `scratch`
+  /// is shared across all nodes by the engine (the simulator dispatches
+  /// nodes sequentially, so one scratch serves every head).
+  MaintenanceNode(NodeId id, core::CoverageMode mode, std::size_t universe,
+                  Ledger* ledger, core::CoverageScratch* scratch);
+
+  // ---- Bootstrap (engine-seeded; nodes join a converged backbone) ----
+  void seed_clustering(NodeId head, cluster::Role role);
+  void seed_neighbor(const NeighborCache& cache);
+  void seed_rows(NodeSet hop1, std::vector<core::Hop2Entry> hop2);
+  void seed_head_rows(core::Coverage cov, core::GatewaySelection sel);
+  void seed_origin(NodeId origin, bool selected, NodeSet payload);
+
+  // ---- NodeProcess interface ----
+  void start(net::Mailbox& /*out*/) override {}
+  void on_timer(std::uint32_t round, net::Mailbox& out) override;
+  void on_round(std::uint32_t round, net::Inbox inbox,
+                net::Mailbox& out) override;
+  bool awake() const override { return awake_; }
+  bool done() const override { return !awake_; }
+
+  // ---- State accessors (engine mirror refresh + tests) ----
+  NodeId head() const { return head_; }
+  bool is_head() const { return head_ == id_; }
+  cluster::Role role() const { return role_; }
+  const NodeSet& neighbors() const { return neighbor_ids_; }
+  const NodeSet& hop1_row() const { return my_hop1_; }
+  const std::vector<core::Hop2Entry>& hop2_row() const { return my_hop2_; }
+  const core::Coverage& coverage() const { return coverage_; }
+  const core::GatewaySelection& selection() const { return selection_; }
+  /// Soft-state backbone-membership flag: selected by any cached origin.
+  bool gateway_flag() const;
+  const std::vector<OriginCache>& origins() const { return origins_; }
+
+  // ---- Cache lookups for the kernel view adapters ----
+  /// head_of of `x` as cached from its messages (self included).
+  NodeId cached_head_of(NodeId x) const;
+  /// Last CH_HOP1 payload cached from neighbor `w` (empty if none).
+  const NodeSet& cached_hop1(NodeId w) const;
+  /// Last CH_HOP2 payload cached from neighbor `w` (empty if none).
+  const std::vector<core::Hop2Entry>& cached_hop2(NodeId w) const;
+
+ private:
+  // Repair-state constants for NeighborCache::r1/r2 and self.
+  enum : std::uint8_t { kNone = 0, kPending = 1, kSurvived = 2,
+                        kResigned = 3, kFinal = 2 };
+
+  NeighborCache* find_neighbor(NodeId w);
+  const NeighborCache* find_neighbor(NodeId w) const;
+  OriginCache& origin_entry(NodeId origin);
+
+  void ingest(const net::Message& m, net::Mailbox& out);
+  void process_tick_start(net::Mailbox& out);
+  void add_link(NodeId w, NodeId head_of_w);
+  void remove_link(NodeId w);
+
+  /// Progress evaluation run after every ingest: R1 wave step, R2
+  /// dirtiness + decision, settlement (rows, role, origin GC, link-
+  /// formation re-sends), head reselection.
+  void evaluate(std::uint32_t tr, net::Mailbox& out);
+  void try_resolve_r1(net::Mailbox& out);
+  void become_dirty(net::Mailbox& out);
+  void try_decide_r2(std::uint32_t tr, net::Mailbox& out);
+  /// True when every adjacent repair obligation is final: R1 states
+  /// conclusive (needs tr >= 2 for silence), R2 pendings resolved, own
+  /// decision made, and the dirty set complete (tr >= 3).
+  bool repair_settled(std::uint32_t tr) const;
+  void settle_rows(net::Mailbox& out);
+  void recompute_role();
+  void flood_selection(net::Mailbox& out);
+  void maybe_reselect(net::Mailbox& out);
+  void gc_origins();
+
+  /// Final head status of neighbor `w` as seen by lcc_update's scan of
+  /// this node (declarations by larger ids invisible).
+  bool head_at_scan(const NeighborCache& w) const;
+
+  NodeId id_;
+  core::CoverageMode mode_;
+  std::size_t universe_;
+  Ledger* ledger_;
+  core::CoverageScratch* scratch_;
+
+  // ---- Persistent protocol state ----
+  NodeId head_ = kInvalidNode;
+  cluster::Role role_ = cluster::Role::kOrdinary;
+  NodeSet neighbor_ids_;                  ///< sorted current neighbors
+  std::vector<NeighborCache> neighbors_;  ///< parallel to neighbor_ids_
+  NodeSet my_hop1_;
+  std::vector<core::Hop2Entry> my_hop2_;
+  core::Coverage coverage_;          ///< heads only
+  core::GatewaySelection selection_; ///< heads only
+  NodeSet last_flooded_;             ///< selection last flooded
+  std::uint32_t selection_seq_ = 0;  ///< own GATEWAY version counter
+  std::vector<OriginCache> origins_; ///< sorted by origin id
+
+  // ---- Per-tick state ----
+  std::uint32_t tick_base_ = 0;  ///< round of the tick's on_timer
+  bool awake_ = false;
+  bool tick_open_ = false;       ///< tr1 processing still due
+  std::uint8_t my_r1_ = kNone;   ///< own rule-1 state (previous heads)
+  std::uint8_t my_r2_ = kNone;   ///< own rule-2 state
+  bool was_head_ = false;        ///< head status at tick start
+  NodeId old_head_ = kInvalidNode;  ///< affiliation at tick start
+  bool topo_changed_ = false;
+  NodeSet links_formed_;         ///< new neighbors this tick
+  bool rows_dirty_ = false;      ///< own row inputs changed
+  bool role_dirty_ = false;
+  bool head_inputs_dirty_ = false;  ///< coverage/selection inputs changed
+  bool inputs_this_round_ = false;  ///< defers reselection one quiet round
+  bool settled_ = false;         ///< repair settled, refresh phase active
+  bool head_changed_ = false;    ///< own R2 decision changed affiliation
+  bool became_head_ = false;     ///< declared this tick
+  bool force_flood_ = false;     ///< flood selection even if unchanged
+  bool link_resends_done_ = false;  ///< origin re-sends sent this tick
+  bool rows_forced_ = false;     ///< full row re-send to new links done
+};
+
+}  // namespace manet::proto

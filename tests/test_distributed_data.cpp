@@ -156,5 +156,75 @@ TEST(SimulatorInjectTest, ResetBroadcastStateAllowsReuse) {
   }
 }
 
+// One constructed backbone must serve any number of broadcasts: inject
+// a second and third packet from *different* sources, resetting the
+// per-broadcast state in between, and require full delivery each time.
+TEST(SimulatorInjectTest, SecondAndThirdSourcesDeliverAfterReset) {
+  const auto g = testing::paper_figure3_network();
+  Simulator sim(g, [](NodeId v) {
+    return std::make_unique<BackboneNode>(
+        v, CoverageMode::kTwoPointFiveHop);
+  });
+  sim.run();
+
+  std::size_t data_so_far = 0;
+  const auto broadcast_from = [&](NodeId source) {
+    auto& src = dynamic_cast<BackboneNode&>(sim.process(source));
+    sim.inject(source, src.make_broadcast_packet());
+    sim.run();
+    const std::size_t sent = sim.counts().data - data_so_far;
+    data_so_far = sim.counts().data;
+    for (NodeId v = 0; v < g.order(); ++v) {
+      auto& node = dynamic_cast<BackboneNode&>(sim.process(v));
+      EXPECT_TRUE(node.data_received())
+          << "node " << v << ", source " << source;
+      node.reset_broadcast_state();
+      EXPECT_FALSE(node.data_received());
+      EXPECT_FALSE(node.data_forwarded());
+    }
+    return sent;
+  };
+
+  for (const NodeId source : {NodeId{4}, NodeId{7}, NodeId{9}}) {
+    const std::size_t sent = broadcast_from(source);
+    EXPECT_GE(sent, 1u) << "source " << source;
+    EXPECT_LE(sent, 2 * g.order()) << "source " << source;
+  }
+}
+
+// Alternating clusterhead and member sources over one backbone: the
+// head path (selection piggyback) and the member path (bare handoff to
+// the head) must both reconverge to full delivery after resets.
+TEST(SimulatorInjectTest, MixedHeadAndMemberSourcesReuseBackbone) {
+  const auto g = testing::paper_figure3_network();
+  Simulator sim(g, [](NodeId v) {
+    return std::make_unique<BackboneNode>(v, CoverageMode::kThreeHop);
+  });
+  sim.run();
+
+  NodeId head_source = kInvalidNode;
+  NodeId member_source = kInvalidNode;
+  for (NodeId v = 0; v < g.order(); ++v) {
+    const auto& node = dynamic_cast<const BackboneNode&>(sim.process(v));
+    if (node.is_head() && head_source == kInvalidNode) head_source = v;
+    if (!node.is_head()) member_source = v;
+  }
+  ASSERT_NE(head_source, kInvalidNode);
+  ASSERT_NE(member_source, kInvalidNode);
+
+  for (const NodeId source :
+       {member_source, head_source, member_source, head_source}) {
+    auto& src = dynamic_cast<BackboneNode&>(sim.process(source));
+    sim.inject(source, src.make_broadcast_packet());
+    sim.run();
+    for (NodeId v = 0; v < g.order(); ++v) {
+      auto& node = dynamic_cast<BackboneNode&>(sim.process(v));
+      EXPECT_TRUE(node.data_received())
+          << "node " << v << ", source " << source;
+      node.reset_broadcast_state();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace manet::net

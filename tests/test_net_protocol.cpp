@@ -157,8 +157,7 @@ TEST(SimulatorTest, LivelockGuardThrows) {
   class Chatter final : public NodeProcess {
    public:
     void start(Mailbox& out) override { out.send(HelloMsg{}); }
-    void on_round(std::uint32_t, const std::vector<Message>&,
-                  Mailbox& out) override {
+    void on_round(std::uint32_t, Inbox, Mailbox& out) override {
       out.send(HelloMsg{});
     }
     bool done() const override { return false; }

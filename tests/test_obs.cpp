@@ -268,8 +268,7 @@ TEST(ObsSimulatorTest, RegistryCountersMatchMessageCounts) {
 class ChattyNode final : public net::NodeProcess {
  public:
   void start(net::Mailbox& out) override { out.send(net::HelloMsg{}); }
-  void on_round(std::uint32_t, const std::vector<net::Message>&,
-                net::Mailbox& out) override {
+  void on_round(std::uint32_t, net::Inbox, net::Mailbox& out) override {
     out.send(net::HelloMsg{});
   }
   bool done() const override { return false; }

@@ -1,0 +1,187 @@
+// The message-driven maintenance engine (src/proto): bootstrap fidelity,
+// crafted repair scenarios checked against the from-scratch oracle, and
+// the equivalence soaks — every tick of a mobility run must land the
+// protocol on the bitwise state the snapshot-driven incremental engine
+// maintains (both mobility models, both coverage modes).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/state_hash.hpp"
+#include "exp/churn.hpp"
+#include "exp/msg_churn.hpp"
+#include "geom/point.hpp"
+#include "incr/pipeline.hpp"
+#include "proto/engine.hpp"
+
+namespace manet {
+namespace {
+
+std::uint64_t hash_backbone(const incr::IncrementalBackbone& b) {
+  return core::backbone_state_hash(b.clustering(), b.tables(), b.coverage(),
+                                   b.selection(), b.gateways(), b.cds());
+}
+
+proto::EngineOptions oracle_options(core::CoverageMode mode) {
+  proto::EngineOptions o;
+  o.mode = mode;
+  o.oracle_check = true;
+  return o;
+}
+
+TEST(ProtoEngine, BootstrapMatchesIncrementalEngine) {
+  std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {2, 0}, {10, 0},
+                                  {11, 0}, {12, 0}, {11, 1}};
+  for (const core::CoverageMode mode :
+       {core::CoverageMode::kTwoPointFiveHop, core::CoverageMode::kThreeHop}) {
+    proto::MaintenanceEngine engine(pts, 1.5, 20, 5, oracle_options(mode));
+    incr::PipelineOptions popts;
+    popts.mode = mode;
+    incr::IncrementalPipeline pipeline(pts, 1.5, 20, 5, popts);
+    EXPECT_EQ(engine.state_hash(), hash_backbone(pipeline.backbone()));
+  }
+}
+
+// A tick with no staged moves: every node beacons, nobody repairs, the
+// state is untouched and the wire carries exactly the n HELLOs.
+TEST(ProtoEngine, QuietTickCostsOnlyHellos) {
+  std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  proto::MaintenanceEngine engine(
+      pts, 1.5, 10, 5, oracle_options(core::CoverageMode::kTwoPointFiveHop));
+  const std::uint64_t before = engine.state_hash();
+  const proto::MaintTickStats stats = engine.tick();
+  EXPECT_EQ(engine.state_hash(), before);
+  EXPECT_EQ(stats.messages.maint_hello, pts.size());
+  EXPECT_EQ(stats.messages.maintenance_total(), pts.size());
+  EXPECT_EQ(stats.link_changes, 0u);
+  EXPECT_EQ(stats.head_changes, 0u);
+}
+
+// Crafted rule-1 merge: two separated clusters {0,1} and {2,3}; node 2
+// (a head) moves next to head 0. The new head-head edge forces 2 to
+// resign and join 0; node 3, stranded, must declare itself. The engine's
+// oracle mode asserts the full repaired structure each tick.
+TEST(ProtoEngine, HeadMergeResignsLargerHead) {
+  std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {10, 0}, {11, 0}};
+  proto::MaintenanceEngine engine(
+      pts, 1.5, 20, 5, oracle_options(core::CoverageMode::kTwoPointFiveHop));
+  ASSERT_TRUE(engine.node(0).is_head());
+  ASSERT_TRUE(engine.node(2).is_head());
+
+  engine.stage_move(2, {1.4, 0});
+  const proto::MaintTickStats stats = engine.tick();
+  EXPECT_TRUE(engine.node(0).is_head());
+  EXPECT_FALSE(engine.node(2).is_head());
+  EXPECT_EQ(engine.node(2).head(), 0u);
+  EXPECT_TRUE(engine.node(3).is_head());  // stranded, self-declared
+  EXPECT_GE(stats.head_changes, 2u);
+
+  // Move 2 back: the split must re-form both clusters, oracle-checked.
+  engine.stage_move(2, {10, 0});
+  engine.tick();
+  EXPECT_TRUE(engine.node(2).is_head() || engine.node(2).head() == 3u ||
+              engine.node(3).is_head());
+  EXPECT_EQ(engine.node(0).head(), 0u);
+  EXPECT_EQ(engine.node(1).head(), 0u);
+}
+
+// A member drifting between clusters re-affiliates without disturbing
+// either head (rule 2 keep/join path).
+TEST(ProtoEngine, MemberHandoffBetweenClusters) {
+  std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {4, 0}, {5, 0}};
+  proto::MaintenanceEngine engine(
+      pts, 1.5, 20, 5, oracle_options(core::CoverageMode::kThreeHop));
+  ASSERT_EQ(engine.node(1).head(), 0u);
+
+  engine.stage_move(1, {3.2, 0});  // out of 0's range, into 2's
+  engine.tick();
+  EXPECT_EQ(engine.node(1).head(), 2u);
+  EXPECT_TRUE(engine.node(0).is_head());  // lone head keeps its cluster
+  EXPECT_TRUE(engine.node(2).is_head());
+}
+
+exp::MsgChurnConfig make_soak(exp::ChurnConfig::Model model,
+                              core::CoverageMode mode, std::uint64_t seed) {
+  exp::MsgChurnConfig config;
+  config.base.nodes = 60;
+  config.base.degree = 6.0;
+  config.base.ticks = 200;
+  config.base.move_fraction = 0.05;
+  config.base.model = model;
+  config.base.mode = mode;
+  config.base.seed = seed;
+  config.base.connect_attempts = 5;
+  config.crosscheck = true;
+  config.oracle_check = true;
+  return config;
+}
+
+// The acceptance soaks: >= 200 ticks of churn, both the engine-internal
+// from-scratch oracle diff and the per-tick hash crosscheck against the
+// incremental pipeline enabled. Four combinations.
+TEST(ProtoEquivalence, WaypointTwoPointFiveHop) {
+  const exp::MsgChurnResult r = exp::run_msg_churn(make_soak(
+      exp::ChurnConfig::Model::kWaypoint,
+      core::CoverageMode::kTwoPointFiveHop, 11));
+  EXPECT_EQ(r.ticks, 200u);
+  EXPECT_DOUBLE_EQ(r.hello_rate, 1.0);
+}
+
+TEST(ProtoEquivalence, WaypointThreeHop) {
+  const exp::MsgChurnResult r = exp::run_msg_churn(make_soak(
+      exp::ChurnConfig::Model::kWaypoint, core::CoverageMode::kThreeHop, 12));
+  EXPECT_EQ(r.ticks, 200u);
+}
+
+TEST(ProtoEquivalence, DirectionTwoPointFiveHop) {
+  const exp::MsgChurnResult r = exp::run_msg_churn(make_soak(
+      exp::ChurnConfig::Model::kRandomDirection,
+      core::CoverageMode::kTwoPointFiveHop, 13));
+  EXPECT_EQ(r.ticks, 200u);
+}
+
+TEST(ProtoEquivalence, DirectionThreeHop) {
+  const exp::MsgChurnResult r = exp::run_msg_churn(make_soak(
+      exp::ChurnConfig::Model::kRandomDirection,
+      core::CoverageMode::kThreeHop, 14));
+  EXPECT_EQ(r.ticks, 200u);
+}
+
+// A correlated shock — 40% of all nodes move in one tick — must still
+// reconverge to the oracle state within the tick.
+TEST(ProtoEquivalence, MoveBurstReconverges) {
+  exp::MsgChurnConfig config = make_soak(
+      exp::ChurnConfig::Model::kWaypoint,
+      core::CoverageMode::kTwoPointFiveHop, 21);
+  config.base.ticks = 60;
+  config.burst_fraction = 0.4;
+  const exp::MsgChurnResult r = exp::run_msg_churn(config);
+  EXPECT_GT(r.burst_rounds, 0u);
+  EXPECT_LE(r.burst_rounds, r.max_rounds);
+}
+
+// The two harnesses replay the same trajectory (shared MobilityMix rng
+// streams), so the protocol run's final digest must equal the
+// incremental run's — without any lockstep help.
+TEST(ProtoEquivalence, MatchesRunChurnFinalHash) {
+  exp::ChurnConfig base;
+  base.nodes = 80;
+  base.degree = 6.0;
+  base.ticks = 120;
+  base.move_fraction = 0.04;
+  base.seed = 31;
+  base.connect_attempts = 5;
+  base.rebuild_baseline = false;
+
+  exp::MsgChurnConfig mcfg;
+  mcfg.base = base;
+  mcfg.crosscheck = false;
+  mcfg.oracle_check = false;
+  const exp::MsgChurnResult protocol = exp::run_msg_churn(mcfg);
+  const exp::ChurnResult incremental = exp::run_churn(base);
+  EXPECT_EQ(protocol.state_hash, incremental.state_hash);
+}
+
+}  // namespace
+}  // namespace manet
