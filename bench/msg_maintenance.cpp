@@ -19,7 +19,11 @@
 //        --move-frac=<f> (default 0.02), --scale / --scale-fast,
 //        --json=<path> (default BENCH_msgmaint.json in the working
 //        directory — a committed top-level artifact like
-//        BENCH_scale.json; regenerate with --scale).
+//        BENCH_scale.json; regenerate with --scale),
+//        --trace-out=<path> (Chrome-trace JSON of the last record's run —
+//        repair waves render as flow arrows across node tracks in
+//        Perfetto), --journal-out=<path> (the same run's event journal
+//        as JSONL, the trace_inspect CLI's input).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +33,7 @@
 
 #include "common/flags.hpp"
 #include "exp/msg_churn.hpp"
+#include "obs/session.hpp"
 
 namespace {
 
@@ -37,8 +42,29 @@ using namespace manet;
 struct Record {
   exp::MsgChurnConfig config;
   exp::MsgChurnResult result;
-  std::string section;  ///< "soak" / "traffic" / "scale"
+  std::string metrics_json;  ///< obs registry snapshot of this run
+  std::string section;       ///< "soak" / "traffic" / "scale"
 };
+
+/// A fresh session per record: each row's metrics block (proto.*,
+/// proto.conv.*, net.*) covers exactly one run. --trace-out and
+/// --journal-out are rewritten every record, so the files end up holding
+/// the last (largest) run's trace and journal.
+exp::MsgChurnResult run_record(exp::MsgChurnConfig config,
+                               std::vector<Record>& records,
+                               const std::string& section,
+                               const std::string& trace_path,
+                               const std::string& journal_path) {
+  obs::Session session;
+  config.base.obs = &session;
+  const exp::MsgChurnResult r = exp::run_msg_churn(config);
+  records.push_back(
+      {config, r, session.registry.snapshot().to_json(), section});
+  if (!trace_path.empty())
+    session.trace.write_chrome_trace_file(trace_path, &session.journal);
+  if (!journal_path.empty()) session.journal.write_jsonl_file(journal_path);
+  return r;
+}
 
 const char* mode_name(core::CoverageMode mode) {
   return mode == core::CoverageMode::kTwoPointFiveHop ? "2.5-hop" : "3-hop";
@@ -57,7 +83,7 @@ void write_json(const std::string& path, std::uint64_t seed,
       << "  \"traffic_o_n_ok\": " << (traffic_flat ? "true" : "false")
       << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& [c, r, section] = records[i];
+    const auto& [c, r, metrics, section] = records[i];
     out << "    {\"section\": \"" << section << "\", \"model\": \""
         << exp::model_name(c.base.model) << "\", \"mode\": \""
         << mode_name(c.base.mode) << "\", \"n\": " << r.nodes
@@ -81,7 +107,8 @@ void write_json(const std::string& path, std::uint64_t seed,
         << ", \"wall_ms_per_tick\": " << r.wall_ms_per_tick
         << ", \"connected\": " << (r.connected ? "true" : "false")
         << ", \"state_hash\": \"" << std::hex << r.state_hash << std::dec
-        << "\", \"peak_rss_bytes\": " << r.peak_rss_bytes << "}"
+        << "\", \"peak_rss_bytes\": " << r.peak_rss_bytes
+        << ", \"metrics\": " << metrics << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -109,6 +136,8 @@ int main(int argc, char** argv) {
   const bool scale_fast = flags.get_bool("scale-fast");
   const bool scale = flags.get_bool("scale") || scale_fast;
   const std::string json_path = flags.get("json", "BENCH_msgmaint.json");
+  const std::string trace_path = flags.get("trace-out", "");
+  const std::string journal_path = flags.get("journal-out", "");
 
   std::vector<Record> records;
   std::puts(
@@ -134,8 +163,8 @@ int main(int argc, char** argv) {
       config.crosscheck = true;
       config.oracle_check = true;
       config.burst_fraction = 0.3;
-      const exp::MsgChurnResult r = exp::run_msg_churn(config);
-      records.push_back({config, r, "soak"});
+      const exp::MsgChurnResult r =
+          run_record(config, records, "soak", trace_path, journal_path);
       print_row(exp::model_name(model).c_str(), config, r);
     }
   }
@@ -178,8 +207,8 @@ int main(int argc, char** argv) {
       config.base.streaming_build = true;
       config.base.cell_order = true;
     }
-    const exp::MsgChurnResult r = exp::run_msg_churn(config);
-    records.push_back({config, r, section});
+    const exp::MsgChurnResult r =
+        run_record(config, records, section, trace_path, journal_path);
     print_row("waypoint", config, r);
     std::printf("%36s wall %.3f ms/tick, rss %.1f MB\n", "",
                 r.wall_ms_per_tick,

@@ -1,24 +1,32 @@
 // Overhead of the flight-recorder observability layer on the hot path.
 //
-// Methodology: ONE IncrementalPipeline runs a churn workload and
-// alternates, tick by tick, between having a full obs::Session attached
-// (per-phase spans, incr.* counters and histograms) and running
-// unobserved — attaching never changes the maintained state, only what
-// gets recorded. Each tick() is timed individually; consecutive ticks
-// form a pair (which arm goes first alternates per pair), each rep
-// estimates the overhead as the median of its per-pair differences, and
-// the reported figure is the median across reps. Noise on a shared
-// machine arrives in bursts lasting many ticks, so a burst inflates
-// both halves of a pair and drops out of the difference; the rep median
-// then rejects the occasional rep where a burst straddled pairs.
-// Whole-run A/B comparisons (and even paired twin instances) were tried
-// first and swing by several percent — more than the effect measured.
+// Methodology: ONE engine runs a churn workload and alternates, tick by
+// tick, between having a full obs::Session attached (per-phase spans,
+// counters, histograms — and for the protocol engine the causal flow
+// events and the journal) and running unobserved — attaching never
+// changes the maintained state, only what gets recorded. Each tick() is
+// timed individually; consecutive ticks form a pair (which arm goes
+// first alternates per pair), each rep estimates the overhead as the
+// median of its per-pair differences, and the reported figure is the
+// median across reps. Noise on a shared machine arrives in bursts
+// lasting many ticks, so a burst inflates both halves of a pair and
+// drops out of the difference; the rep median then rejects the
+// occasional rep where a burst straddled pairs. Whole-run A/B
+// comparisons (and even paired twin instances) were tried first and
+// swing by several percent — more than the effect measured.
 //
-// The contract documented in docs/OBSERVABILITY.md is <= 3% slowdown;
-// --check turns that contract into an exit code for CI.
+// Two sections: the snapshot-driven incremental pipeline (n
+// configurable) and the message-driven protocol engine (n=1000), whose
+// per-send instrumentation — instant event, flow begin/end, journal
+// entry — is the heaviest in the tree.
+//
+// The contract documented in docs/OBSERVABILITY.md is <= 3% slowdown
+// for both engines; --check turns that contract into an exit code.
 //
 // Flags: --fast (smaller run), --seed=<u64>, --ticks=<k>, --reps=<k>,
-//        --check (exit 1 if the overhead exceeds --max-overhead,
+//        --warmup=<k> (untimed leading ticks per section; lets the
+//        session's rings reach capacity before timing starts),
+//        --check (exit 1 if either overhead exceeds --max-overhead,
 //        default 3%; only meaningful when the layer is compiled in),
 //        --json=<path> (default BENCH_obs_overhead.json under
 //        --out-dir).
@@ -27,6 +35,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +47,7 @@
 #include "incr/pipeline.hpp"
 #include "mobility/waypoint.hpp"
 #include "obs/session.hpp"
+#include "proto/engine.hpp"
 
 namespace {
 
@@ -48,6 +58,86 @@ double median_us(std::vector<double> samples) {
   const std::size_t mid = samples.size() / 2;
   return samples.size() % 2 ? samples[mid]
                             : (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+struct PairedResult {
+  double plain_med = 0.0;
+  double instr_med = 0.0;
+  double overhead_pct = 0.0;
+};
+
+/// The paired-tick measurement over any engine: `stage()` advances the
+/// mobility workload and stages the moves, `set_obs(bool)` attaches or
+/// detaches the session (outside the timed region), `tick()` is the
+/// timed hot path.
+PairedResult measure_paired(std::size_t reps, std::size_t ticks,
+                            std::size_t warmup,
+                            const std::function<void()>& stage,
+                            const std::function<void(bool)>& set_obs,
+                            const std::function<void()>& tick_fn) {
+  // Warmup (untimed, alternating like the measured ticks): the first
+  // observed ticks pay one-off costs — first-touch page faults of the
+  // trace/journal rings and their growth to capacity — that belong to
+  // session setup, not the steady-state hot path the budget covers.
+  for (std::size_t tick = 0; tick < warmup; ++tick) {
+    stage();
+    set_obs(tick % 2 == 0);
+    tick_fn();
+  }
+
+  std::vector<double> all_plain_us, all_instr_us, rep_overheads;
+  all_plain_us.reserve(reps * (ticks / 2 + 1));
+  all_instr_us.reserve(reps * (ticks / 2 + 1));
+  rep_overheads.reserve(reps);
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    std::vector<double> plain_us, instrumented_us, pair_diff_us;
+    plain_us.reserve(ticks / 2 + 1);
+    instrumented_us.reserve(ticks / 2 + 1);
+    pair_diff_us.reserve(ticks / 2 + 1);
+
+    double current_pair[2] = {0.0, 0.0};
+    for (std::size_t tick = 0; tick < ticks; ++tick) {
+      stage();
+      // Pair k = ticks (2k, 2k+1); the instrumented slot alternates per
+      // pair so any period-2 structure in the workload cancels too.
+      const std::size_t pair = tick / 2;
+      const std::size_t slot = tick % 2;
+      const bool observed = slot == pair % 2;
+      set_obs(observed);  // outside the timing
+      const auto start = Clock::now();
+      tick_fn();
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start)
+              .count();
+      (observed ? instrumented_us : plain_us).push_back(us);
+      current_pair[observed ? 1 : 0] = us;
+      if (slot == 1)
+        pair_diff_us.push_back(current_pair[1] - current_pair[0]);
+    }
+
+    const double rep_plain = median_us(plain_us);
+    const double rep_diff = median_us(std::move(pair_diff_us));
+    const double rep_pct =
+        rep_plain > 0.0 ? rep_diff / rep_plain * 100.0 : 0.0;
+    std::printf("  rep %zu: plain median %.2f us, paired diff %.2f us "
+                "(%.2f%%)\n",
+                rep + 1, rep_plain, rep_diff, rep_pct);
+    rep_overheads.push_back(rep_pct);
+    all_plain_us.insert(all_plain_us.end(), plain_us.begin(),
+                        plain_us.end());
+    all_instr_us.insert(all_instr_us.end(), instrumented_us.begin(),
+                        instrumented_us.end());
+  }
+
+  PairedResult result;
+  result.plain_med = median_us(std::move(all_plain_us));
+  result.instr_med = median_us(std::move(all_instr_us));
+  result.overhead_pct = median_us(std::move(rep_overheads));
+  std::printf("median per tick: plain %.2f us, instrumented %.2f us; "
+              "median rep overhead %.2f%%\n",
+              result.plain_med, result.instr_med, result.overhead_pct);
+  return result;
 }
 
 }  // namespace
@@ -66,7 +156,15 @@ int main(int argc, char** argv) {
       flags.get_int("nodes", fast ? 1000 : 2000));
   const auto ticks =
       static_cast<std::size_t>(flags.get_int("ticks", 1600));
-  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 5));
+  // Per-rep medians still carry a few percent of burst noise on a
+  // shared machine; the rep count must be high enough that their median
+  // resolves a ~2% effect against a 3% budget. 9 reps keeps the full
+  // gate under ~15 s.
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 9));
+  // Enough observed warmup ticks to fill the protocol session's journal
+  // ring to capacity (~36 observed ticks at n=1000) before timing.
+  const auto warmup =
+      static_cast<std::size_t>(flags.get_int("warmup", 100));
   const double max_overhead = flags.get_double("max-overhead", 3.0);
   const std::string json_path =
       artifact_path(flags, flags.get("json", "BENCH_obs_overhead.json"));
@@ -76,6 +174,7 @@ int main(int argc, char** argv) {
               "ticks, median of per-rep medians)\n",
               obs::kEnabled ? "in" : "out", n, ticks, reps);
 
+  // ---- Section 1: the snapshot-driven incremental pipeline ----
   geom::UnitDiskConfig net;
   net.nodes = n;
   net.range = geom::range_for_average_degree(6.0, n, net.width, net.height);
@@ -100,82 +199,84 @@ int main(int argc, char** argv) {
   std::vector<NodeId> ids(n);
   for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<NodeId>(i);
 
-  std::vector<double> all_plain_us, all_instr_us, rep_overheads;
-  all_plain_us.reserve(reps * (ticks / 2 + 1));
-  all_instr_us.reserve(reps * (ticks / 2 + 1));
-  rep_overheads.reserve(reps);
-
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    std::vector<double> plain_us, instrumented_us, pair_diff_us;
-    plain_us.reserve(ticks / 2 + 1);
-    instrumented_us.reserve(ticks / 2 + 1);
-    pair_diff_us.reserve(ticks / 2 + 1);
-
-    double current_pair[2] = {0.0, 0.0};
-    for (std::size_t tick = 0; tick < ticks; ++tick) {
-      for (std::size_t j = 0; j < movers_per_tick; ++j) {
-        const std::size_t k =
-            j + static_cast<std::size_t>(sample_rng.below(n - j));
-        std::swap(ids[j], ids[k]);
-      }
-      const std::span<const NodeId> moved(ids.data(), movers_per_tick);
-      mover.step_nodes(moved, 1.0);
-      const auto& positions = mover.positions();
-      for (const NodeId v : moved) pipeline.stage_move(v, positions[v]);
-
-      // Pair k = ticks (2k, 2k+1); the instrumented slot alternates per
-      // pair so any period-2 structure in the workload cancels too.
-      const std::size_t pair = tick / 2;
-      const std::size_t slot = tick % 2;
-      const bool observed = slot == pair % 2;
-      pipeline.set_obs(observed ? &session : nullptr);  // outside the timing
-      const auto start = Clock::now();
-      pipeline.tick();
-      const double us =
-          std::chrono::duration<double, std::micro>(Clock::now() - start)
-              .count();
-      (observed ? instrumented_us : plain_us).push_back(us);
-      current_pair[observed ? 1 : 0] = us;
-      if (slot == 1)
-        pair_diff_us.push_back(current_pair[1] - current_pair[0]);
+  const auto stage_moves = [&](mobility::WaypointModel& m, auto& engine) {
+    for (std::size_t j = 0; j < movers_per_tick; ++j) {
+      const std::size_t k =
+          j + static_cast<std::size_t>(sample_rng.below(ids.size() - j));
+      std::swap(ids[j], ids[k]);
     }
+    const std::span<const NodeId> moved(ids.data(), movers_per_tick);
+    m.step_nodes(moved, 1.0);
+    const auto& positions = m.positions();
+    for (const NodeId v : moved) engine.stage_move(v, positions[v]);
+  };
 
-    const double rep_plain = median_us(plain_us);
-    const double rep_diff = median_us(std::move(pair_diff_us));
-    const double rep_pct =
-        rep_plain > 0.0 ? rep_diff / rep_plain * 100.0 : 0.0;
-    std::printf("  rep %zu: plain median %.2f us, paired diff %.2f us "
-                "(%.2f%%)\n",
-                rep + 1, rep_plain, rep_diff, rep_pct);
-    rep_overheads.push_back(rep_pct);
-    all_plain_us.insert(all_plain_us.end(), plain_us.begin(),
-                        plain_us.end());
-    all_instr_us.insert(all_instr_us.end(), instrumented_us.begin(),
-                        instrumented_us.end());
-  }
+  std::puts("incremental pipeline:");
+  const PairedResult incr_res = measure_paired(
+      reps, ticks, warmup, [&] { stage_moves(mover, pipeline); },
+      [&](bool on) { pipeline.set_obs(on ? &session : nullptr); },
+      [&] { pipeline.tick(); });
 
-  const double plain_med = median_us(std::move(all_plain_us));
-  const double instr_med = median_us(std::move(all_instr_us));
-  const double overhead_pct = median_us(std::move(rep_overheads));
-  std::printf("median per tick: plain %.2f us, instrumented %.2f us; "
-              "median rep overhead %.2f%%\n",
-              plain_med, instr_med, overhead_pct);
+  // ---- Section 2: the message-driven protocol engine (n=1000) ----
+  // Per-send instrumentation (instant + flow begin/end + journal entry)
+  // is the layer's heaviest path; measure it on the engine that pays it.
+  const std::size_t proto_n = 1000;
+  const std::size_t proto_ticks = std::max<std::size_t>(ticks / 4, 100);
+  geom::UnitDiskConfig pnet;
+  pnet.nodes = proto_n;
+  pnet.range =
+      geom::range_for_average_degree(6.0, proto_n, pnet.width, pnet.height);
+  Rng ptopo_rng(derive_seed(seed, 1, 0));
+  auto pnetwork = geom::generate_connected_unit_disk(pnet, ptopo_rng, 100);
+  if (!pnetwork) pnetwork = geom::generate_unit_disk(pnet, ptopo_rng);
+
+  mobility::WaypointModel pmover(pnetwork->positions, mc,
+                                 Rng(derive_seed(seed, 1, 1)));
+  obs::Session proto_session;
+  proto::MaintenanceEngine engine(pnetwork->positions, pnet.range, pnet.width,
+                                  pnet.height, proto::EngineOptions{});
+  ids.resize(proto_n);
+  for (std::size_t i = 0; i < proto_n; ++i) ids[i] = static_cast<NodeId>(i);
+
+  std::printf("protocol engine (n=%zu, ticks=%zu):\n", proto_n, proto_ticks);
+  const PairedResult proto_res = measure_paired(
+      reps, proto_ticks, warmup, [&] { stage_moves(pmover, engine); },
+      [&](bool on) { engine.set_obs(on ? &proto_session : nullptr); },
+      [&] { engine.tick(); });
 
   {
     std::ofstream out(json_path);
     out << "{\"obs_enabled\": " << (obs::kEnabled ? "true" : "false")
         << ", \"nodes\": " << n << ", \"ticks\": " << ticks
         << ", \"reps\": " << reps
-        << ", \"plain_us_per_tick\": " << plain_med
-        << ", \"instrumented_us_per_tick\": " << instr_med
-        << ", \"overhead_pct\": " << overhead_pct << "}\n";
+        << ", \"plain_us_per_tick\": " << incr_res.plain_med
+        << ", \"instrumented_us_per_tick\": " << incr_res.instr_med
+        << ", \"overhead_pct\": " << incr_res.overhead_pct
+        << ", \"proto_nodes\": " << proto_n
+        << ", \"proto_ticks\": " << proto_ticks
+        << ", \"proto_plain_us_per_tick\": " << proto_res.plain_med
+        << ", \"proto_instrumented_us_per_tick\": " << proto_res.instr_med
+        << ", \"proto_overhead_pct\": " << proto_res.overhead_pct << "}\n";
   }
   std::printf("written to %s\n", json_path.c_str());
 
-  if (check && obs::kEnabled && overhead_pct > max_overhead) {
-    std::fprintf(stderr, "FAIL: overhead %.2f%% exceeds the %.2f%% budget\n",
-                 overhead_pct, max_overhead);
-    return 1;
+  if (check && obs::kEnabled) {
+    bool failed = false;
+    if (incr_res.overhead_pct > max_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: pipeline overhead %.2f%% exceeds the %.2f%% "
+                   "budget\n",
+                   incr_res.overhead_pct, max_overhead);
+      failed = true;
+    }
+    if (proto_res.overhead_pct > max_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: protocol-engine overhead %.2f%% exceeds the "
+                   "%.2f%% budget\n",
+                   proto_res.overhead_pct, max_overhead);
+      failed = true;
+    }
+    if (failed) return 1;
   }
   return 0;
 }

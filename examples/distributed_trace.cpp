@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
   }
   std::printf("backbone (SI-CDS): %s\n", set_to_string(backbone).c_str());
   if (!trace_path.empty()) {
-    session.trace.write_chrome_trace_file(trace_path);
+    session.trace.write_chrome_trace_file(trace_path, &session.journal);
     std::printf("chrome trace written to %s (open in Perfetto)\n",
                 trace_path.c_str());
   }

@@ -49,6 +49,7 @@ MsgChurnResult run_msg_churn(const MsgChurnConfig& config) {
   eopts.streaming_build = base.streaming_build;
   eopts.obs = base.obs;
   eopts.max_rounds_per_tick = config.max_rounds_per_tick;
+  eopts.inject_stale_gateway_fault = config.inject_stale_gateway_fault;
   proto::MaintenanceEngine engine(mix.positions(), mix.range(), base.width,
                                   base.height, eopts);
 
@@ -59,6 +60,7 @@ MsgChurnResult run_msg_churn(const MsgChurnConfig& config) {
     popts.mode = base.mode;
     popts.grid = base.grid;
     popts.streaming_build = base.streaming_build;
+    popts.threads = base.threads;
     witness.emplace(mix.positions(), mix.range(), base.width, base.height,
                     popts);
     MANET_ASSERT(engine.state_hash() == hash_backbone(witness->backbone()),

@@ -20,9 +20,10 @@
 namespace manet::exp {
 
 /// One message-maintenance run. Embeds ChurnConfig for the shared
-/// topology/mobility/mode/seed knobs (threads, pipeline_depth,
-/// rebuild_* are ignored: the protocol engine is sequential by nature —
-/// one message at a time is the model).
+/// topology/mobility/mode/seed knobs (pipeline_depth and rebuild_* are
+/// ignored: the protocol engine is sequential by nature — one message at
+/// a time is the model; `threads` applies to the crosscheck witness
+/// pipeline, whose state is bitwise thread-count-invariant).
 struct MsgChurnConfig {
   ChurnConfig base;
   /// Drive an incremental pipeline over the identical move sequence and
@@ -39,6 +40,10 @@ struct MsgChurnConfig {
   double burst_fraction = 0.0;
   /// Simulator livelock guard, per tick.
   std::uint32_t max_rounds_per_tick = 100000;
+  /// Re-introduce the historical stale-gateway-flag bug in every node
+  /// (proto::EngineOptions::inject_stale_gateway_fault). Only the
+  /// divergence-forensics test sets this.
+  bool inject_stale_gateway_fault = false;
 };
 
 /// Aggregated outcome. Per-node-per-tick message rates are the O(n)

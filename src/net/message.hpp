@@ -94,9 +94,20 @@ using MessageBody =
                  R2StatusMsg>;
 
 /// A transmission on the (ideal, collision-free) broadcast medium.
+///
+/// The causal envelope: `trace_id` is a per-simulator monotonic send
+/// sequence number stamped at transmission (seq-derived, never
+/// wall-clock, so two runs of the same seed assign identical ids);
+/// `parent_id` names the message that caused this send (0 = a wave root,
+/// e.g. a timer-paced beacon); `depth` counts causal hops from the root.
+/// The ids feed the flow events and the journal of an attached
+/// obs::Session — protocols that don't declare causes simply send roots.
 struct Message {
   NodeId from;
   MessageBody body;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint32_t depth = 0;
 };
 
 /// Wire name of a message body's alternative (trace labels, reports).

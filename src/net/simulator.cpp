@@ -1,6 +1,7 @@
 #include "net/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,9 +14,15 @@ namespace {
 /// Rounds of in-flight history kept for the livelock report.
 constexpr std::size_t kLivelockWindow = 8;
 
-/// One simulated round maps to 1 ms of trace time, so protocol
-/// exchanges line up round-by-round in Perfetto.
-constexpr std::uint64_t kRoundNs = 1'000'000;
+/// MessageCounts in MessageBody variant order (the order the `net.msg.*`
+/// counter handles are registered in) — the flush path diffs two of
+/// these to advance the registry by exactly the sends since last flush.
+std::array<std::uint64_t, std::variant_size_v<MessageBody>> counts_by_type(
+    const MessageCounts& c) {
+  return {c.hello,   c.cluster_head, c.non_cluster_head, c.ch_hop1,
+          c.ch_hop2, c.gateway,      c.data,             c.maint_hello,
+          c.r1_status, c.r2_status};
+}
 
 /// Fixed-graph adapter: delivery reads the snapshot's adjacency.
 class GraphTopology final : public Topology {
@@ -58,8 +65,13 @@ class Simulator::RoundMailbox final : public Mailbox {
   RoundMailbox(Simulator& sim, std::vector<Message>& target, NodeId from)
       : sim_(sim), target_(target), from_(from) {}
   void send(MessageBody body) override {
+    send_caused(std::move(body), Cause{});
+  }
+  void send_caused(MessageBody body, Cause cause) override {
     Message m{from_, std::move(body)};
-    sim_.record_send(m);
+    m.parent_id = cause.id;
+    m.depth = cause.id != 0 ? cause.depth + 1 : 0;
+    sim_.record_send(m);  // stamps the trace id
     target_.push_back(std::move(m));
   }
   void retarget(NodeId from) { from_ = from; }
@@ -104,7 +116,11 @@ const NodeProcess& Simulator::process(NodeId v) const {
 }
 
 void Simulator::set_obs(obs::Session* session) {
+  // Pending local accumulation belongs to the session that observed the
+  // sends — flush through the old handles before they are replaced.
+  if (obs_ != nullptr) flush_obs();
   obs_ = session;
+  reset_wave_depth_counts();
   for (auto& c : msg_counters_) c = obs::Counter();
   rounds_counter_ = obs::Counter();
   quiescence_gauge_ = obs::Gauge();
@@ -127,16 +143,87 @@ void Simulator::set_obs(obs::Session* session) {
   inbox_hist_ = r.histogram("net.inbox_size", {1, 2, 4, 8, 16, 32, 64, 128});
   in_flight_hist_ =
       r.histogram("net.in_flight", {1, 4, 16, 64, 256, 1024, 4096});
+  // Only sends made while attached count toward the session's registry.
+  last_flushed_counts_ = counts_;
 }
 
-void Simulator::record_send(const Message& m) {
+void Simulator::flush_obs() {
+  const auto now = counts_by_type(counts_);
+  const auto then = counts_by_type(last_flushed_counts_);
+  for (std::size_t i = 0; i < now.size(); ++i)
+    if (now[i] != then[i]) msg_counters_[i].add(now[i] - then[i]);
+  last_flushed_counts_ = counts_;
+  for (std::size_t s = 0; s < inbox_size_counts_.size(); ++s)
+    if (inbox_size_counts_[s] != 0) {
+      inbox_hist_.record_many(s, inbox_size_counts_[s]);
+      inbox_size_counts_[s] = 0;
+    }
+}
+
+namespace {
+
+/// Journal payload summary (a, b) per message type — the fields the
+/// forensic causal slice needs to name what a message carried.
+struct JournalSummaryVisitor {
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const MaintHelloMsg& m) const {
+    return {m.head, m.is_head ? 1u : 0u};
+  }
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const R1StatusMsg& m) const {
+    return {m.final_ ? 1u : 0u, m.survived ? 1u : 0u};
+  }
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const R2StatusMsg& m) const {
+    return {m.head, (m.final_ ? 1u : 0u) | (m.declared ? 2u : 0u)};
+  }
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const GatewayMsg& m) const {
+    return {m.origin, m.seq};
+  }
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const ChHop1Msg& m) const {
+    return {m.heads.size(), 0};
+  }
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const ChHop2Msg& m) const {
+    return {m.entries.size(), 0};
+  }
+  std::pair<std::uint64_t, std::uint64_t> operator()(
+      const NonClusterHeadMsg& m) const {
+    return {m.head, 0};
+  }
+  template <typename T>
+  std::pair<std::uint64_t, std::uint64_t> operator()(const T&) const {
+    return {0, 0};
+  }
+};
+
+std::pair<std::uint64_t, std::uint64_t> journal_summary(
+    const MessageBody& body) {
+  return std::visit(JournalSummaryVisitor{}, body);
+}
+
+}  // namespace
+
+void Simulator::record_send(Message& m) {
+  m.trace_id = ++trace_seq_;
   counts_.count(m.body);
   if (observer_) observer_(round_, m);
   if (obs_) {
-    msg_counters_[m.body.index()].add();
-    obs_->trace.instant_at(std::uint64_t{round_} * kRoundNs, "net",
-                           message_type_name(m.body), round_, m.from, "from",
-                           m.from);
+    // Observed hot path = one journal ring write plus two plain-array
+    // increments. The registry counters advance from counts_ deltas in
+    // flush_obs(), and the renderable per-send trace events (instant +
+    // causal flow arrows) are synthesized from the journal at export
+    // time (TraceRecorder::write_chrome_trace with a journal).
+    if (m.parent_id != 0) {
+      if (m.depth >= depth_counts_.size())
+        depth_counts_.resize(m.depth + 1, 0);
+      ++depth_counts_[m.depth];
+    }
+    const auto [a, b] = journal_summary(m.body);
+    obs_->journal.record(round_, m.from, message_type_name(m.body),
+                         m.trace_id, m.parent_id, m.depth, a, b);
   }
 }
 
@@ -209,7 +296,15 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
     }
     const bool had_traffic = !in_flight_.empty();
     if (obs_) {
-      for (const NodeId w : touched_) inbox_hist_.record(inboxes_[w].size());
+      // Exact-size occurrence counts in a plain array (touched inboxes
+      // are never empty, so index 0 stays unused); flush_obs() folds
+      // them into the net.inbox_size histogram after the run.
+      for (const NodeId w : touched_) {
+        const std::size_t sz = inboxes_[w].size();
+        if (sz >= inbox_size_counts_.size())
+          inbox_size_counts_.resize(sz + 1, 0);
+        ++inbox_size_counts_[sz];
+      }
     }
 
     // Let the dispatched nodes react (sends land in next_flight_, so
@@ -280,6 +375,7 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
   }
   rounds_counter_.add(executed);
   quiescence_gauge_.set(round_);
+  if (obs_) flush_obs();
   return executed;
 }
 

@@ -34,12 +34,28 @@ struct Session;
 
 namespace manet::net {
 
+/// The causal ancestry a node declares for an outgoing message: the
+/// trace id of the received message that triggered it plus that
+/// message's wave depth (both read off the triggering Message).
+struct Cause {
+  std::uint64_t id = 0;     ///< parent trace id (0 = no cause, wave root)
+  std::uint32_t depth = 0;  ///< parent's depth (child = depth + 1)
+};
+
 /// Interface handed to a node when it may transmit.
 class Mailbox {
  public:
   virtual ~Mailbox() = default;
-  /// Queues a local broadcast for delivery next round.
+  /// Queues a local broadcast for delivery next round (a wave root:
+  /// no causal parent).
   virtual void send(MessageBody body) = 0;
+  /// Causal send: like send(), with the triggering message declared so
+  /// the envelope carries parent id + depth. Default ignores the cause
+  /// (custom mailboxes that predate causal tracing keep working).
+  virtual void send_caused(MessageBody body, Cause cause) {
+    (void)cause;
+    send(std::move(body));
+  }
 };
 
 /// Messages delivered to one node this round, as pointers into the
@@ -147,12 +163,26 @@ class Simulator {
   using Observer = std::function<void(std::uint32_t, const Message&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
-  /// Attaches an observability session: every transmission becomes an
-  /// instant trace event on the sender's track (one simulated round =
-  /// 1 ms of trace time, so the exchange reads round-by-round in
-  /// Perfetto), and `net.*` counters/histograms land in its registry.
-  /// nullptr detaches. The session must outlive the simulator.
+  /// Attaches an observability session: every transmission is journaled
+  /// with its causal envelope, and `net.*` counters/histograms land in
+  /// the session's registry (flushed from local accumulators at the end
+  /// of each run(), so the per-send hot path is one ring write). The
+  /// renderable per-send trace events are synthesized from the journal
+  /// at export time — pass the session's journal to
+  /// TraceRecorder::write_chrome_trace. nullptr detaches (flushing any
+  /// pending accumulation). The session must outlive the simulator.
   void set_obs(obs::Session* session);
+
+  /// Per-depth counts of caused transmissions accumulated since the last
+  /// reset (index = causal depth; roots are not counted). Only grows
+  /// while a session is attached. The maintenance engine drains this
+  /// once per tick into its `proto.conv.wave_depth` histogram.
+  const std::vector<std::uint32_t>& wave_depth_counts() const {
+    return depth_counts_;
+  }
+  void reset_wave_depth_counts() {
+    depth_counts_.assign(depth_counts_.size(), 0);
+  }
 
   const MessageCounts& counts() const { return counts_; }
   const DeliveryStats& delivery_stats() const { return delivery_; }
@@ -165,9 +195,15 @@ class Simulator {
  private:
   class RoundMailbox;
 
-  /// Counts one transmission: protocol counters, the user observer, the
-  /// obs session (counter by type + instant trace event).
-  void record_send(const Message& m);
+  /// Stamps the causal trace id (monotonic send sequence) and counts one
+  /// transmission: protocol counters, the user observer, and — when a
+  /// session is attached — the journal entry plus local accumulators
+  /// (wave depth, per-type counts) flushed by flush_obs().
+  void record_send(Message& m);
+
+  /// Pushes the locally accumulated per-type message counts and inbox
+  /// sizes into the attached session's registry (end of run(), detach).
+  void flush_obs();
 
   /// Rebuilds awake_ by polling every process (start / timer edges).
   void poll_awake();
@@ -193,7 +229,17 @@ class Simulator {
   std::uint32_t dispatch_epoch_ = 0;
   bool started_ = false;
   std::uint32_t round_ = 0;
+  std::uint64_t trace_seq_ = 0;  ///< causal trace ids handed out so far
   obs::Session* obs_ = nullptr;
+  /// counts_ as of the last flush_obs() — the registry's `net.msg.*`
+  /// counters advance by the delta, so per-send work stays off the
+  /// atomics.
+  MessageCounts last_flushed_counts_;
+  /// Exact inbox-size occurrence counts since the last flush (index =
+  /// size; sizes are small, degree-bounded integers).
+  std::vector<std::uint32_t> inbox_size_counts_;
+  /// Caused-send counts by causal depth since the last engine drain.
+  std::vector<std::uint32_t> depth_counts_;
   obs::Counter msg_counters_[std::variant_size_v<MessageBody>];
   obs::Counter rounds_counter_;
   obs::Gauge quiescence_gauge_;

@@ -103,6 +103,24 @@ class Histogram {
 #endif
   }
 
+  /// Records `count` identical samples in O(1) — the flush half of the
+  /// accumulate-locally-flush-per-tick pattern hot loops use to keep
+  /// per-event instrumentation off their critical path.
+  void record_many(std::uint64_t value, std::uint64_t count) const noexcept {
+#if MANET_OBS_ENABLED
+    if (!cells_ || count == 0) return;
+    const auto& e = cells_->edges;
+    const auto idx = static_cast<std::size_t>(
+        std::upper_bound(e.begin(), e.end(), value) - e.begin());
+    cells_->buckets[idx].fetch_add(count, std::memory_order_relaxed);
+    cells_->count.fetch_add(count, std::memory_order_relaxed);
+    cells_->sum.fetch_add(value * count, std::memory_order_relaxed);
+#else
+    (void)value;
+    (void)count;
+#endif
+  }
+
  private:
   friend class Registry;
   explicit Histogram(HistogramCells* cells) : cells_(cells) {}

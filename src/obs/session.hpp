@@ -1,22 +1,27 @@
 // One observability session = one metrics registry + one flight
-// recorder. Engines take a `Session*` (nullptr = not observed) so a
-// bench or experiment can scope metrics to a single run, snapshot them
-// into its JSON record, and export the trace on demand.
+// recorder + one protocol-event journal. Engines take a `Session*`
+// (nullptr = not observed) so a bench or experiment can scope metrics to
+// a single run, snapshot them into its JSON record, and export the trace
+// and journal on demand.
 #pragma once
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace manet::obs {
 
-/// Bundles the registry and the trace ring handed to instrumented
-/// engines. Non-copyable (registries hand out stable pointers).
+/// Bundles the registry, the trace ring and the journal handed to
+/// instrumented engines. Non-copyable (registries hand out stable
+/// pointers).
 struct Session {
   Registry registry;
   TraceRecorder trace;
+  Journal journal;
 
   Session() = default;
-  explicit Session(std::size_t trace_capacity) : trace(trace_capacity) {}
+  explicit Session(std::size_t trace_capacity)
+      : trace(trace_capacity), journal(trace_capacity) {}
 };
 
 }  // namespace manet::obs

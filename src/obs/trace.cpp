@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <unordered_set>
 
 #include "common/assert.hpp"
+#include "obs/journal.hpp"
 
 namespace manet::obs {
 
@@ -61,6 +63,24 @@ void TraceRecorder::complete(const char* cat, const char* name,
   push({cat, name, 'X', tid, ts_ns, dur_ns, tick, arg_name, arg});
 }
 
+void TraceRecorder::flow_begin_at(std::uint64_t ts_ns, const char* cat,
+                                  const char* name, std::uint64_t flow_id,
+                                  std::uint64_t tick, std::uint32_t tid) {
+  push({cat, name, 's', tid, ts_ns, 0, tick, nullptr, 0, flow_id});
+}
+
+void TraceRecorder::flow_step_at(std::uint64_t ts_ns, const char* cat,
+                                 const char* name, std::uint64_t flow_id,
+                                 std::uint64_t tick, std::uint32_t tid) {
+  push({cat, name, 't', tid, ts_ns, 0, tick, nullptr, 0, flow_id});
+}
+
+void TraceRecorder::flow_end_at(std::uint64_t ts_ns, const char* cat,
+                                const char* name, std::uint64_t flow_id,
+                                std::uint64_t tick, std::uint32_t tid) {
+  push({cat, name, 'f', tid, ts_ns, 0, tick, nullptr, 0, flow_id});
+}
+
 std::size_t TraceRecorder::size() const { return ring_.size(); }
 
 void TraceRecorder::clear() {
@@ -79,11 +99,29 @@ void TraceRecorder::for_each(Fn&& fn) const {
     fn(ring_[(next_ + i) % capacity_]);
 }
 
-void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+void TraceRecorder::write_chrome_trace(std::ostream& out,
+                                       const Journal* journal) const {
+  // Ring-wrap orphan repair: a flow step/end whose begin was overwritten
+  // would render as a dangling arrow from nowhere, so collect the flow
+  // ids that still have their 's' in the retained window and drop the
+  // rest at export (the ring itself keeps everything it was given).
+  std::unordered_set<std::uint64_t> live_flows;
+  for_each([&](const TraceEvent& e) {
+    if (e.phase == 's') live_flows.insert(e.flow_id);
+  });
+  // Same repair for synthesized flows: a journal event's 'f' (the arrow
+  // from its parent) is only emitted when the parent's own event — and
+  // thus its 's' — survives in the journal window.
+  std::unordered_set<std::uint64_t> journal_ids;
+  if (journal != nullptr)
+    journal->for_each(
+        [&](const JournalEvent& je) { journal_ids.insert(je.trace_id); });
+
   out << "{\"traceEvents\":[";
   bool first = true;
   char buf[64];
-  for_each([&](const TraceEvent& e) {
+  const auto emit = [&](const TraceEvent& e) {
+    const bool flow = e.phase == 's' || e.phase == 't' || e.phase == 'f';
     if (!first) out << ',';
     first = false;
     out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
@@ -97,18 +135,41 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
       out << ",\"dur\":" << buf;
     }
     if (e.phase == 'i') out << ",\"s\":\"t\"";
+    if (flow) {
+      out << ",\"id\":" << e.flow_id;
+      if (e.phase == 'f') out << ",\"bp\":\"e\"";
+    }
     out << ",\"args\":{\"tick\":" << e.tick;
     if (e.arg_name)
       out << ",\"" << e.arg_name << "\":" << e.arg;
     out << "}}";
+  };
+
+  if (journal != nullptr)
+    journal->for_each([&](const JournalEvent& je) {
+      const std::uint64_t ts = std::uint64_t{je.round} * kRoundNs;
+      emit({"net", je.type, 'i', je.node, ts, 0, je.round, "from", je.node});
+      emit({"proto", "wave", 's', je.node, ts, 0, je.round, nullptr, 0,
+            je.trace_id});
+      if (je.parent_id != 0 && journal_ids.contains(je.parent_id))
+        emit({"proto", "wave", 'f', je.node, ts, 0, je.round, nullptr, 0,
+              je.parent_id});
+    });
+
+  for_each([&](const TraceEvent& e) {
+    const bool flow = e.phase == 's' || e.phase == 't' || e.phase == 'f';
+    if (flow && e.phase != 's' && !live_flows.contains(e.flow_id))
+      return;  // orphaned by ring wrap
+    emit(e);
   });
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }
 
-void TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+void TraceRecorder::write_chrome_trace_file(const std::string& path,
+                                            const Journal* journal) const {
   std::ofstream out(path);
   MANET_REQUIRE(out.good(), "cannot open trace output file: " + path);
-  write_chrome_trace(out);
+  write_chrome_trace(out, journal);
 }
 
 void TraceRecorder::dump_tail(std::ostream& out,
@@ -128,6 +189,8 @@ void TraceRecorder::dump_tail(std::ostream& out,
                     static_cast<double>(e.dur_ns) / 1000.0);
       out << ' ' << buf << "us";
     }
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f')
+      out << " flow=" << e.flow_id;
     if (e.arg_name) out << ' ' << e.arg_name << '=' << e.arg;
     if (e.tid != 0) out << " (tid " << e.tid << ')';
     out << '\n';

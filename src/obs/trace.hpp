@@ -30,8 +30,11 @@
 
 namespace manet::obs {
 
+class Journal;
+
 /// One recorded event. `phase` follows the Chrome trace-event format:
-/// 'X' = complete span (ts + dur), 'i' = instant.
+/// 'X' = complete span (ts + dur), 'i' = instant, 's'/'t'/'f' = flow
+/// start/step/finish (rendered as arrows between the flow's events).
 struct TraceEvent {
   const char* cat = "";
   const char* name = "";
@@ -42,6 +45,7 @@ struct TraceEvent {
   std::uint64_t tick = 0;      ///< engine tick / simulator round
   const char* arg_name = nullptr;  ///< optional extra argument
   std::uint64_t arg = 0;
+  std::uint64_t flow_id = 0;   ///< flow phases only ('s'/'t'/'f')
 };
 
 /// Fixed-capacity event ring ("flight recorder").
@@ -69,6 +73,20 @@ class TraceRecorder {
                 std::uint32_t tid = 0, const char* arg_name = nullptr,
                 std::uint64_t arg = 0);
 
+  /// Flow events: all events of one flow must share (cat, name, id) —
+  /// Chrome binds them into a chain of arrows across tracks. Begin once
+  /// per flow; steps/ends whose begin has been evicted from the ring are
+  /// dropped at export time (no dangling arrows).
+  void flow_begin_at(std::uint64_t ts_ns, const char* cat, const char* name,
+                     std::uint64_t flow_id, std::uint64_t tick,
+                     std::uint32_t tid = 0);
+  void flow_step_at(std::uint64_t ts_ns, const char* cat, const char* name,
+                    std::uint64_t flow_id, std::uint64_t tick,
+                    std::uint32_t tid = 0);
+  void flow_end_at(std::uint64_t ts_ns, const char* cat, const char* name,
+                   std::uint64_t flow_id, std::uint64_t tick,
+                   std::uint32_t tid = 0);
+
   /// Events currently held (<= capacity).
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -79,8 +97,19 @@ class TraceRecorder {
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}) — open in
   /// chrome://tracing or https://ui.perfetto.dev.
-  void write_chrome_trace(std::ostream& out) const;
-  void write_chrome_trace_file(const std::string& path) const;
+  ///
+  /// When a `journal` is supplied, its protocol events are synthesized
+  /// into the export alongside the ring's own events: one instant per
+  /// transmission on the sender's track (ts = round x kRoundNs) plus the
+  /// causal flow pair — an 's' opening the message's own flow and, for
+  /// caused messages whose parent is still in the journal window, an 'f'
+  /// closing the parent's flow (the arrow from parent to child).
+  /// Synthesis keeps the simulator's per-send hot path down to a single
+  /// journal write; the renderable events only exist at export time.
+  void write_chrome_trace(std::ostream& out,
+                          const Journal* journal = nullptr) const;
+  void write_chrome_trace_file(const std::string& path,
+                               const Journal* journal = nullptr) const;
 
   /// Last `max_events` events as readable text (crash / mismatch dumps).
   void dump_tail(std::ostream& out, std::size_t max_events) const;

@@ -1,6 +1,7 @@
 #include "proto/engine.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -85,6 +86,9 @@ MaintenanceEngine::MaintenanceEngine(std::vector<geom::Point> positions,
     for (const NodeId w : selection_[h].gateways)
       node_mut(w).seed_origin(h, true, selection_[h].gateways);
 
+  if (options_.inject_stale_gateway_fault)
+    for (NodeId v = 0; v < n; ++v) node_mut(v).inject_stale_gateway_fault();
+
   if (options_.obs != nullptr) set_obs(options_.obs);
 }
 
@@ -107,6 +111,11 @@ void MaintenanceEngine::set_obs(obs::Session* session) {
   reselects_counter_ = obs::Counter();
   rounds_hist_ = obs::Histogram();
   msgs_hist_ = obs::Histogram();
+  conv_expired_counter_ = obs::Counter();
+  conv_stale_max_gauge_ = obs::Gauge();
+  conv_stale_hist_ = obs::Histogram();
+  conv_wave_depth_hist_ = obs::Histogram();
+  conv_quiescence_hist_ = obs::Histogram();
   if (session == nullptr) return;
   auto& r = session->registry;
   ticks_counter_ = r.counter("proto.ticks");
@@ -119,6 +128,17 @@ void MaintenanceEngine::set_obs(obs::Session* session) {
                              {1, 2, 4, 6, 8, 12, 16, 32, 64});
   msgs_hist_ = r.histogram("proto.msgs_per_tick",
                            {8, 64, 512, 4096, 32768, 262144});
+  // Convergence families: every value is an integer quantity of the
+  // sequentially-dispatched protocol, so the deterministic() snapshot
+  // diffs byte-for-byte across runs and pipeline thread counts.
+  conv_expired_counter_ = r.counter("proto.conv.expired_links");
+  conv_stale_max_gauge_ = r.gauge("proto.conv.stale_age_max");
+  conv_stale_hist_ = r.histogram("proto.conv.stale_age",
+                                 {1, 2, 3, 4, 6, 8, 12, 16});
+  conv_wave_depth_hist_ = r.histogram("proto.conv.wave_depth",
+                                      {1, 2, 3, 4, 6, 8, 12, 16});
+  conv_quiescence_hist_ = r.histogram("proto.conv.quiescence_ticks",
+                                      {1, 2, 4, 8, 16, 32, 64});
 }
 
 MaintTickStats MaintenanceEngine::tick() {
@@ -126,6 +146,7 @@ MaintTickStats MaintenanceEngine::tick() {
   const net::MessageCounts counts_before = sim_->counts();
   const net::DeliveryStats delivery_before = sim_->delivery_stats();
   const std::uint64_t t0 = obs_ != nullptr ? obs_->trace.now_ns() : 0;
+  if (obs_ != nullptr) obs_->journal.set_tick(ticks_ + 1);
 
   const incr::EdgeDelta delta = tracker_.commit();
   stats.link_changes = delta.added.size() + delta.removed.size();
@@ -159,17 +180,31 @@ MaintTickStats MaintenanceEngine::tick() {
       delivery_after.dispatches - delivery_before.dispatches;
 
   if (options_.oracle_check) {
-    std::string diff = diff_against(expected);
-    if (diff.empty()) diff = check_gateway_flags(*oracle_graph);
+    NodeId divergent = kInvalidNode;
+    NodeId origin = kInvalidNode;
+    std::string diff = diff_against(expected, &divergent);
+    if (diff.empty())
+      diff = check_gateway_flags(*oracle_graph, &divergent, &origin);
     if (!diff.empty()) {
       std::ostringstream os;
       os << "maintenance protocol diverged from the oracle at tick "
          << ticks_ + 1 << ": " << diff;
+      const std::string report = forensic_report(divergent, origin);
+      if (!report.empty()) {
+        os << "\n" << report;
+        std::cerr << os.str() << std::endl;
+      }
       throw std::logic_error(os.str());
     }
   }
 
   ++ticks_;
+  // Quiescence runs: the length of every maximal streak of "active"
+  // ticks (any link/cluster/table churn), recorded when a quiet tick
+  // ends the streak. Purely tick-sequence derived, so deterministic.
+  const bool active = stats.link_changes > 0 || stats.head_changes > 0 ||
+                      stats.role_changes > 0 || stats.rows_changed > 0 ||
+                      stats.heads_refreshed > 0;
   if (obs_ != nullptr) {
     ticks_counter_.add();
     rounds_counter_.add(stats.rounds);
@@ -179,13 +214,35 @@ MaintTickStats MaintenanceEngine::tick() {
     reselects_counter_.add(stats.heads_refreshed);
     rounds_hist_.record(stats.rounds);
     msgs_hist_.record(stats.messages.maintenance_total());
+    conv_expired_counter_.add(stats.expired_links);
+    // Wave depth rides the causal envelope: the simulator accumulates
+    // caused-send counts by hop distance off the wire; draining them
+    // here is one bulk record per occupied depth instead of a histogram
+    // update per message.
+    const auto& depths = sim_->wave_depth_counts();
+    for (std::size_t d = 0; d < depths.size(); ++d)
+      if (depths[d] != 0) conv_wave_depth_hist_.record_many(d, depths[d]);
+    sim_->reset_wave_depth_counts();
+    for (const std::uint32_t age : stats.stale_ages) {
+      conv_stale_hist_.record(age);
+      if (age > stale_age_max_) stale_age_max_ = age;
+    }
+    conv_stale_max_gauge_.set(static_cast<std::int64_t>(stale_age_max_));
+    if (!active && active_run_ > 0)
+      conv_quiescence_hist_.record(active_run_);
     obs_->trace.complete("proto", "tick", t0, obs_->trace.now_ns() - t0,
                          ticks_, 0, "rounds", stats.rounds);
   }
+  active_run_ = active ? active_run_ + 1 : 0;
   return stats;
 }
 
 void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
+  stats.expired_links = ledger_.expired_links;
+  ledger_.expired_links = 0;
+  stats.stale_ages = std::move(ledger_.stale_ages);
+  ledger_.stale_ages.clear();
+
   const auto dedup = [](std::vector<NodeId>& ids) {
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -249,8 +306,27 @@ std::uint64_t MaintenanceEngine::state_hash() const {
 
 std::string MaintenanceEngine::diff_against(
     const core::StaticBackbone& oracle) const {
+  NodeId ignored = kInvalidNode;
+  return diff_against(oracle, &ignored);
+}
+
+std::string MaintenanceEngine::diff_against(const core::StaticBackbone& oracle,
+                                            NodeId* divergent) const {
+  *divergent = kInvalidNode;
   std::ostringstream os;
   if (clustering_.heads != oracle.clustering.heads) {
+    // Witness: the first id on exactly one side of the symmetric diff.
+    for (const NodeId h : clustering_.heads)
+      if (!contains_sorted(oracle.clustering.heads, h)) {
+        *divergent = h;
+        break;
+      }
+    if (*divergent == kInvalidNode)
+      for (const NodeId h : oracle.clustering.heads)
+        if (!contains_sorted(clustering_.heads, h)) {
+          *divergent = h;
+          break;
+        }
     os << "clusterhead sets differ (" << clustering_.heads.size()
        << " maintained vs " << oracle.clustering.heads.size() << " oracle)";
     return os.str();
@@ -258,31 +334,37 @@ std::string MaintenanceEngine::diff_against(
   const std::size_t n = clustering_.head_of.size();
   for (NodeId v = 0; v < n; ++v) {
     if (clustering_.head_of[v] != oracle.clustering.head_of[v]) {
+      *divergent = v;
       os << "head_of[" << v << "]: " << clustering_.head_of[v] << " vs "
          << oracle.clustering.head_of[v];
       return os.str();
     }
     if (clustering_.roles[v] != oracle.clustering.roles[v]) {
+      *divergent = v;
       os << "role[" << v << "] differs";
       return os.str();
     }
   }
   for (NodeId v = 0; v < n; ++v) {
     if (tables_.ch_hop1[v] != oracle.tables.ch_hop1[v]) {
+      *divergent = v;
       os << "ch_hop1[" << v << "] differs";
       return os.str();
     }
     if (!(tables_.ch_hop2[v] == oracle.tables.ch_hop2[v])) {
+      *divergent = v;
       os << "ch_hop2[" << v << "] differs";
       return os.str();
     }
   }
   for (NodeId v = 0; v < n; ++v) {
     if (!(coverage_[v] == oracle.coverage[v])) {
+      *divergent = v;
       os << "coverage[" << v << "] differs";
       return os.str();
     }
     if (selection_[v].gateways != oracle.selection[v].gateways) {
+      *divergent = v;
       os << "selection[" << v << "] differs";
       return os.str();
     }
@@ -300,17 +382,40 @@ std::string MaintenanceEngine::diff_against(
 
 std::string MaintenanceEngine::check_gateway_flags(
     const graph::Graph& g) const {
+  NodeId ignored_node = kInvalidNode;
+  NodeId ignored_origin = kInvalidNode;
+  return check_gateway_flags(g, &ignored_node, &ignored_origin);
+}
+
+std::string MaintenanceEngine::check_gateway_flags(const graph::Graph& g,
+                                                   NodeId* divergent,
+                                                   NodeId* origin) const {
+  *divergent = kInvalidNode;
+  *origin = kInvalidNode;
   std::ostringstream os;
+  const auto first_selected_origin = [](const MaintenanceNode& nd) {
+    for (const auto& e : nd.origins())
+      if (e.selected) return e.origin;
+    return kInvalidNode;
+  };
   for (NodeId v = 0; v < g.order(); ++v) {
     const MaintenanceNode& nd = node(v);
     const bool truth = selection_refs_[v] > 0;
     const bool flag = nd.gateway_flag();
     if (truth && !flag) {
+      *divergent = v;
+      for (const NodeId h : clustering_.heads)
+        if (contains_sorted(selection_[h].gateways, v)) {
+          *origin = h;
+          break;
+        }
       os << "node " << v << " is selected but its gateway flag is clear";
       return os.str();
     }
     if (flag && !truth) {
       if (options_.mode == core::CoverageMode::kThreeHop) {
+        *divergent = v;
+        *origin = first_selected_origin(nd);
         os << "node " << v
            << " holds a stale gateway flag (3-hop GC should be exact)";
         return os.str();
@@ -320,11 +425,24 @@ std::string MaintenanceEngine::check_gateway_flags(
       // longer reach the node (outside its 2-hop ball).
       for (const auto& e : nd.origins()) {
         if (!e.selected) continue;
-        // A dead origin (resigned since) can sit at any distance: its
+        // A dead origin (resigned since) can sit at a distance: its
         // retraction flood covered the ball it had *then*, not the ball
-        // this node wandered into afterwards. Only a live head keeps
-        // its 2-hop ball current.
-        if (clustering_.head_of[e.origin] != e.origin) continue;
+        // this node wandered into afterwards. But direct contact is
+        // conclusive — either the node was inside the retraction flood,
+        // or the ex-head's non-head beacon cleared the entry at link
+        // formation (add_link). A flag surviving adjacency is the
+        // historical stale-gateway bug.
+        if (clustering_.head_of[e.origin] != e.origin) {
+          if (g.has_edge(v, e.origin)) {
+            *divergent = v;
+            *origin = e.origin;
+            os << "node " << v
+               << " holds a stale gateway flag from resigned ex-head "
+               << e.origin << " despite hearing its non-head beacon";
+            return os.str();
+          }
+          continue;
+        }
         bool in_ball = g.has_edge(v, e.origin);
         if (!in_ball) {
           for (const NodeId w : g.neighbors(v)) {
@@ -335,6 +453,8 @@ std::string MaintenanceEngine::check_gateway_flags(
           }
         }
         if (in_ball) {
+          *divergent = v;
+          *origin = e.origin;
           os << "node " << v << " holds a stale gateway flag from origin "
              << e.origin << " inside its 2-hop ball";
           return os.str();
@@ -343,6 +463,47 @@ std::string MaintenanceEngine::check_gateway_flags(
     }
   }
   return "";
+}
+
+std::string MaintenanceEngine::forensic_report(NodeId divergent,
+                                               NodeId origin) const {
+  if (obs_ == nullptr || divergent == kInvalidNode) return "";
+  const obs::Journal& journal = obs_->journal;
+  if (journal.size() == 0) return "";
+  std::ostringstream os;
+  os << "forensics: causal slice from the event journal";
+
+  // Recent sends of the nodes involved (the local history leading up to
+  // the bad state), oldest first.
+  constexpr std::size_t kKeep = 12;
+  std::vector<obs::JournalEvent> recent;
+  journal.for_each([&](const obs::JournalEvent& e) {
+    if (e.node == divergent || (origin != kInvalidNode && e.node == origin))
+      recent.push_back(e);
+  });
+  const std::size_t skip = recent.size() > kKeep ? recent.size() - kKeep : 0;
+  os << "\n  recent sends of node " << divergent;
+  if (origin != kInvalidNode) os << " and origin " << origin;
+  os << ":";
+  if (recent.empty()) os << " (none retained)";
+  for (std::size_t i = skip; i < recent.size(); ++i)
+    os << "\n    " << obs::Journal::format_event(recent[i]);
+
+  // The causal chain behind each node's newest message: the parent-link
+  // walk back to the wave root (e.g. the beacon that revealed the
+  // head-head edge behind a bad repair).
+  const auto dump_chain = [&](NodeId v, const char* label) {
+    const auto last = journal.last_event_of(v);
+    if (!last) return;
+    os << "\n  causal chain of " << label << ' ' << v
+       << "'s last send (trace " << last->trace_id << "):";
+    for (const auto& e : journal.causal_chain(last->trace_id))
+      os << "\n    " << obs::Journal::format_event(e);
+  };
+  dump_chain(divergent, "node");
+  if (origin != kInvalidNode && origin != divergent)
+    dump_chain(origin, "origin");
+  return os.str();
 }
 
 }  // namespace manet::proto

@@ -57,6 +57,10 @@ struct EngineOptions {
   obs::Session* obs = nullptr;
   /// Simulator livelock guard, per tick.
   std::uint32_t max_rounds_per_tick = 100000;
+  /// Test-only: re-enable the historical stale-gateway soft-state bug on
+  /// every node (MaintenanceNode::inject_stale_gateway_fault) so the
+  /// divergence-forensics path can be exercised against a real fault.
+  bool inject_stale_gateway_fault = false;
 };
 
 /// What one maintenance tick cost on the wire and churned in the state.
@@ -67,6 +71,11 @@ struct MaintTickStats {
   std::size_t role_changes = 0;      ///< nodes whose cluster role changed
   std::size_t rows_changed = 0;      ///< nodes with a changed table row
   std::size_t heads_refreshed = 0;   ///< heads with new coverage/selection
+  std::size_t expired_links = 0;     ///< neighbor-cache expiries (churn)
+  /// Tick-relative decision round of every finalized repair this tick
+  /// (rule-1 resignations and rule-2 re-affiliations) — how long each
+  /// repaired node's state stayed stale.
+  std::vector<std::uint32_t> stale_ages;
   net::MessageCounts messages;       ///< transmissions this tick, by type
   net::DeliveryStats delivery;       ///< delivery-layer cost this tick
 };
@@ -111,8 +120,12 @@ class MaintenanceEngine {
   std::uint64_t ticks() const { return ticks_; }
 
   /// Field-by-field comparison of the mirror against a from-scratch
-  /// rebuild; empty string on bitwise equality.
+  /// rebuild; empty string on bitwise equality. The overload reports the
+  /// first divergent node (kInvalidNode for whole-set diffs with no
+  /// single witness) so forensics can walk its causal history.
   std::string diff_against(const core::StaticBackbone& oracle) const;
+  std::string diff_against(const core::StaticBackbone& oracle,
+                           NodeId* divergent) const;
 
   /// Gateway-flag soft-state consistency: a selected node's flag must be
   /// set; an unselected node's flag must be clear in 3-hop mode (exact
@@ -122,6 +135,10 @@ class MaintenanceEngine {
   /// fired out of the node's earshot. Empty string when consistent. `g`
   /// is the current topology (god's-eye ball check).
   std::string check_gateway_flags(const graph::Graph& g) const;
+  /// Overload reporting the inconsistent node and the selecting origin
+  /// whose soft state went stale (kInvalidNode when not applicable).
+  std::string check_gateway_flags(const graph::Graph& g, NodeId* divergent,
+                                  NodeId* origin) const;
 
   void set_obs(obs::Session* session);
 
@@ -130,6 +147,11 @@ class MaintenanceEngine {
 
   MaintenanceNode& node_mut(NodeId v);
   void drain_ledger(MaintTickStats& stats);
+  /// Divergence forensics: the causal slice of the journal around the
+  /// divergent node (and the origin whose state it mirrors wrongly) —
+  /// recent events of both plus the parent-link chain of their newest
+  /// messages. Empty without an attached session.
+  std::string forensic_report(NodeId divergent, NodeId origin) const;
 
   EngineOptions options_;
   incr::DeltaTracker tracker_;
@@ -152,6 +174,15 @@ class MaintenanceEngine {
   obs::Counter ticks_counter_, rounds_counter_, link_changes_counter_,
       head_changes_counter_, rows_changed_counter_, reselects_counter_;
   obs::Histogram rounds_hist_, msgs_hist_;
+  // Convergence observability (proto.conv.* families — all integer
+  // quantities of the deterministic protocol, so snapshots diff
+  // byte-for-byte across runs and thread counts).
+  obs::Counter conv_expired_counter_;
+  obs::Gauge conv_stale_max_gauge_;
+  obs::Histogram conv_stale_hist_, conv_wave_depth_hist_,
+      conv_quiescence_hist_;
+  std::uint64_t stale_age_max_ = 0;  ///< run max fed to the gauge
+  std::uint32_t active_run_ = 0;     ///< consecutive non-quiet ticks so far
 };
 
 }  // namespace manet::proto

@@ -202,6 +202,8 @@ void MaintenanceNode::on_timer(std::uint32_t round, net::Mailbox& out) {
   force_flood_ = false;
   link_resends_done_ = false;
   rows_forced_ = false;
+  last_input_cause_ = net::Cause{};
+  my_r2_cause_ = net::Cause{};
   for (auto& nb : neighbors_) {
     nb.heard = false;
     nb.was_head = nb.is_head();
@@ -230,12 +232,16 @@ void MaintenanceNode::on_round(std::uint32_t round, net::Inbox inbox,
 // ---- Message ingestion --------------------------------------------------
 
 void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
+  const net::Cause cause{m.trace_id, m.depth};
+  last_input_cause_ = cause;
+
   if (const auto* hello = std::get_if<net::MaintHelloMsg>(&m.body)) {
     NeighborCache* nb = find_neighbor(m.from);
     if (nb == nullptr) {
-      add_link(m.from, hello->is_head ? m.from : hello->head);
+      add_link(m.from, hello->is_head ? m.from : hello->head, cause);
     } else {
       nb->heard = true;
+      nb->beacon_cause = cause;
       MANET_ASSERT(nb->head_of == hello->head,
                    "cached affiliation diverged from beacon");
     }
@@ -269,9 +275,10 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
       // hear selection updates (including the one clearing their flag)
       // even when no selected node sits between them and the origin.
       e->forwarded = gw->seq;
-      out.send(net::GatewayMsg{gw->origin, gw->selected,
-                               static_cast<std::uint8_t>(gw->ttl - 1),
-                               gw->seq});
+      out.send_caused(net::GatewayMsg{gw->origin, gw->selected,
+                                      static_cast<std::uint8_t>(gw->ttl - 1),
+                                      gw->seq},
+                      cause);
     }
     return;
   }
@@ -282,6 +289,7 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
 
   if (const auto* r1 = std::get_if<net::R1StatusMsg>(&m.body)) {
     nb->r1 = r1->final_ ? (r1->survived ? kSurvived : kResigned) : kPending;
+    nb->r1_cause = cause;
     // A resignation changes my CH_HOP1 inputs (one fewer adjacent head).
     if (r1->final_ && !r1->survived) rows_dirty_ = true;
     return;
@@ -330,7 +338,7 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
   MANET_ASSERT(false, "construction-phase message during maintenance");
 }
 
-void MaintenanceNode::add_link(NodeId w, NodeId head_of_w) {
+void MaintenanceNode::add_link(NodeId w, NodeId head_of_w, net::Cause cause) {
   const auto it =
       std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), w);
   const auto idx = it - neighbor_ids_.begin();
@@ -340,12 +348,15 @@ void MaintenanceNode::add_link(NodeId w, NodeId head_of_w) {
   cache.head_of = head_of_w;
   cache.heard = true;
   cache.was_head = head_of_w == w;
+  cache.beacon_cause = cause;
   neighbors_.insert(neighbors_.begin() + idx, std::move(cache));
   // A beacon from a non-head is conclusive about its selection: any
   // cached selected bit from w's past head tenure is dead (the
   // retraction flood happened out of this node's earshot). The seq
   // stays, so a fresher flood from a re-declared w still applies.
-  if (head_of_w != w && !origins_.empty()) {
+  // (fault_stale_gateway_ skips the fix — the PR 7 bug, kept reachable
+  // for the divergence-forensics test only.)
+  if (head_of_w != w && !origins_.empty() && !fault_stale_gateway_) {
     const auto oit = std::lower_bound(
         origins_.begin(), origins_.end(), w,
         [](const OriginCache& e, NodeId o) { return e.origin < o; });
@@ -383,44 +394,52 @@ void MaintenanceNode::process_tick_start(net::Mailbox& out) {
   for (const auto& nb : neighbors_)
     if (!nb.heard) expired.push_back(nb.id);
   for (NodeId w : expired) remove_link(w);
+  ledger_->expired_links += expired.size();
 
   if (was_head_) {
     // Rule 1: previous heads were pairwise non-adjacent, so any
     // previous-head neighbor means a head-head edge appeared this tick.
+    // The announcement's causal parent is the beacon that revealed the
+    // edge (the smallest previous-head neighbor's MAINT_HELLO), so a
+    // repair wave chains back to the beacon that started it.
     bool affected = false;
     bool smaller = false;
+    net::Cause trigger;
     for (const auto& nb : neighbors_) {
       if (!nb.was_head) continue;
+      if (!affected) trigger = nb.beacon_cause;
       affected = true;
       if (nb.id < id_) smaller = true;
     }
     if (affected) {
       if (smaller) {
         my_r1_ = kPending;
-        out.send(net::R1StatusMsg{false, false});
+        out.send_caused(net::R1StatusMsg{false, false}, trigger);
       } else {
         my_r1_ = kSurvived;
-        out.send(net::R1StatusMsg{true, true});
+        out.send_caused(net::R1StatusMsg{true, true}, trigger);
       }
     }
   } else if (old_head_ == kInvalidNode ||
              !contains_sorted(neighbor_ids_, old_head_)) {
     // Rule 2: the link to my head is gone — re-affiliation required.
-    become_dirty(out);
+    // Triggered by a *missing* beacon, so the wave starts a fresh root.
+    become_dirty(out, net::Cause{});
   }
 }
 
 // ---- Repair -------------------------------------------------------------
 
 void MaintenanceNode::evaluate(std::uint32_t tr, net::Mailbox& out) {
-  if (my_r1_ == kPending) try_resolve_r1(out);
+  if (my_r1_ == kPending) try_resolve_r1(tr, out);
 
   // Conditional rule-2 dirtiness: my head announced that its own survival
   // is pending (or it already resigned), so my affiliation may break.
+  // The head's R1 announcement is the causal parent of my R2 wave.
   if (!was_head_ && my_r2_ == kNone && old_head_ != kInvalidNode) {
     const NeighborCache* oh = find_neighbor(old_head_);
     if (oh != nullptr && (oh->r1 == kPending || oh->r1 == kResigned))
-      become_dirty(out);
+      become_dirty(out, oh->r1_cause);
   }
 
   if (my_r2_ == kPending) try_decide_r2(tr, out);
@@ -441,7 +460,7 @@ void MaintenanceNode::evaluate(std::uint32_t tr, net::Mailbox& out) {
            (settled_ && is_head() && (head_inputs_dirty_ || force_flood_));
 }
 
-void MaintenanceNode::try_resolve_r1(net::Mailbox& out) {
+void MaintenanceNode::try_resolve_r1(std::uint32_t tr, net::Mailbox& out) {
   // Every smaller previous-head neighbor of an affected head is itself
   // affected (the head-head edge implicates both endpoints) and announced
   // at its tr1, so kNone here means its announcement is still in flight.
@@ -450,34 +469,39 @@ void MaintenanceNode::try_resolve_r1(net::Mailbox& out) {
     if (nb.id >= id_) break;
     if (!nb.was_head) continue;
     if (nb.r1 == kSurvived) {
+      // The smaller head's FINAL(survived) announcement caused this
+      // resignation — chain the wave through it.
       my_r1_ = kResigned;
-      out.send(net::R1StatusMsg{true, false});
+      ledger_->stale_ages.push_back(tr);
+      out.send_caused(net::R1StatusMsg{true, false}, nb.r1_cause);
       // Step down as a selector: retract the flooded selection so the
       // selected nodes drop this origin's flag.
       if (!last_flooded_.empty()) {
         ++selection_seq_;
-        out.send(net::GatewayMsg{id_, NodeSet{}, 2, selection_seq_});
+        out.send_caused(net::GatewayMsg{id_, NodeSet{}, 2, selection_seq_},
+                        nb.r1_cause);
         last_flooded_.clear();
       }
       if (!coverage_.empty() || !(selection_ == core::GatewaySelection{}))
         ledger_->head_rows_changed.push_back(id_);
       coverage_ = core::Coverage{};
       selection_ = core::GatewaySelection{};
-      become_dirty(out);
+      become_dirty(out, nb.r1_cause);
       return;
     }
     if (nb.r1 != kResigned) all_final = false;  // kNone or kPending
   }
   if (all_final) {
     my_r1_ = kSurvived;
-    out.send(net::R1StatusMsg{true, true});
+    out.send_caused(net::R1StatusMsg{true, true}, last_input_cause_);
   }
 }
 
-void MaintenanceNode::become_dirty(net::Mailbox& out) {
+void MaintenanceNode::become_dirty(net::Mailbox& out, net::Cause cause) {
   if (my_r2_ != kNone) return;
   my_r2_ = kPending;
-  out.send(net::R2StatusMsg{false, kInvalidNode, false});
+  my_r2_cause_ = cause;
+  out.send_caused(net::R2StatusMsg{false, kInvalidNode, false}, cause);
 }
 
 void MaintenanceNode::try_decide_r2(std::uint32_t tr, net::Mailbox& out) {
@@ -500,7 +524,7 @@ void MaintenanceNode::try_decide_r2(std::uint32_t tr, net::Mailbox& out) {
   }
   if (old_ok) {
     my_r2_ = kFinal;
-    out.send(net::R2StatusMsg{true, head_, false});
+    out.send_caused(net::R2StatusMsg{true, head_, false}, my_r2_cause_);
     return;
   }
 
@@ -522,7 +546,7 @@ void MaintenanceNode::try_decide_r2(std::uint32_t tr, net::Mailbox& out) {
   }
   if (chosen != kInvalidNode) {
     head_ = chosen;
-    out.send(net::R2StatusMsg{true, chosen, false});
+    out.send_caused(net::R2StatusMsg{true, chosen, false}, my_r2_cause_);
   } else {
     MANET_ASSERT(my_r1_ != kResigned,
                  "a resigned head must find its blocker to join");
@@ -531,9 +555,10 @@ void MaintenanceNode::try_decide_r2(std::uint32_t tr, net::Mailbox& out) {
     force_flood_ = true;
     head_inputs_dirty_ = true;
     origins_.clear();  // selections never contain heads
-    out.send(net::R2StatusMsg{true, id_, true});
+    out.send_caused(net::R2StatusMsg{true, id_, true}, my_r2_cause_);
   }
   my_r2_ = kFinal;
+  ledger_->stale_ages.push_back(tr);
   head_changed_ = true;
   role_dirty_ = true;
   rows_dirty_ = true;
@@ -606,8 +631,10 @@ void MaintenanceNode::settle_rows(net::Mailbox& out) {
     // nodes that both formed links would ping-pong forever).
     const bool force = !links_formed_.empty() && !rows_forced_;
     if (force) rows_forced_ = true;
-    if (h1_changed || force) out.send(net::ChHop1Msg{h1});
-    if (h2_changed || force) out.send(net::ChHop2Msg{h2});
+    if (h1_changed || force) out.send_caused(net::ChHop1Msg{h1},
+                                             last_input_cause_);
+    if (h2_changed || force) out.send_caused(net::ChHop2Msg{h2},
+                                             last_input_cause_);
     my_hop1_ = std::move(h1);
     my_hop2_ = std::move(h2);
   }
@@ -626,7 +653,8 @@ void MaintenanceNode::settle_rows(net::Mailbox& out) {
     } else {
       for (const auto& e : origins_)
         if (contains_sorted(my_hop1_, e.origin))
-          out.send(net::GatewayMsg{e.origin, e.payload, 1, e.seq});
+          out.send_caused(net::GatewayMsg{e.origin, e.payload, 1, e.seq},
+                          last_input_cause_);
     }
   }
 
@@ -662,7 +690,8 @@ void MaintenanceNode::maybe_reselect(net::Mailbox& out) {
 
 void MaintenanceNode::flood_selection(net::Mailbox& out) {
   ++selection_seq_;
-  out.send(net::GatewayMsg{id_, selection_.gateways, 2, selection_seq_});
+  out.send_caused(net::GatewayMsg{id_, selection_.gateways, 2, selection_seq_},
+                  last_input_cause_);
   last_flooded_ = selection_.gateways;
 }
 

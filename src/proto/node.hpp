@@ -63,6 +63,13 @@ struct Ledger {
   std::vector<NodeId> cluster_changed;  ///< head_of and/or role changed
   std::vector<NodeId> rows_changed;     ///< CH_HOP1/CH_HOP2 row changed
   std::vector<NodeId> head_rows_changed;  ///< coverage/selection changed
+  /// Convergence observability: one entry per finalized repair decision
+  /// that changed cluster state (rule-1 resignation or rule-2
+  /// re-affiliation/declaration), valued at the tick-relative round of
+  /// the decision — how long the node's state stayed stale this tick.
+  std::vector<std::uint32_t> stale_ages;
+  /// Neighbor-cache entries expired this tick (missed beacons).
+  std::size_t expired_links = 0;
 };
 
 /// A node's view of one current neighbor, fed by that neighbor's
@@ -78,6 +85,12 @@ struct NeighborCache {
   bool was_head = false;   ///< head status carried by this tick's beacon
   std::uint8_t r1 = 0;     ///< kNone/kPending/kSurvived/kResigned
   std::uint8_t r2 = 0;     ///< kNone/kPending/kFinal
+
+  // Causal ancestry of this tick's messages from the neighbor, kept so
+  // repair announcements triggered by them can declare their parent
+  // (net::Mailbox::send_caused) and waves chain in the trace/journal.
+  net::Cause beacon_cause;  ///< this tick's MAINT_HELLO
+  net::Cause r1_cause;      ///< latest R1_STATUS
 
   bool is_head() const { return head_of == id; }
 };
@@ -130,6 +143,13 @@ class MaintenanceNode final : public net::NodeProcess {
   bool gateway_flag() const;
   const std::vector<OriginCache>& origins() const { return origins_; }
 
+  /// Test hook: re-enables the PR 7 stale-gateway soft-state bug (a
+  /// cached `selected` flag from an ex-head is NOT cleared on hearing
+  /// the ex-head's non-head beacon at link formation). Exists solely so
+  /// divergence forensics can be exercised against a real, historical
+  /// fault; never set outside tests.
+  void inject_stale_gateway_fault() { fault_stale_gateway_ = true; }
+
   // ---- Cache lookups for the kernel view adapters ----
   /// head_of of `x` as cached from its messages (self included).
   NodeId cached_head_of(NodeId x) const;
@@ -149,15 +169,15 @@ class MaintenanceNode final : public net::NodeProcess {
 
   void ingest(const net::Message& m, net::Mailbox& out);
   void process_tick_start(net::Mailbox& out);
-  void add_link(NodeId w, NodeId head_of_w);
+  void add_link(NodeId w, NodeId head_of_w, net::Cause cause);
   void remove_link(NodeId w);
 
   /// Progress evaluation run after every ingest: R1 wave step, R2
   /// dirtiness + decision, settlement (rows, role, origin GC, link-
   /// formation re-sends), head reselection.
   void evaluate(std::uint32_t tr, net::Mailbox& out);
-  void try_resolve_r1(net::Mailbox& out);
-  void become_dirty(net::Mailbox& out);
+  void try_resolve_r1(std::uint32_t tr, net::Mailbox& out);
+  void become_dirty(net::Mailbox& out, net::Cause cause);
   void try_decide_r2(std::uint32_t tr, net::Mailbox& out);
   /// True when every adjacent repair obligation is final: R1 states
   /// conclusive (needs tr >= 2 for silence), R2 pendings resolved, own
@@ -212,6 +232,18 @@ class MaintenanceNode final : public net::NodeProcess {
   bool force_flood_ = false;     ///< flood selection even if unchanged
   bool link_resends_done_ = false;  ///< origin re-sends sent this tick
   bool rows_forced_ = false;     ///< full row re-send to new links done
+
+  // ---- Causal attribution (observability) ----
+  /// The message currently being ingested (or the last one this
+  /// evaluate() pass): fallback parent for sends without a more precise
+  /// trigger (row refreshes, selection floods). Reset by on_timer so
+  /// beacons stay wave roots.
+  net::Cause last_input_cause_;
+  /// Parent of this node's own R2 wave (the message that made it dirty);
+  /// all R2_STATUS sends chain from it.
+  net::Cause my_r2_cause_;
+
+  bool fault_stale_gateway_ = false;  ///< see inject_stale_gateway_fault
 };
 
 }  // namespace manet::proto

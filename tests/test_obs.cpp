@@ -235,6 +235,119 @@ TEST(ObsTraceTest, ChromeExportCarriesSpansAndArgs) {
   EXPECT_EQ(tail.str().find("hop1_scan"), std::string::npos);
 }
 
+TEST(ObsTraceTest, FlowEventsExportWithSharedIdentity) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::TraceRecorder rec(16);
+  rec.flow_begin_at(1000, "proto", "wave", 7, 1, 2);
+  rec.flow_step_at(2000, "proto", "wave", 7, 1, 5);
+  rec.flow_end_at(3000, "proto", "wave", 7, 1, 9);
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // All three carry the binding id; the 'f' carries the enclosing-slice
+  // binding point Chrome needs to anchor the arrow head.
+  std::size_t id_count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"id\":7", pos)) != std::string::npos; ++pos)
+    ++id_count;
+  EXPECT_EQ(id_count, 3u);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // The flow renders across the three node tracks (tid = node id).
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":9"), std::string::npos);
+}
+
+TEST(ObsTraceTest, RingWrapDropsOrphanedFlowEnds) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::TraceRecorder rec(4);  // tiny ring to force eviction
+  rec.flow_begin_at(0, "proto", "wave", 1, 0, 0);
+  // Four fillers evict the flow-begin of id 1.
+  for (std::uint64_t i = 0; i < 4; ++i)
+    rec.instant_at(100 + i, "net", "filler", 0, 0);
+  rec.flow_end_at(500, "proto", "wave", 1, 0, 3);  // orphaned: 's' evicted
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string orphaned = os.str();
+  // A 't'/'f' whose 's' fell off the ring would render as a dangling
+  // arrow from nowhere — the export must drop it.
+  EXPECT_EQ(orphaned.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_EQ(orphaned.find("\"id\":1"), std::string::npos);
+
+  // A begin/end pair that BOTH survive the wrap still exports.
+  rec.flow_begin_at(600, "proto", "wave", 2, 0, 0);
+  rec.flow_end_at(700, "proto", "wave", 2, 0, 1);
+  std::ostringstream os2;
+  rec.write_chrome_trace(os2);
+  const std::string live = os2.str();
+  EXPECT_NE(live.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(live.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(live.find("\"id\":2"), std::string::npos);
+}
+
+TEST(ObsJournalTest, RingQueriesAndCausalChain) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Journal journal(8);
+  EXPECT_THROW(obs::Journal(0), std::invalid_argument);
+  journal.set_tick(1);
+  journal.record(0, 10, "MAINT_HELLO", 1, 0, 0, 10, 1);
+  journal.record(1, 11, "R1_STATUS", 2, 1, 1, 1, 1);
+  journal.set_tick(2);
+  journal.record(2, 12, "R2_STATUS", 3, 2, 2, 11, 3);
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.total_recorded(), 3u);
+
+  const auto hello = journal.find_trace(1);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->tick, 1u);
+  EXPECT_EQ(hello->node, 10u);
+  EXPECT_FALSE(journal.find_trace(99).has_value());
+  EXPECT_FALSE(journal.find_trace(0).has_value());
+
+  // Chain of the deepest message walks back to the root, oldest first.
+  const auto chain = journal.causal_chain(3);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].trace_id, 1u);
+  EXPECT_EQ(chain[1].trace_id, 2u);
+  EXPECT_EQ(chain[2].trace_id, 3u);
+  EXPECT_EQ(chain[2].tick, 2u);
+
+  const auto last = journal.last_event_of(12);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->trace_id, 3u);
+  EXPECT_FALSE(journal.last_event_of(77).has_value());
+
+  // Ring wrap: enough new roots to evict the original chain; the walk
+  // then truncates where the ancestor was overwritten.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    journal.record(3, 20, "MAINT_HELLO", 100 + i, 0, 0, 0, 0);
+  EXPECT_EQ(journal.size(), 8u);
+  EXPECT_EQ(journal.total_recorded(), 11u);
+  EXPECT_FALSE(journal.find_trace(1).has_value());
+  EXPECT_TRUE(journal.causal_chain(3).empty());
+
+  const std::string line = obs::Journal::format_event(*journal.find_trace(100));
+  EXPECT_NE(line.find("node 20"), std::string::npos);
+  EXPECT_NE(line.find("MAINT_HELLO"), std::string::npos);
+  EXPECT_NE(line.find("trace=100"), std::string::npos);
+}
+
+TEST(ObsJournalTest, JsonlExportOneObjectPerLine) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  obs::Journal journal(8);
+  journal.set_tick(3);
+  journal.record(5, 1, "GATEWAY", 42, 41, 2, 9, 7);
+  std::ostringstream os;
+  journal.write_jsonl(os);
+  const std::string jsonl = os.str();
+  EXPECT_EQ(jsonl,
+            "{\"tick\":3,\"round\":5,\"node\":1,\"type\":\"GATEWAY\","
+            "\"trace\":42,\"parent\":41,\"depth\":2,\"a\":9,\"b\":7}\n");
+}
+
 TEST(ObsSimulatorTest, RegistryCountersMatchMessageCounts) {
   const auto g = testing::paper_figure3_network();
   obs::Session session;
@@ -260,8 +373,26 @@ TEST(ObsSimulatorTest, RegistryCountersMatchMessageCounts) {
   ASSERT_EQ(snap.gauges.size(), 1u);
   EXPECT_EQ(snap.gauges[0].name, "net.quiescence_round");
   EXPECT_EQ(snap.gauges[0].value, static_cast<std::int64_t>(rounds));
-  // One instant trace event per transmission, on the sender's track.
-  EXPECT_EQ(session.trace.total_recorded(), counts.total());
+  // The per-send hot path writes only the journal; the renderable
+  // events are synthesized at export time. The merged export carries two
+  // per transmission — the instant on the sender's track plus the causal
+  // flow-begin (construction-phase sends are all wave roots, so no
+  // flow-ends).
+  EXPECT_EQ(session.journal.total_recorded(), counts.total());
+  EXPECT_EQ(session.trace.total_recorded(), 0u);
+  std::ostringstream os;
+  session.trace.write_chrome_trace(os, &session.journal);
+  const std::string json = os.str();
+  std::size_t begins = 0, instants = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"s\"", pos)) != std::string::npos; ++pos)
+    ++begins;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"i\"", pos)) != std::string::npos; ++pos)
+    ++instants;
+  EXPECT_EQ(begins, counts.total());
+  EXPECT_EQ(instants, counts.total());
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos);
 }
 
 /// Never quiesces: transmits a HELLO every round.

@@ -4,6 +4,10 @@
 // protocol on the bitwise state the snapshot-driven incremental engine
 // maintains (both mobility models, both coverage modes).
 #include <cstdint>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +17,8 @@
 #include "exp/msg_churn.hpp"
 #include "geom/point.hpp"
 #include "incr/pipeline.hpp"
+#include "obs/journal.hpp"
+#include "obs/session.hpp"
 #include "proto/engine.hpp"
 
 namespace manet {
@@ -181,6 +187,135 @@ TEST(ProtoEquivalence, MatchesRunChurnFinalHash) {
   const exp::MsgChurnResult protocol = exp::run_msg_churn(mcfg);
   const exp::ChurnResult incremental = exp::run_churn(base);
   EXPECT_EQ(protocol.state_hash, incremental.state_hash);
+}
+
+// ---- Causal tracing and convergence observability ----
+
+// The crafted head-merge repair with the flight recorder attached: the
+// repair wave must land in the event journal as a single connected
+// causal chain, rooted at a beacon and spanning at least three node
+// tracks — the shape the Perfetto flow arrows render.
+TEST(ProtoConvergence, WaveChainSpansThreeNodeTracks) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  std::vector<geom::Point> pts = {{0, 0}, {1, 0}, {10, 0}, {11, 0}};
+  proto::EngineOptions opts =
+      oracle_options(core::CoverageMode::kTwoPointFiveHop);
+  obs::Session session;
+  opts.obs = &session;
+  proto::MaintenanceEngine engine(pts, 1.5, 20, 5, opts);
+  engine.stage_move(2, {1.4, 0});
+  engine.tick();
+
+  // The deepest wave of the repair tick.
+  std::optional<obs::JournalEvent> deepest;
+  session.journal.for_each([&](const obs::JournalEvent& e) {
+    if (!deepest || e.depth > deepest->depth) deepest = e;
+  });
+  ASSERT_TRUE(deepest.has_value());
+  EXPECT_GE(deepest->depth, 3u);
+
+  const std::vector<obs::JournalEvent> chain =
+      session.journal.causal_chain(deepest->trace_id);
+  ASSERT_GE(chain.size(), 3u);
+  EXPECT_EQ(chain.front().parent_id, 0u);  // rooted, not truncated
+  EXPECT_EQ(std::string(chain.front().type), "MAINT_HELLO");
+  std::set<std::uint32_t> tracks;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    tracks.insert(chain[i].node);
+    if (i > 0) {
+      EXPECT_EQ(chain[i].parent_id, chain[i - 1].trace_id);
+    }
+  }
+  EXPECT_GE(tracks.size(), 3u);
+
+  // The rule-1 sub-chain: node 2's final resigned R1_STATUS must be
+  // caused by head 0's surviving announcement, itself caused by a
+  // beacon that revealed the head-head edge.
+  std::optional<obs::JournalEvent> resigned;
+  session.journal.for_each([&](const obs::JournalEvent& e) {
+    if (e.node == 2 && std::string(e.type) == "R1_STATUS" && e.a == 1 &&
+        e.b == 0)
+      resigned = e;
+  });
+  ASSERT_TRUE(resigned.has_value());
+  const std::vector<obs::JournalEvent> r1_chain =
+      session.journal.causal_chain(resigned->trace_id);
+  ASSERT_EQ(r1_chain.size(), 3u);
+  EXPECT_EQ(std::string(r1_chain[0].type), "MAINT_HELLO");
+  EXPECT_EQ(std::string(r1_chain[1].type), "R1_STATUS");
+  EXPECT_EQ(r1_chain[1].node, 0u);  // the surviving smaller head
+  EXPECT_EQ(r1_chain[1].b, 1u);     // survived
+  EXPECT_EQ(r1_chain[0].parent_id, 0u);
+
+  // The convergence families landed in the deterministic snapshot: the
+  // resignation and the re-affiliation each pushed a stale-age sample,
+  // and the wave observer saw caused messages.
+  const std::string json =
+      session.registry.snapshot().deterministic().to_json();
+  EXPECT_NE(json.find("proto.conv.stale_age"), std::string::npos);
+  EXPECT_NE(json.find("proto.conv.wave_depth"), std::string::npos);
+  EXPECT_NE(json.find("proto.conv.quiescence_ticks"), std::string::npos);
+  EXPECT_NE(json.find("proto.conv.expired_links"), std::string::npos);
+}
+
+// proto.conv.* metrics are integer-deterministic: a crosschecked churn
+// run must produce a byte-identical deterministic snapshot whatever the
+// witness pipeline's thread count.
+TEST(ProtoConvergence, ConvMetricsBitwiseEqualAcrossThreads) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  std::string expected;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    exp::MsgChurnConfig config =
+        make_soak(exp::ChurnConfig::Model::kWaypoint,
+                  core::CoverageMode::kTwoPointFiveHop, 11);
+    config.base.ticks = 60;
+    config.base.threads = threads;
+    config.oracle_check = false;  // crosscheck is the threaded harness
+    obs::Session session;
+    config.base.obs = &session;
+    exp::run_msg_churn(config);
+    const std::string json =
+        session.registry.snapshot().deterministic().to_json();
+    EXPECT_NE(json.find("proto.conv.stale_age"), std::string::npos);
+    EXPECT_NE(json.find("proto.conv.quiescence_ticks"), std::string::npos);
+    if (expected.empty())
+      expected = json;
+    else
+      EXPECT_EQ(json, expected) << "snapshot diverged at threads=" << threads;
+  }
+}
+
+// Divergence forensics end to end: re-introduce the historical
+// stale-gateway bug (a cached selected flag surviving the ex-head's
+// non-head beacon at link formation), soak until the oracle trips, and
+// require the exception to carry the causal slice — the ex-head's
+// recent beacon chain — from the event journal.
+TEST(ProtoForensics, StaleGatewayFaultDumpsCausalSlice) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  exp::MsgChurnConfig config =
+      make_soak(exp::ChurnConfig::Model::kWaypoint,
+                core::CoverageMode::kTwoPointFiveHop, 5);
+  config.base.ticks = 100;  // seed 5 diverges at tick 96
+  config.crosscheck = false;
+  config.oracle_check = true;
+  config.inject_stale_gateway_fault = true;
+  obs::Session session;
+  config.base.obs = &session;
+  try {
+    exp::run_msg_churn(config);
+    FAIL() << "injected stale-gateway fault escaped the oracle";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stale gateway flag from resigned ex-head"),
+              std::string::npos);
+    EXPECT_NE(what.find("forensics: causal slice"), std::string::npos);
+    // The slice names the ex-head (origin 55 for this seed) and shows
+    // its beacon chain — MAINT_HELLO roots in the recent-sends dump.
+    EXPECT_NE(what.find("and origin 55"), std::string::npos);
+    EXPECT_NE(what.find("node 55 MAINT_HELLO"), std::string::npos);
+    EXPECT_NE(what.find("causal chain of origin 55"), std::string::npos);
+  }
 }
 
 }  // namespace
