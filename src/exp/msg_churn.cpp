@@ -49,6 +49,7 @@ MsgChurnResult run_msg_churn(const MsgChurnConfig& config) {
   eopts.streaming_build = base.streaming_build;
   eopts.obs = base.obs;
   eopts.max_rounds_per_tick = config.max_rounds_per_tick;
+  eopts.threads = config.engine_threads;
   eopts.inject_stale_gateway_fault = config.inject_stale_gateway_fault;
   proto::MaintenanceEngine engine(mix.positions(), mix.range(), base.width,
                                   base.height, eopts);
@@ -80,6 +81,7 @@ MsgChurnResult run_msg_churn(const MsgChurnConfig& config) {
   std::size_t deliveries = 0;
   std::size_t rounds_sum = 0;
   double wall_ms = 0.0;
+  double deliver_ms = 0.0, node_step_ms = 0.0, mirror_ms = 0.0;
 
   for (std::size_t tick = 0; tick < base.ticks; ++tick) {
     const bool is_burst = tick == burst_tick;
@@ -109,6 +111,9 @@ MsgChurnResult run_msg_churn(const MsgChurnConfig& config) {
     }
 
     rounds_sum += stats.rounds;
+    deliver_ms += stats.deliver_ms;
+    node_step_ms += stats.node_step_ms;
+    mirror_ms += stats.mirror_ms;
     result.max_rounds = std::max(result.max_rounds, stats.rounds);
     if (is_burst) result.burst_rounds = stats.rounds;
     msgs.maint_hello += stats.messages.maint_hello;
@@ -144,6 +149,9 @@ MsgChurnResult run_msg_churn(const MsgChurnConfig& config) {
   result.mean_rows_changed /= ticks;
   result.mean_heads_refreshed /= ticks;
   result.wall_ms_per_tick = wall_ms / ticks;
+  result.deliver_ms_per_tick = deliver_ms / ticks;
+  result.node_step_ms_per_tick = node_step_ms / ticks;
+  result.mirror_ms_per_tick = mirror_ms / ticks;
   result.state_hash = engine.state_hash();
   result.peak_rss_bytes = peak_rss_bytes();
   result.connected = mix.connected();

@@ -40,6 +40,11 @@ struct MsgChurnConfig {
   double burst_fraction = 0.0;
   /// Simulator livelock guard, per tick.
   std::uint32_t max_rounds_per_tick = 100000;
+  /// Region-sharded engine execution (proto::EngineOptions::threads):
+  /// 0 = the classic sequential simulator loop, k >= 1 = active repair
+  /// regions as independent scoped simulations on k lanes. State hash
+  /// and deterministic metrics are bitwise-invariant across values.
+  std::size_t engine_threads = 0;
   /// Re-introduce the historical stale-gateway-flag bug in every node
   /// (proto::EngineOptions::inject_stale_gateway_fault). Only the
   /// divergence-forensics test sets this.
@@ -68,6 +73,12 @@ struct MsgChurnResult {
   double mean_rows_changed = 0.0;
   double mean_heads_refreshed = 0.0;
   double wall_ms_per_tick = 0.0;  ///< engine tick cost (protocol side only)
+  // Mean per-phase breakdown of wall_ms_per_tick (bench reporting; the
+  // remainder is commit/accounting overhead). Summed across lanes under
+  // concurrent region execution, so deliver+node_step can exceed wall.
+  double deliver_ms_per_tick = 0.0;    ///< message delivery passes
+  double node_step_ms_per_tick = 0.0;  ///< node code (timers + rounds)
+  double mirror_ms_per_tick = 0.0;     ///< mirror refresh (ledger drain)
   /// Digest of the final maintained state — equal to run_churn's
   /// state_hash for the same ChurnConfig (and asserted equal every tick
   /// when crosscheck is on).

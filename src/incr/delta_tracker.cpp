@@ -287,6 +287,7 @@ EdgeDelta DeltaTracker::commit(const CommitOptions& opts) {
     opts.regions->count = 0;
     opts.regions->deltas.clear();
     opts.regions->core_cells.clear();
+    opts.regions->scopes.clear();
     opts.regions->cols = cols_;
     opts.regions->rows = rows_;
   }
@@ -366,7 +367,9 @@ EdgeDelta DeltaTracker::commit(const CommitOptions& opts) {
   normalize(delta.touched);
 
   if (!opts.defer_adjacency) apply_delta(delta);
-  if (opts.regions) build_regions(delta, old_slots, *opts.regions);
+  if (opts.regions)
+    build_regions(delta, old_slots, opts.growth_cells, opts.region_scopes,
+                  *opts.regions);
   staged_.clear();
   maybe_compact();
   return delta;
@@ -433,6 +436,7 @@ std::uint32_t DeltaTracker::paint_get(std::uint64_t key) const {
 
 void DeltaTracker::build_regions(const EdgeDelta& delta,
                                  const std::vector<std::uint32_t>& old_slots,
+                                 std::size_t growth_cells, bool scopes,
                                  RegionPartition& out) {
   // Union-find over staged indices. One label covers BOTH of a mover's
   // blocks (old and new cell), so a teleporting node can never straddle
@@ -452,13 +456,13 @@ void DeltaTracker::build_regions(const EdgeDelta& delta,
     if (a != b) union_parent_[std::max(a, b)] = std::min(a, b);
   };
 
-  // Paint each staged node's two 3x3 blocks grown by kRegionGrowthCells;
+  // Paint each staged node's two 3x3 blocks grown by growth_cells;
   // blocks that land on an already-painted cell merge with its label.
   // Non-overlap of grown blocks then guarantees core cells of distinct
-  // regions are >= 2*kRegionGrowthCells+1 apart (Chebyshev). The paint
+  // regions are >= 2*growth_cells+1 apart (Chebyshev). The paint
   // map is keyed by cell key, so unoccupied cells paint (and merge) the
   // same way they did on the dense per-cell arrays.
-  constexpr std::size_t kReach = 1 + kRegionGrowthCells;
+  const std::size_t kReach = 1 + growth_cells;
   // Sized for the common heavily-overlapping case (a few cells per
   // mover); paint_insert doubles on demand up to the true worst case of
   // 2 * (2*kReach+1)^2 distinct cells per mover.
@@ -521,6 +525,23 @@ void DeltaTracker::build_regions(const EdgeDelta& delta,
   for (auto& cells : out.core_cells) {
     std::sort(cells.begin(), cells.end());
     cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  }
+
+  // Per-region node scopes: the occupants of every painted (grown) cell,
+  // attributed to the cell's final region. With growth >= 6 every node a
+  // region's repair wave can touch this tick — senders AND receivers —
+  // lives in a painted cell, so messages never cross region boundaries
+  // (the message-level independence the sharded protocol engine runs on).
+  if (scopes) {
+    out.scopes.resize(out.count);
+    for (std::size_t h = 0; h < paint_keys_.size(); ++h) {
+      if (paint_keys_[h] == ~std::uint64_t{0}) continue;
+      const std::uint32_t slot = slot_of(paint_keys_[h]);
+      if (slot == kNoSlot || cells_[slot].empty()) continue;
+      auto& scope = out.scopes[region_of_root[find(paint_labels_[h])]];
+      scope.insert(scope.end(), cells_[slot].begin(), cells_[slot].end());
+    }
+    for (auto& scope : out.scopes) std::sort(scope.begin(), scope.end());
   }
 
   // Distribute the delta. Both endpoints of a changed edge sit in cells

@@ -63,6 +63,12 @@ struct RegionPartition {
   /// tests assert. 64-bit because the sparse index runs the lattice
   /// unclamped.
   std::vector<std::vector<std::uint64_t>> core_cells;
+  /// Per-region sorted node ids living in the region's painted (grown)
+  /// cells, filled only when CommitOptions::region_scopes is set. Every
+  /// node belongs to at most one region's scope (painted areas are
+  /// disjoint); nodes outside every scope sit >= growth_cells - 1 cells
+  /// from any changed edge, hence at least that many unit-disk hops.
+  std::vector<std::vector<NodeId>> scopes;
   std::size_t cols = 1;            ///< grid shape, for cell geometry
   std::size_t rows = 1;
 };
@@ -81,6 +87,14 @@ struct CommitOptions {
   /// what lets a pipelined engine commit tick t+1 while tick t's repair
   /// is still reading the overlay.
   bool defer_adjacency = false;
+  /// Paint growth used when forming regions. The default reproduces the
+  /// snapshot pipeline's partition (writes within 1 hop, reads within
+  /// 2); the message-driven engine asks for a wider halo because its
+  /// repair traffic travels further (row re-broadcasts feeding head
+  /// reselection feeding TTL-2 gateway floods — see DESIGN).
+  std::size_t growth_cells = kRegionGrowthCells;
+  /// Also fill RegionPartition::scopes (nodes per painted region).
+  bool region_scopes = false;
 };
 
 /// Maintains node positions, a mutable cell grid over a fixed working
@@ -203,11 +217,13 @@ class DeltaTracker {
   /// Label of the painter of `key`; asserts the cell was painted.
   std::uint32_t paint_get(std::uint64_t key) const;
 
-  /// Paints the grown dirty blocks, unions overlapping labels, and
-  /// fills `out` from the committed `delta`. `old_slots[i]` is the slot
-  /// staged_[i] occupied before migration.
+  /// Paints the grown dirty blocks (growth `growth_cells`), unions
+  /// overlapping labels, and fills `out` from the committed `delta`.
+  /// `old_slots[i]` is the slot staged_[i] occupied before migration.
+  /// `scopes` additionally lists each region's painted-cell occupants.
   void build_regions(const EdgeDelta& delta,
                      const std::vector<std::uint32_t>& old_slots,
+                     std::size_t growth_cells, bool scopes,
                      RegionPartition& out);
 
   std::vector<geom::Point> positions_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,6 +14,13 @@ namespace {
 
 /// Rounds of in-flight history kept for the livelock report.
 constexpr std::size_t kLivelockWindow = 8;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// MessageCounts in MessageBody variant order (the order the `net.msg.*`
 /// counter handles are registered in) — the flush path diffs two of
@@ -68,7 +76,8 @@ class Simulator::RoundMailbox final : public Mailbox {
     send_caused(std::move(body), Cause{});
   }
   void send_caused(MessageBody body, Cause cause) override {
-    Message m{from_, std::move(body)};
+    Message m{std::move(body)};
+    m.from = from_;
     m.parent_id = cause.id;
     m.depth = cause.id != 0 ? cause.depth + 1 : 0;
     sim_.record_send(m);  // stamps the trace id
@@ -90,7 +99,9 @@ Simulator::Simulator(const graph::Graph& g, const Factory& factory)
   const std::size_t n = topo_->order();
   nodes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) nodes_.push_back(factory(v));
-  inboxes_.resize(n);
+  inbox_count_.assign(n, 0);
+  inbox_begin_.assign(n, 0);
+  inbox_cursor_.assign(n, 0);
   seen_stamp_.assign(n, 0);
 }
 
@@ -101,7 +112,9 @@ Simulator::Simulator(const Topology& topo, const Factory& factory,
   const std::size_t n = topo_->order();
   nodes_.reserve(n);
   for (NodeId v = 0; v < n; ++v) nodes_.push_back(factory(v));
-  inboxes_.resize(n);
+  inbox_count_.assign(n, 0);
+  inbox_begin_.assign(n, 0);
+  inbox_cursor_.assign(n, 0);
   seen_stamp_.assign(n, 0);
 }
 
@@ -229,7 +242,8 @@ void Simulator::record_send(Message& m) {
 
 void Simulator::inject(NodeId from, MessageBody body) {
   MANET_REQUIRE(from < topo_->order(), "inject source out of range");
-  Message m{from, std::move(body)};
+  Message m{std::move(body)};
+  m.from = from;
   record_send(m);
   in_flight_.push_back(std::move(m));
 }
@@ -250,11 +264,13 @@ void Simulator::trigger_timers() {
       nodes_[v]->start(mb);
     }
   }
+  const std::uint64_t t0 = now_ns();
   RoundMailbox mb(*this, in_flight_, 0);
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     mb.retarget(v);
     nodes_[v]->on_timer(round_, mb);
   }
+  step_ns_ += now_ns() - t0;
   poll_awake();
 }
 
@@ -282,25 +298,39 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
     // Deliver last round's transmissions to every current neighbor of
     // the sender. Only inboxes that received something last round are
     // non-empty, so clearing is O(receivers), not O(n).
+    const std::uint64_t deliver_t0 = now_ns();
     for (const NodeId w : touched_) {
-      inboxes_[w].clear();
+      inbox_count_[w] = 0;
       ++delivery_.inbox_resets;
     }
     touched_.clear();
+    // Counting-sort delivery into the round arena: count per receiver,
+    // prefix-place the receivers, then write the pointers in message
+    // order (identical inbox order to the old per-node vectors).
     for (const auto& m : in_flight_) {
       for (const NodeId w : topo_->neighbors(m.from)) {
-        if (inboxes_[w].empty()) touched_.push_back(w);
-        inboxes_[w].push_back(&m);
+        if (inbox_count_[w]++ == 0) touched_.push_back(w);
         ++delivery_.deliveries;
       }
     }
+    std::uint32_t arena_total = 0;
+    for (const NodeId w : touched_) {
+      inbox_begin_[w] = arena_total;
+      inbox_cursor_[w] = arena_total;
+      arena_total += inbox_count_[w];
+    }
+    if (arena_.size() < arena_total) arena_.resize(arena_total);
+    for (const auto& m : in_flight_)
+      for (const NodeId w : topo_->neighbors(m.from))
+        arena_[inbox_cursor_[w]++] = &m;
+    deliver_ns_ += now_ns() - deliver_t0;
     const bool had_traffic = !in_flight_.empty();
     if (obs_) {
       // Exact-size occurrence counts in a plain array (touched inboxes
       // are never empty, so index 0 stays unused); flush_obs() folds
       // them into the net.inbox_size histogram after the run.
       for (const NodeId w : touched_) {
-        const std::size_t sz = inboxes_[w].size();
+        const std::size_t sz = inbox_count_[w];
         if (sz >= inbox_size_counts_.size())
           inbox_size_counts_.resize(sz + 1, 0);
         ++inbox_size_counts_[sz];
@@ -311,11 +341,12 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
     // inbox pointers into in_flight_ stay valid all round).
     ++round_;
     ++executed;
+    const std::uint64_t step_t0 = now_ns();
     RoundMailbox mb(*this, next_flight_, 0);
     if (dispatch_ == Dispatch::kEveryNode) {
       for (NodeId v = 0; v < n; ++v) {
         mb.retarget(v);
-        nodes_[v]->on_round(round_, inboxes_[v], mb);
+        nodes_[v]->on_round(round_, inbox_of(v, arena_), mb);
         ++delivery_.dispatches;
       }
     } else {
@@ -339,7 +370,7 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
       std::sort(dispatch_set.begin(), dispatch_set.end());
       for (const NodeId v : dispatch_set) {
         mb.retarget(v);
-        nodes_[v]->on_round(round_, inboxes_[v], mb);
+        nodes_[v]->on_round(round_, inbox_of(v, arena_), mb);
         ++delivery_.dispatches;
       }
       // Every previously awake node was just dispatched, and awake() only
@@ -349,6 +380,7 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
       for (const NodeId v : dispatch_set)
         if (nodes_[v]->awake()) awake_.push_back(v);
     }
+    step_ns_ += now_ns() - step_t0;
 
     in_flight_.clear();
     std::swap(in_flight_, next_flight_);
@@ -377,6 +409,325 @@ std::uint32_t Simulator::run(std::uint32_t max_rounds) {
   quiescence_gauge_.set(round_);
   if (obs_) flush_obs();
   return executed;
+}
+
+// ---- Region-sharded maintenance ticks ------------------------------------
+
+/// Collects one region's transmissions, stamping the trace ids the
+/// sharded scheme assigns: beacons get the id the sequential
+/// trigger_timers would have handed out (base + sender + 1 — every node
+/// beacons in id order there), round-phase sends get region-interleaved
+/// ids above the beacon block (base + n + k*R + r + 1 for the region's
+/// k-th send) so ids stay unique and deterministic no matter how many
+/// threads execute the regions. Counting and journaling land in the
+/// RegionRun, never in shared simulator state.
+class Simulator::ShardMailbox final : public Mailbox {
+ public:
+  ShardMailbox(const Simulator& sim, RegionRun& rr, bool observed)
+      : sim_(sim), rr_(rr), observed_(observed) {}
+
+  void begin_timer(NodeId from) {
+    timer_mode_ = true;
+    timer_sends_ = 0;
+    from_ = from;
+    target_ = &rr_.flight;
+    journal_round_ = sim_.round_;
+  }
+  void end_timer() {
+    MANET_ASSERT(timer_sends_ == 1,
+                 "maintenance timer must send exactly the beacon");
+  }
+  void begin_round(NodeId from, std::uint32_t local_round) {
+    timer_mode_ = false;
+    from_ = from;
+    target_ = &rr_.next_flight;
+    journal_round_ = sim_.round_ + local_round;
+  }
+
+  void send(MessageBody body) override {
+    send_caused(std::move(body), Cause{});
+  }
+  void send_caused(MessageBody body, Cause cause) override {
+    Message m{std::move(body)};
+    m.from = from_;
+    m.parent_id = cause.id;
+    m.depth = cause.id != 0 ? cause.depth + 1 : 0;
+    if (timer_mode_) {
+      ++timer_sends_;
+      m.trace_id = sim_.sharded_base_ + from_ + 1;
+    } else {
+      m.trace_id = sim_.sharded_base_ + sim_.sharded_n_ +
+                   static_cast<std::uint64_t>(rr_.sends) * rr_.region_count +
+                   rr_.region + 1;
+      ++rr_.sends;
+    }
+    rr_.counts.count(m.body);
+    if (observed_) {
+      if (m.parent_id != 0) {
+        if (m.depth >= rr_.depth_counts.size())
+          rr_.depth_counts.resize(m.depth + 1, 0);
+        ++rr_.depth_counts[m.depth];
+      }
+      const auto [a, b] = journal_summary(m.body);
+      rr_.journal.push_back({journal_round_, m.from,
+                             message_type_name(m.body), m.trace_id,
+                             m.parent_id, m.depth, a, b});
+    }
+    target_->push_back(std::move(m));
+  }
+
+ private:
+  const Simulator& sim_;
+  RegionRun& rr_;
+  bool observed_;
+  bool timer_mode_ = false;
+  std::uint32_t timer_sends_ = 0;
+  NodeId from_ = 0;
+  std::vector<Message>* target_ = nullptr;
+  std::uint32_t journal_round_ = 0;
+};
+
+std::uint64_t Simulator::begin_sharded_tick() {
+  MANET_REQUIRE(dispatch_ == Dispatch::kEventDriven,
+                "sharded ticks need event-driven dispatch");
+  MANET_REQUIRE(observer_ == nullptr,
+                "per-send observers are unsupported in sharded mode");
+  MANET_REQUIRE(in_flight_.empty() && next_flight_.empty(),
+                "sharded tick opened with legacy traffic in flight");
+  started_ = true;
+  // The previous tick's regional final touched: the sequential engine
+  // would clear (and count) these in its next round 1; the count is
+  // carried in pending_inbox_resets_, the clear happens here.
+  for (const NodeId w : sharded_dirty_) inbox_count_[w] = 0;
+  sharded_dirty_.clear();
+  sharded_base_ = trace_seq_;
+  sharded_n_ = topo_->order();
+  return sharded_base_;
+}
+
+void Simulator::run_region(RegionRun& rr, const std::uint32_t* scope_tag,
+                           const std::function<void(NodeId)>& before_timer,
+                           const std::function<void(NodeId)>& after_timer,
+                           std::uint32_t max_rounds) {
+  rr.rounds = 0;
+  rr.sends = 0;
+  rr.counts = MessageCounts{};
+  rr.delivery = DeliveryStats{};
+  rr.round1_deliveries = 0;
+  rr.cross_scope_late = 0;
+  rr.deliver_ns = 0;
+  rr.step_ns = 0;
+  rr.queued.clear();
+  rr.touched_by_round.clear();
+  rr.final_touched.clear();
+  rr.inbox_size_counts.clear();
+  rr.depth_counts.clear();
+  rr.journal.clear();
+  rr.flight.clear();
+  rr.next_flight.clear();
+  rr.touched.clear();
+  rr.awake.clear();
+
+  const bool observed = obs_ != nullptr;
+  ShardMailbox mb(*this, rr, observed);
+  const std::uint32_t tag = rr.region + 1;
+
+  // Timer phase: every scope node beacons (trace id base+v+1, exactly
+  // the sequential assignment). The hooks let the engine bind per-lane
+  // scratch before and synthesize out-of-scope heard marks after.
+  const std::uint64_t timer_t0 = now_ns();
+  for (const NodeId v : rr.scope) {
+    if (before_timer) before_timer(v);
+    mb.begin_timer(v);
+    nodes_[v]->on_timer(round_, mb);
+    mb.end_timer();
+    if (after_timer) after_timer(v);
+  }
+  for (const NodeId v : rr.scope)
+    if (nodes_[v]->awake()) rr.awake.push_back(v);
+  rr.step_ns += now_ns() - timer_t0;
+
+  while (true) {
+    if (rr.flight.empty() && rr.awake.empty()) break;
+    const std::uint32_t j = rr.rounds + 1;
+
+    // Clear the previous local round's inboxes. Resets are not counted
+    // here: the merge reproduces the sequential engine's reset count
+    // analytically (whole rounds of it never happen locally).
+    const std::uint64_t deliver_t0 = now_ns();
+    for (const NodeId w : rr.touched) inbox_count_[w] = 0;
+    rr.touched.clear();
+    // Counting-sort delivery, like run() but scope-filtered and into the
+    // region's private arena. The shared count/begin/cursor arrays are
+    // only written at in-scope indices, so concurrent regions (disjoint
+    // scopes) never touch the same entries.
+    for (const auto& m : rr.flight) {
+      for (const NodeId w : topo_->neighbors(m.from)) {
+        if (scope_tag[w] != tag) {
+          // Round 1: a boundary beacon heard outside the region —
+          // expected, bulk-accounted (2E covers every beacon delivery).
+          // Later rounds: a repair wave escaping its painted region
+          // would break independence; count it for the property test.
+          if (j >= 2) ++rr.cross_scope_late;
+          continue;
+        }
+        if (inbox_count_[w]++ == 0) rr.touched.push_back(w);
+        ++rr.delivery.deliveries;
+        if (j == 1) ++rr.round1_deliveries;
+      }
+    }
+    std::uint32_t arena_total = 0;
+    for (const NodeId w : rr.touched) {
+      inbox_begin_[w] = arena_total;
+      inbox_cursor_[w] = arena_total;
+      arena_total += inbox_count_[w];
+    }
+    if (rr.arena.size() < arena_total) rr.arena.resize(arena_total);
+    for (const auto& m : rr.flight)
+      for (const NodeId w : topo_->neighbors(m.from))
+        if (scope_tag[w] == tag) rr.arena[inbox_cursor_[w]++] = &m;
+    rr.deliver_ns += now_ns() - deliver_t0;
+    rr.touched_by_round.push_back(
+        static_cast<std::uint32_t>(rr.touched.size()));
+    if (observed && j >= 2) {
+      for (const NodeId w : rr.touched) {
+        const std::size_t sz = inbox_count_[w];
+        if (sz >= rr.inbox_size_counts.size())
+          rr.inbox_size_counts.resize(sz + 1, 0);
+        ++rr.inbox_size_counts[sz];
+      }
+    }
+
+    // Dispatch = receivers + self-awake nodes, in id order (matching
+    // the sequential dispatch set restricted to the scope). Awake nodes
+    // with a non-empty inbox are already in touched.
+    rr.dispatch.clear();
+    rr.dispatch.insert(rr.dispatch.end(), rr.touched.begin(),
+                       rr.touched.end());
+    for (const NodeId v : rr.awake)
+      if (inbox_count_[v] == 0) rr.dispatch.push_back(v);
+    std::sort(rr.dispatch.begin(), rr.dispatch.end());
+    ++rr.rounds;
+    const std::uint64_t step_t0 = now_ns();
+    for (const NodeId v : rr.dispatch) {
+      mb.begin_round(v, j);
+      nodes_[v]->on_round(round_ + j, inbox_of(v, rr.arena), mb);
+      ++rr.delivery.dispatches;
+    }
+    rr.awake.clear();
+    for (const NodeId v : rr.dispatch)
+      if (nodes_[v]->awake()) rr.awake.push_back(v);
+    rr.step_ns += now_ns() - step_t0;
+
+    rr.flight.clear();
+    std::swap(rr.flight, rr.next_flight);
+    rr.queued.push_back(rr.flight.size());
+
+    if (rr.rounds >= max_rounds)
+      throw std::runtime_error(
+          "region run exceeded max_rounds (livelock?)");
+  }
+  rr.final_touched = rr.touched;
+}
+
+std::uint32_t Simulator::finish_sharded_tick(std::span<RegionRun> regions,
+                                             const ShardedMergeInputs& bulk) {
+  std::uint32_t rounds = 1;
+  for (const RegionRun& rr : regions) rounds = std::max(rounds, rr.rounds);
+
+  // Sends: the regions' own counts plus one beacon per out-of-scope
+  // node (the sequential tick beacons all n; quiescent nodes' beacons
+  // cause nothing, so skipping them changes no other counter).
+  std::size_t round1_in_scope = 0;
+  std::uint32_t max_sends = 0;
+  for (const RegionRun& rr : regions) {
+    counts_ += rr.counts;
+    delivery_.deliveries += rr.delivery.deliveries;
+    delivery_.dispatches += rr.delivery.dispatches;
+    round1_in_scope += rr.round1_deliveries;
+    cross_scope_late_ += rr.cross_scope_late;
+    deliver_ns_ += rr.deliver_ns;
+    step_ns_ += rr.step_ns;
+    max_sends = std::max(max_sends, rr.sends);
+  }
+  counts_.maint_hello += bulk.n_total - bulk.scope_total;
+  // Round 1 delivers every beacon to every neighbor: 2E deliveries in
+  // the sequential tick, of which the regions performed their in-scope
+  // share physically.
+  delivery_.deliveries += bulk.edges2 - round1_in_scope;
+  // Round 1 dispatches every node with a non-empty inbox (degree > 0)
+  // or awake after its timer (non-empty cache — for out-of-scope nodes
+  // the two coincide: their links did not change). In-scope round-1
+  // dispatches are already in the regions' counts.
+  delivery_.dispatches += bulk.degpos_total - bulk.degpos_in_scope;
+
+  // Inbox resets, exactly as the sequential engine counts them: round 1
+  // clears the previous tick's final touched (V_{T-1}); round 2 — if it
+  // happens anywhere — clears all degpos beacon inboxes; later rounds
+  // clear the previous round's receivers. The final round's receivers
+  // are never cleared this tick: they carry to the next (V_T).
+  delivery_.inbox_resets += pending_inbox_resets_;
+  if (rounds >= 2) {
+    delivery_.inbox_resets += bulk.degpos_total;
+    for (std::uint32_t j = 2; j + 1 <= rounds; ++j)
+      for (const RegionRun& rr : regions)
+        if (j <= rr.rounds) delivery_.inbox_resets += rr.touched_by_round[j - 1];
+    pending_inbox_resets_ = 0;
+    for (const RegionRun& rr : regions)
+      if (rr.rounds == rounds)
+        pending_inbox_resets_ += rr.touched_by_round[rounds - 1];
+  } else {
+    pending_inbox_resets_ = bulk.degpos_total;
+  }
+  for (const RegionRun& rr : regions)
+    sharded_dirty_.insert(sharded_dirty_.end(), rr.final_touched.begin(),
+                          rr.final_touched.end());
+
+  // Trace ids: n beacon ids (assigned whether or not materialized) plus
+  // the regions' interleaved round-phase block.
+  trace_seq_ = sharded_base_ + bulk.n_total +
+               static_cast<std::uint64_t>(max_sends) * regions.size();
+
+  if (obs_ != nullptr) {
+    // Region-ascending journal flush + summed accumulator merges keep
+    // every observable bitwise-identical across thread counts.
+    for (const RegionRun& rr : regions)
+      for (const ShardJournalEntry& e : rr.journal)
+        obs_->journal.record(e.round, e.from, e.type, e.trace_id,
+                             e.parent_id, e.depth, e.a, e.b);
+    for (const RegionRun& rr : regions) {
+      if (rr.depth_counts.size() > depth_counts_.size())
+        depth_counts_.resize(rr.depth_counts.size(), 0);
+      for (std::size_t d = 0; d < rr.depth_counts.size(); ++d)
+        depth_counts_[d] += rr.depth_counts[d];
+      if (rr.inbox_size_counts.size() > inbox_size_counts_.size())
+        inbox_size_counts_.resize(rr.inbox_size_counts.size(), 0);
+      for (std::size_t s = 0; s < rr.inbox_size_counts.size(); ++s)
+        inbox_size_counts_[s] += rr.inbox_size_counts[s];
+    }
+    // Round 1 inbox sizes are the degree histogram (every degpos node's
+    // inbox holds exactly its neighbors' beacons).
+    if (!bulk.deg_count.empty() &&
+        bulk.deg_count.size() > inbox_size_counts_.size())
+      inbox_size_counts_.resize(bulk.deg_count.size(), 0);
+    for (std::size_t d = 1; d < bulk.deg_count.size(); ++d)
+      inbox_size_counts_[d] += static_cast<std::uint32_t>(bulk.deg_count[d]);
+  }
+  for (std::uint32_t k = 1; k <= rounds; ++k) {
+    std::size_t queued = 0;
+    for (const RegionRun& rr : regions)
+      if (k <= rr.rounds) queued += rr.queued[k - 1];
+    if (obs_ != nullptr) in_flight_hist_.record(queued);
+    if (recent_in_flight_.size() >= kLivelockWindow)
+      recent_in_flight_.erase(recent_in_flight_.begin());
+    recent_in_flight_.emplace_back(round_ + k, queued);
+  }
+
+  round_ += rounds;
+  rounds_counter_.add(rounds);
+  quiescence_gauge_.set(round_);
+  if (obs_ != nullptr) flush_obs();
+  return rounds;
 }
 
 }  // namespace manet::net

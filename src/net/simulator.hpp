@@ -115,6 +115,75 @@ struct DeliveryStats {
   std::size_t dispatches = 0;
 };
 
+/// One buffered journal record of a region run. Regions journal into
+/// private buffers while running concurrently; finish_sharded_tick
+/// flushes them region-ascending, so the session journal is
+/// bitwise-identical across thread counts.
+struct ShardJournalEntry {
+  std::uint32_t round = 0;
+  NodeId from = 0;
+  const char* type = nullptr;  ///< static wire name (message_type_name)
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t a = 0, b = 0;  ///< payload summary
+};
+
+/// Private execution context of one active repair region during a
+/// sharded maintenance tick (Simulator::run_region). The caller sets the
+/// inputs, run_region fills the outputs, finish_sharded_tick merges them
+/// region-ascending. Instances are reusable across ticks (run_region
+/// resets the outputs); the scratch vectors amortize to zero allocation.
+struct RegionRun {
+  // ---- inputs ----
+  std::span<const NodeId> scope;   ///< sorted in-scope node ids
+  std::uint32_t region = 0;        ///< 0-based index among active regions
+  std::uint32_t region_count = 1;  ///< number of active regions this tick
+  // ---- outputs ----
+  std::uint32_t rounds = 0;  ///< local rounds to regional quiescence
+  std::uint32_t sends = 0;   ///< round-phase sends (beacons excluded)
+  MessageCounts counts;      ///< sends by type (beacons included)
+  DeliveryStats delivery;    ///< in-scope deliveries/dispatches (resets
+                             ///< are accounted analytically at merge)
+  std::size_t round1_deliveries = 0;  ///< in-scope beacon deliveries
+  std::size_t cross_scope_late = 0;   ///< scope-filtered sends, rounds>=2
+                                      ///< (independence violations; 0)
+  std::uint64_t deliver_ns = 0;  ///< wall time in delivery passes
+  std::uint64_t step_ns = 0;     ///< wall time in on_timer/on_round
+  /// queued[j-1] = messages queued for delivery after local round j.
+  std::vector<std::size_t> queued;
+  /// touched_by_round[j-1] = inboxes that received in local round j.
+  std::vector<std::uint32_t> touched_by_round;
+  /// Nodes whose inboxes are left non-empty at regional quiescence
+  /// (cleared by the next begin_sharded_tick).
+  std::vector<NodeId> final_touched;
+  /// Exact inbox-size occurrence counts, local rounds >= 2 only (round
+  /// 1 is the beacon storm, bulk-recorded from the degree histogram).
+  std::vector<std::uint32_t> inbox_size_counts;
+  /// Caused-send counts by causal depth (observed runs only).
+  std::vector<std::uint32_t> depth_counts;
+  std::vector<ShardJournalEntry> journal;
+  // ---- private scratch ----
+  std::vector<Message> flight, next_flight;
+  std::vector<NodeId> touched, awake, dispatch;
+  /// This region's delivery arena (the shared per-node offset arrays are
+  /// written only at in-scope indices, so regions never contend).
+  std::vector<const Message*> arena;
+};
+
+/// The whole-network quantities finish_sharded_tick needs to account for
+/// everything the region runs skipped: out-of-scope beacons, their
+/// deliveries, and the quiescent bulk of round-1 bookkeeping.
+struct ShardedMergeInputs {
+  std::size_t n_total = 0;         ///< all nodes (every one beacons)
+  std::size_t scope_total = 0;     ///< sum of active scope sizes
+  std::size_t edges2 = 0;          ///< 2|E| after this tick's commit
+  std::size_t degpos_total = 0;    ///< nodes with degree > 0
+  std::size_t degpos_in_scope = 0; ///< ... of the active scopes
+  /// deg_count[d] = number of nodes with degree d (d >= 1 used).
+  std::span<const std::size_t> deg_count;
+};
+
 /// Runs a set of NodeProcesses over the topology until quiescence.
 class Simulator {
  public:
@@ -158,6 +227,58 @@ class Simulator {
   /// stimulus, e.g. a data packet handed to the network layer).
   void inject(NodeId from, MessageBody body);
 
+  // ---- Region-sharded maintenance ticks ----------------------------------
+  //
+  // The maintenance protocol's repair waves are confined to the painted
+  // dirty regions of the tick's movement (incr::RegionPartition with
+  // region_scopes): nodes of distinct regions exchange no messages
+  // within a tick, and nodes outside every region do nothing but beacon
+  // and refresh heard flags. A sharded tick exploits that:
+  //
+  //   base = begin_sharded_tick();          // once, sequential
+  //   run_region(rr_i, tag, ...);           // concurrently, one per region
+  //   finish_sharded_tick(regions, bulk);   // once, sequential
+  //
+  // run_region replays the legacy tick exactly for its scope — timer
+  // phase (one beacon per node, trace id base+v+1, the id the sequential
+  // trigger_timers would assign), then rounds to regional quiescence
+  // with delivery filtered to the scope. Everything the scopes exclude
+  // is bulk-accounted at merge from whole-network aggregates, making a
+  // tick's cost O(active work), not O(n), while every counter, metric
+  // and histogram lands bitwise-identical to the same tick sequence run
+  // at any other thread count.
+
+  /// Opens a sharded tick: clears the inboxes the previous sharded tick
+  /// left dirty and returns the tick's trace-id base (the current send
+  /// sequence). Event-driven dispatch only; per-send observers are not
+  /// supported (regions journal into private buffers instead).
+  std::uint64_t begin_sharded_tick();
+
+  /// Runs one active region to quiescence. `scope_tag[v] == rr.region+1`
+  /// identifies rr's scope (any other value is foreign). `before_timer`
+  /// and `after_timer` bracket every scope node's on_timer — the engine
+  /// uses them to bind per-lane scratch and to synthesize heard marks
+  /// for live out-of-scope neighbors whose beacons the scope filter
+  /// withholds. Callable concurrently for distinct regions (disjoint
+  /// scopes touch disjoint node state and inboxes).
+  void run_region(RegionRun& rr, const std::uint32_t* scope_tag,
+                  const std::function<void(NodeId)>& before_timer,
+                  const std::function<void(NodeId)>& after_timer,
+                  std::uint32_t max_rounds = 100000);
+
+  /// Merges the region runs (region-ascending — deterministic) plus the
+  /// bulk accounting of everything out of scope; advances the round
+  /// clock by the tick's round count R = max(1, max_r rounds_r) and
+  /// returns it. Call with an empty span for a fully quiescent tick
+  /// (beacons and round-1 bookkeeping are still accounted).
+  std::uint32_t finish_sharded_tick(std::span<RegionRun> regions,
+                                    const ShardedMergeInputs& bulk);
+
+  /// Total scope-filtered deliveries in local rounds >= 2 across all
+  /// sharded ticks so far. Always 0 unless region independence is
+  /// violated (the partition-separation property test's subject).
+  std::size_t cross_scope_late() const { return cross_scope_late_; }
+
   /// Observer invoked for every transmission (round, message) — used by
   /// the trace example and available for custom instrumentation.
   using Observer = std::function<void(std::uint32_t, const Message&)>;
@@ -188,12 +309,28 @@ class Simulator {
   const DeliveryStats& delivery_stats() const { return delivery_; }
   std::uint32_t round() const { return round_; }
 
+  /// Cumulative wall time spent in delivery passes / in node code
+  /// (on_timer + on_round), for the bench's per-phase breakdown. Wall
+  /// clock, never part of deterministic metrics. Under concurrent region
+  /// execution the per-lane times sum, so these read as CPU time there.
+  std::uint64_t deliver_ns() const { return deliver_ns_; }
+  std::uint64_t step_ns() const { return step_ns_; }
+
   /// Access to a node's process (for result extraction after run()).
   NodeProcess& process(NodeId v);
   const NodeProcess& process(NodeId v) const;
 
  private:
   class RoundMailbox;
+  class ShardMailbox;
+
+  /// The inbox span of `v` in `arena` (empty when nothing was placed —
+  /// the begin/cursor entries are then stale and must not be read).
+  Inbox inbox_of(NodeId v, const std::vector<const Message*>& arena) const {
+    const std::uint32_t c = inbox_count_[v];
+    if (c == 0) return Inbox{};
+    return Inbox{arena.data() + inbox_begin_[v], c};
+  }
 
   /// Stamps the causal trace id (monotonic send sequence) and counts one
   /// transmission: protocol counters, the user observer, and — when a
@@ -218,9 +355,14 @@ class Simulator {
   Observer observer_;
   std::vector<Message> in_flight_;   ///< being delivered this round
   std::vector<Message> next_flight_; ///< queued during this round
-  /// Per-node inboxes of pointers into in_flight_; only entries listed
-  /// in touched_ are non-empty between rounds.
-  std::vector<std::vector<const Message*>> inboxes_;
+  /// Per-node inbox placement in the round's delivery arena (counting
+  /// sort: count, then prefix-sum start, then a write cursor). Replaces
+  /// a vector-of-vectors — no per-node heap blocks, and a node's whole
+  /// footprint here is 12 bytes whether or not it ever receives. Only
+  /// entries listed in touched_ have a nonzero count between rounds.
+  std::vector<std::uint32_t> inbox_count_, inbox_begin_, inbox_cursor_;
+  /// The sequential paths' delivery arena (regions carry their own).
+  std::vector<const Message*> arena_;
   std::vector<NodeId> touched_;
   /// Nodes awake() after their last dispatch (event-driven mode).
   std::vector<NodeId> awake_;
@@ -230,6 +372,18 @@ class Simulator {
   bool started_ = false;
   std::uint32_t round_ = 0;
   std::uint64_t trace_seq_ = 0;  ///< causal trace ids handed out so far
+  // ---- Sharded-tick bookkeeping ----
+  std::uint64_t sharded_base_ = 0;  ///< trace_seq_ at begin_sharded_tick
+  std::size_t sharded_n_ = 0;       ///< topology order at tick open
+  /// Inboxes the last sharded tick left non-empty (regional final
+  /// touched) — physically cleared by the next begin_sharded_tick.
+  std::vector<NodeId> sharded_dirty_;
+  /// Inbox clears the sequential tick would perform in its NEXT round 1:
+  /// the previous tick's never-cleared final touched count (V_{T-1}).
+  std::size_t pending_inbox_resets_ = 0;
+  std::size_t cross_scope_late_ = 0;
+  std::uint64_t deliver_ns_ = 0;  ///< cumulative delivery wall time
+  std::uint64_t step_ns_ = 0;     ///< cumulative node-code wall time
   obs::Session* obs_ = nullptr;
   /// counts_ as of the last flush_obs() — the registry's `net.msg.*`
   /// counters advance by the delta, so per-send work stays off the

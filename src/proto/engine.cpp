@@ -1,6 +1,7 @@
 #include "proto/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -12,6 +13,21 @@
 #include "obs/session.hpp"
 
 namespace manet::proto {
+namespace {
+
+/// Paint growth for the message-driven engine's repair regions. A
+/// tick's repair wave around a region's movers: head_of writes land
+/// within 1 hop of a changed edge, the CH_HOP1 re-broadcasts they
+/// trigger are sent from 2 hops (received at 3), CH_HOP2 from 3
+/// (received at 4), head reselection reads at 4, and the TTL-2 gateway
+/// flood it triggers is received up to 6 hops out. Senders therefore
+/// sit within 5 hops — at most 6 cells, one unit-disk hop never
+/// crossing more than one cell boundary — and receivers within 7 cells
+/// of a mover's cell. Painting with growth 7 (reach 8 cells) covers
+/// both with a cell to spare.
+constexpr std::size_t kShardGrowthCells = 7;
+
+}  // namespace
 
 /// Simulator adapter over the DeltaTracker's maintained adjacency
 /// overlay: commits between run() calls are immediately visible to
@@ -39,55 +55,106 @@ MaintenanceEngine::MaintenanceEngine(std::vector<geom::Point> positions,
 
   // Bootstrap: the converged construction-phase backbone over the
   // initial topology (exactly what the incremental engine starts from,
-  // so tick-0 hashes already agree).
+  // so tick-0 hashes already agree). `seed`'s dense storage dies as
+  // soon as the mirror is interned, before the nodes are allocated.
+  core::StaticBackbone seed;
   {
     const graph::Graph g = tracker_.adjacency().freeze();
-    core::StaticBackbone seed = core::build_static_backbone(g, options_.mode);
-    clustering_ = std::move(seed.clustering);
-    tables_ = std::move(seed.tables);
-    coverage_ = std::move(seed.coverage);
-    selection_ = std::move(seed.selection);
-    gateways_ = std::move(seed.gateways);
+    seed = core::build_static_backbone(g, options_.mode);
   }
+  clustering_ = std::move(seed.clustering);
+  gateways_ = std::move(seed.gateways);
   selection_refs_.assign(n, 0);
   for (const NodeId h : clustering_.heads)
-    for (const NodeId w : selection_[h].gateways) ++selection_refs_[w];
+    for (const NodeId w : seed.selection[h].gateways) ++selection_refs_[w];
+
+  // The mirror: intern the seeded rows BEFORE the nodes exist, then
+  // drop the seed's dense O(n) storage — node seeding reads the rows
+  // back out of the store, and heads' coverage/selection move into a
+  // heads-only side list. The bootstrap peak-RSS transient is the
+  // store plus that compact list, not dense tables/coverage/selection
+  // vectors coexisting with a million live nodes.
+  mirror_hop1_.resize(n);
+  mirror_hop2_.resize(n);
+  head_slot_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    mirror_hop1_[v] = store_.intern_hop1(seed.tables.ch_hop1[v]);
+    mirror_hop2_[v] = store_.intern_hop2(seed.tables.ch_hop2[v]);
+    if (!seed.coverage[v].empty() || !seed.selection[v].gateways.empty()) {
+      HeadMirror hm;
+      hm.cov2 = store_.intern_hop1(seed.coverage[v].two_hop);
+      hm.cov3 = store_.intern_hop1(seed.coverage[v].three_hop);
+      hm.sel = store_.intern_hop1(seed.selection[v].gateways);
+      head_slot_[v] = static_cast<std::uint32_t>(head_rows_.size()) + 1;
+      head_rows_.push_back(hm);
+    }
+  }
+  // Heads keep their full GatewaySelection (greedy steps included — the
+  // reselect compares whole objects), so those move out before the
+  // dense vectors die. clustering_.heads is sorted ascending, matching
+  // the seeding loop's encounter order below.
+  struct SeedHeadRows {
+    core::Coverage cov;
+    core::GatewaySelection sel;
+  };
+  std::vector<SeedHeadRows> head_seed(clustering_.heads.size());
+  for (std::size_t i = 0; i < clustering_.heads.size(); ++i) {
+    const NodeId h = clustering_.heads[i];
+    head_seed[i] = {std::move(seed.coverage[h]), std::move(seed.selection[h])};
+  }
+  seed = core::StaticBackbone{};
 
   topo_ = std::make_unique<AdjacencyTopology>(tracker_.adjacency());
   sim_ = std::make_unique<net::Simulator>(
       *topo_,
       [this, n](NodeId v) {
         return std::make_unique<MaintenanceNode>(v, options_.mode, n,
-                                                 &ledger_, &scratch_);
+                                                 &ledger_, &scratch_, &store_);
       },
       net::Simulator::Dispatch::kEventDriven);
 
   // Seed every node's protocol state from the converged backbone: its
   // affiliation, its neighbors' affiliations and cached rows, its own
   // rows, and (heads) coverage + selection.
+  std::size_t head_idx = 0;
   for (NodeId v = 0; v < n; ++v) {
     MaintenanceNode& nd = node_mut(v);
     nd.seed_clustering(clustering_.head_of[v], clustering_.roles[v]);
-    for (const NodeId w : tracker_.adjacency().neighbors(v)) {
-      NeighborCache cache;
-      cache.id = w;
-      cache.head_of = clustering_.head_of[w];
-      cache.hop1 = tables_.ch_hop1[w];
-      cache.hop2 = tables_.ch_hop2[w];
-      nd.seed_neighbor(cache);
+    for (const NodeId w : tracker_.adjacency().neighbors(v))
+      nd.seed_neighbor(w, clustering_.head_of[w], mirror_hop1(w),
+                       mirror_hop2(w));
+    nd.seed_rows(mirror_hop1(v), mirror_hop2(v));
+    if (clustering_.is_head(v)) {
+      nd.seed_head_rows(std::move(head_seed[head_idx].cov),
+                        std::move(head_seed[head_idx].sel));
+      ++head_idx;
     }
-    nd.seed_rows(tables_.ch_hop1[v], tables_.ch_hop2[v]);
-    if (clustering_.is_head(v))
-      nd.seed_head_rows(coverage_[v], selection_[v]);
   }
   // Gateway-selection soft state: exactly the selected nodes hold an
   // entry for the selecting origin (seq 0 = the bootstrap flood).
   for (const NodeId h : clustering_.heads)
-    for (const NodeId w : selection_[h].gateways)
-      node_mut(w).seed_origin(h, true, selection_[h].gateways);
+    for (const NodeId w : mirror_selection(h))
+      node_mut(w).seed_origin(h, true, mirror_selection(h));
 
   if (options_.inject_stale_gateway_fault)
     for (NodeId v = 0; v < n; ++v) node_mut(v).inject_stale_gateway_fault();
+
+  if (options_.threads > 0) {
+    deg_.assign(n, 0);
+    deg_count_.assign(1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto d = static_cast<std::uint32_t>(
+          tracker_.adjacency().neighbors(v).size());
+      deg_[v] = d;
+      if (d >= deg_count_.size()) deg_count_.resize(d + 1, 0);
+      ++deg_count_[d];
+      if (d > 0) ++degpos_;
+    }
+    scope_tag_.assign(n, 0);
+    if (options_.threads >= 2)
+      pool_ = std::make_unique<incr::WorkerPool>(options_.threads);
+    lane_scratch_.resize(pool_ != nullptr ? pool_->lanes() : 1);
+  }
 
   if (options_.obs != nullptr) set_obs(options_.obs);
 }
@@ -103,6 +170,7 @@ MaintenanceNode& MaintenanceEngine::node_mut(NodeId v) {
 void MaintenanceEngine::set_obs(obs::Session* session) {
   obs_ = session;
   sim_->set_obs(session);
+  if (pool_ != nullptr) pool_->set_obs(session);
   ticks_counter_ = obs::Counter();
   rounds_counter_ = obs::Counter();
   link_changes_counter_ = obs::Counter();
@@ -145,14 +213,19 @@ MaintTickStats MaintenanceEngine::tick() {
   MaintTickStats stats;
   const net::MessageCounts counts_before = sim_->counts();
   const net::DeliveryStats delivery_before = sim_->delivery_stats();
+  const std::uint64_t deliver_ns_before = sim_->deliver_ns();
+  const std::uint64_t step_ns_before = sim_->step_ns();
   const std::uint64_t t0 = obs_ != nullptr ? obs_->trace.now_ns() : 0;
   if (obs_ != nullptr) obs_->journal.set_tick(ticks_ + 1);
 
-  const incr::EdgeDelta delta = tracker_.commit();
-  stats.link_changes = delta.added.size() + delta.removed.size();
-
-  sim_->trigger_timers();
-  stats.rounds = sim_->run(options_.max_rounds_per_tick);
+  if (options_.threads == 0) {
+    const incr::EdgeDelta delta = tracker_.commit();
+    stats.link_changes = delta.added.size() + delta.removed.size();
+    sim_->trigger_timers();
+    stats.rounds = sim_->run(options_.max_rounds_per_tick);
+  } else {
+    stats.rounds = run_sharded_tick(stats);
+  }
 
   // The oracle's expected state must be derived from the *previous*
   // clustering (LCC repairs a structure, it does not rebuild one), so
@@ -167,7 +240,17 @@ MaintTickStats MaintenanceEngine::tick() {
         core::build_static_backbone(*oracle_graph, repaired, options_.mode);
   }
 
-  drain_ledger(stats);
+  {
+    const auto mirror_t0 = std::chrono::steady_clock::now();
+    drain_ledger(stats);
+    stats.mirror_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - mirror_t0)
+                          .count();
+  }
+  stats.deliver_ms =
+      static_cast<double>(sim_->deliver_ns() - deliver_ns_before) / 1e6;
+  stats.node_step_ms =
+      static_cast<double>(sim_->step_ns() - step_ns_before) / 1e6;
 
   const net::MessageCounts counts_after = sim_->counts();
   stats.messages = counts_after - counts_before;
@@ -237,6 +320,134 @@ MaintTickStats MaintenanceEngine::tick() {
   return stats;
 }
 
+std::uint32_t MaintenanceEngine::run_sharded_tick(MaintTickStats& stats) {
+  incr::CommitOptions copts;
+  copts.regions = &regions_;
+  copts.growth_cells = kShardGrowthCells;
+  copts.region_scopes = true;
+  const incr::EdgeDelta delta = tracker_.commit(copts);
+  stats.link_changes = delta.added.size() + delta.removed.size();
+  update_degrees(delta);
+
+  const std::uint64_t base = sim_->begin_sharded_tick();
+
+  // Active regions = those with changed edges. A region whose movers
+  // kept every link induces no protocol reaction beyond the beacons the
+  // merge bulk-accounts, exactly like the untouched rest of the network.
+  active_.clear();
+  for (std::uint32_t r = 0; r < regions_.count; ++r)
+    if (!regions_.deltas[r].added.empty() ||
+        !regions_.deltas[r].removed.empty())
+      active_.push_back(r);
+  const auto A = static_cast<std::uint32_t>(active_.size());
+
+  std::size_t scope_total = 0;
+  std::size_t degpos_in_scope = 0;
+  for (std::uint32_t a = 0; a < A; ++a) {
+    const auto& scope = regions_.scopes[active_[a]];
+    scope_total += scope.size();
+    for (const NodeId v : scope) {
+      scope_tag_[v] = a + 1;
+      if (deg_[v] > 0) ++degpos_in_scope;
+    }
+  }
+
+  if (region_runs_.size() < A) region_runs_.resize(A);
+  while (region_ledgers_.size() < A) region_ledgers_.emplace_back();
+
+  const auto run_one = [&](std::size_t a, std::size_t lane) {
+    net::RegionRun& rr = region_runs_[a];
+    rr.scope = regions_.scopes[active_[a]];
+    rr.region = static_cast<std::uint32_t>(a);
+    rr.region_count = A;
+    Ledger* const ledger = &region_ledgers_[a];
+    core::CoverageScratch* const scratch = &lane_scratch_[lane];
+    const std::uint32_t tag = static_cast<std::uint32_t>(a) + 1;
+    const auto before = [this, ledger, scratch](NodeId v) {
+      MaintenanceNode& nd = node_mut(v);
+      nd.set_ledger(ledger);
+      nd.set_scratch(scratch);
+    };
+    const auto after = [this, tag, base](NodeId v) {
+      // The scope filter withholds the beacons of live neighbors
+      // outside this region (unpainted, or across a region boundary).
+      // Such links provably did not change and their senders' cluster
+      // state is frozen this tick, so a known-neighbor beacon would be
+      // a pure heard-refresh — synthesize it, with the trace id the
+      // sequential beacon phase assigns (base + sender + 1).
+      MaintenanceNode& nd = node_mut(v);
+      for (const NodeId w : nd.neighbors())
+        if (scope_tag_[w] != tag)
+          nd.mark_neighbor_heard(w, net::Cause{base + w + 1, 0});
+    };
+    sim_->run_region(rr, scope_tag_.data(), before, after,
+                     options_.max_rounds_per_tick);
+  };
+  if (pool_ != nullptr && A > 1) {
+    pool_->run(A, run_one);
+  } else {
+    for (std::uint32_t a = 0; a < A; ++a) run_one(a, 0);
+  }
+
+  net::ShardedMergeInputs bulk;
+  bulk.n_total = tracker_.size();
+  bulk.scope_total = scope_total;
+  bulk.edges2 = 2 * tracker_.adjacency().edge_count();
+  bulk.degpos_total = degpos_;
+  bulk.degpos_in_scope = degpos_in_scope;
+  bulk.deg_count = deg_count_;
+  const std::uint32_t rounds = sim_->finish_sharded_tick(
+      std::span<net::RegionRun>(region_runs_.data(), A), bulk);
+
+  for (std::uint32_t a = 0; a < A; ++a)
+    for (const NodeId v : regions_.scopes[active_[a]]) scope_tag_[v] = 0;
+
+  // Concatenate the region ledgers region-ascending into the engine
+  // ledger. drain_ledger sorts and dedups the id lists anyway; the
+  // fixed order keeps stale-age sequences (and therefore every stat
+  // derived from them) independent of which lane ran which region.
+  for (std::uint32_t a = 0; a < A; ++a) {
+    Ledger& lr = region_ledgers_[a];
+    ledger_.expired_links += lr.expired_links;
+    lr.expired_links = 0;
+    const auto take = [](std::vector<NodeId>& into, std::vector<NodeId>& from) {
+      into.insert(into.end(), from.begin(), from.end());
+      from.clear();
+    };
+    take(ledger_.cluster_changed, lr.cluster_changed);
+    take(ledger_.rows_changed, lr.rows_changed);
+    take(ledger_.head_rows_changed, lr.head_rows_changed);
+    ledger_.stale_ages.insert(ledger_.stale_ages.end(),
+                              lr.stale_ages.begin(), lr.stale_ages.end());
+    lr.stale_ages.clear();
+  }
+  return rounds;
+}
+
+void MaintenanceEngine::update_degrees(const incr::EdgeDelta& delta) {
+  const auto gain = [this](NodeId v) {
+    const std::uint32_t d = deg_[v]++;
+    --deg_count_[d];
+    if (d + 1 >= deg_count_.size()) deg_count_.resize(d + 2, 0);
+    ++deg_count_[d + 1];
+    if (d == 0) ++degpos_;
+  };
+  const auto lose = [this](NodeId v) {
+    const std::uint32_t d = deg_[v]--;
+    --deg_count_[d];
+    ++deg_count_[d - 1];
+    if (d == 1) --degpos_;
+  };
+  for (const auto& [u, w] : delta.added) {
+    gain(u);
+    gain(w);
+  }
+  for (const auto& [u, w] : delta.removed) {
+    lose(u);
+    lose(w);
+  }
+}
+
 void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
   stats.expired_links = ledger_.expired_links;
   ledger_.expired_links = 0;
@@ -274,8 +485,14 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
   for (const NodeId v : ledger_.rows_changed) {
     const MaintenanceNode& nd = node(v);
     ++stats.rows_changed;
-    tables_.ch_hop1[v] = nd.hop1_row();
-    tables_.ch_hop2[v] = nd.hop2_row();
+    // Intern the fresh row before releasing the old one so unchanged
+    // content re-finds its slot instead of churning a free/alloc pair.
+    const RowRef h1 = store_.intern_hop1(nd.hop1_row());
+    store_.release_hop1(mirror_hop1_[v]);
+    mirror_hop1_[v] = h1;
+    const RowRef h2 = store_.intern_hop2(nd.hop2_row());
+    store_.release_hop2(mirror_hop2_[v]);
+    mirror_hop2_[v] = h2;
   }
   ledger_.rows_changed.clear();
 
@@ -283,9 +500,9 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
   for (const NodeId v : ledger_.head_rows_changed) {
     const MaintenanceNode& nd = node(v);
     ++stats.heads_refreshed;
-    coverage_[v] = nd.coverage();
+    const core::Coverage& cov = nd.coverage();
     const NodeSet& fresh = nd.selection().gateways;
-    const NodeSet& stale = selection_[v].gateways;
+    const NodeSet& stale = mirror_selection(v);
     if (fresh != stale) {
       for (const NodeId w : stale)
         if (!contains_sorted(fresh, w) && --selection_refs_[w] == 0)
@@ -294,14 +511,74 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
         if (!contains_sorted(stale, w) && selection_refs_[w]++ == 0)
           insert_sorted(gateways_, w);
     }
-    selection_[v] = nd.selection();
+    // Re-intern the three head rows into the slot; allocate it on first
+    // head refresh, recycle it when the node resigned (all rows empty).
+    const bool keep = !cov.empty() || !fresh.empty();
+    std::uint32_t slot = head_slot_[v];
+    if (keep) {
+      if (slot == 0) {
+        if (!free_head_slots_.empty()) {
+          slot = free_head_slots_.back() + 1;
+          free_head_slots_.pop_back();
+        } else {
+          head_rows_.emplace_back();
+          slot = static_cast<std::uint32_t>(head_rows_.size());
+        }
+        head_slot_[v] = slot;
+      }
+      HeadMirror& hm = head_rows_[slot - 1];
+      const RowRef c2 = store_.intern_hop1(cov.two_hop);
+      store_.release_hop1(hm.cov2);
+      hm.cov2 = c2;
+      const RowRef c3 = store_.intern_hop1(cov.three_hop);
+      store_.release_hop1(hm.cov3);
+      hm.cov3 = c3;
+      const RowRef sl = store_.intern_hop1(fresh);
+      store_.release_hop1(hm.sel);
+      hm.sel = sl;
+    } else if (slot != 0) {
+      HeadMirror& hm = head_rows_[slot - 1];
+      store_.release_hop1(hm.cov2);
+      store_.release_hop1(hm.cov3);
+      store_.release_hop1(hm.sel);
+      hm = HeadMirror{};
+      free_head_slots_.push_back(slot - 1);
+      head_slot_[v] = 0;
+    }
   }
   ledger_.head_rows_changed.clear();
 }
 
 std::uint64_t MaintenanceEngine::state_hash() const {
-  return core::backbone_state_hash(clustering_, tables_, coverage_,
-                                   selection_, gateways_, cds());
+  // Same fold as core::backbone_state_hash — field order and length
+  // prefixes are the contract — but read through the interned mirror
+  // instead of materializing dense tables/coverage/selection vectors.
+  const std::size_t n = clustering_.head_of.size();
+  std::uint64_t h = 14695981039346656037ULL;
+  h = core::state_hash_nodes(h, clustering_.heads);
+  h = core::state_hash_mix(h, clustering_.head_of.size());
+  for (const NodeId v : clustering_.head_of) h = core::state_hash_mix(h, v);
+  for (const auto role : clustering_.roles)
+    h = core::state_hash_mix(h, static_cast<std::uint64_t>(role));
+  for (NodeId v = 0; v < n; ++v)
+    h = core::state_hash_nodes(h, mirror_hop1(v));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& row = mirror_hop2(v);
+    h = core::state_hash_mix(h, row.size());
+    for (const auto& e : row)
+      h = core::state_hash_mix(h, (std::uint64_t{e.head} << 32) | e.via);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t s = head_slot_[v];
+    const HeadMirror hm = s != 0 ? head_rows_[s - 1] : HeadMirror{};
+    h = core::state_hash_nodes(h, store_.hop1(hm.cov2));
+    h = core::state_hash_nodes(h, store_.hop1(hm.cov3));
+  }
+  for (NodeId v = 0; v < n; ++v)
+    h = core::state_hash_nodes(h, mirror_selection(v));
+  h = core::state_hash_nodes(h, gateways_);
+  h = core::state_hash_nodes(h, cds());
+  return h;
 }
 
 std::string MaintenanceEngine::diff_against(
@@ -346,24 +623,27 @@ std::string MaintenanceEngine::diff_against(const core::StaticBackbone& oracle,
     }
   }
   for (NodeId v = 0; v < n; ++v) {
-    if (tables_.ch_hop1[v] != oracle.tables.ch_hop1[v]) {
+    if (mirror_hop1(v) != oracle.tables.ch_hop1[v]) {
       *divergent = v;
       os << "ch_hop1[" << v << "] differs";
       return os.str();
     }
-    if (!(tables_.ch_hop2[v] == oracle.tables.ch_hop2[v])) {
+    if (!(mirror_hop2(v) == oracle.tables.ch_hop2[v])) {
       *divergent = v;
       os << "ch_hop2[" << v << "] differs";
       return os.str();
     }
   }
   for (NodeId v = 0; v < n; ++v) {
-    if (!(coverage_[v] == oracle.coverage[v])) {
+    const std::uint32_t s = head_slot_[v];
+    const HeadMirror hm = s != 0 ? head_rows_[s - 1] : HeadMirror{};
+    if (store_.hop1(hm.cov2) != oracle.coverage[v].two_hop ||
+        store_.hop1(hm.cov3) != oracle.coverage[v].three_hop) {
       *divergent = v;
       os << "coverage[" << v << "] differs";
       return os.str();
     }
-    if (selection_[v].gateways != oracle.selection[v].gateways) {
+    if (mirror_selection(v) != oracle.selection[v].gateways) {
       *divergent = v;
       os << "selection[" << v << "] differs";
       return os.str();
@@ -405,7 +685,7 @@ std::string MaintenanceEngine::check_gateway_flags(const graph::Graph& g,
     if (truth && !flag) {
       *divergent = v;
       for (const NodeId h : clustering_.heads)
-        if (contains_sorted(selection_[h].gateways, v)) {
+        if (contains_sorted(mirror_selection(h), v)) {
           *origin = h;
           break;
         }

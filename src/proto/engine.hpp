@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "geom/point.hpp"
 #include "geom/spatial_grid.hpp"
 #include "incr/delta_tracker.hpp"
+#include "incr/worker_pool.hpp"
 #include "net/simulator.hpp"
 #include "obs/metrics.hpp"
 #include "proto/node.hpp"
@@ -57,6 +59,15 @@ struct EngineOptions {
   obs::Session* obs = nullptr;
   /// Simulator livelock guard, per tick.
   std::uint32_t max_rounds_per_tick = 100000;
+  /// Region-sharded tick execution. 0 = the classic sequential
+  /// simulator loop over all n nodes. >= 1 runs each tick's active
+  /// repair regions as independent scoped simulations (1 = inline on
+  /// the caller; k >= 2 = an incr::WorkerPool with k lanes), with the
+  /// quiescent remainder of the network accounted analytically — a
+  /// tick costs O(active work), not O(n). The maintained state, its
+  /// hash, and every deterministic metric are bitwise-identical across
+  /// all thread counts and to the sequential loop.
+  std::size_t threads = 0;
   /// Test-only: re-enable the historical stale-gateway soft-state bug on
   /// every node (MaintenanceNode::inject_stale_gateway_fault) so the
   /// divergence-forensics path can be exercised against a real fault.
@@ -78,6 +89,12 @@ struct MaintTickStats {
   std::vector<std::uint32_t> stale_ages;
   net::MessageCounts messages;       ///< transmissions this tick, by type
   net::DeliveryStats delivery;       ///< delivery-layer cost this tick
+  // Per-phase wall-time breakdown of the tick (bench reporting only —
+  // never part of any deterministic observable). Under concurrent
+  // region execution deliver/node_step sum across lanes (CPU time).
+  double deliver_ms = 0.0;    ///< delivery passes (inbox arena fills)
+  double node_step_ms = 0.0;  ///< node code: on_timer + on_round
+  double mirror_ms = 0.0;     ///< ledger drain into the hashable mirror
 };
 
 /// The message-driven maintained backbone of a mobile unit-disk network.
@@ -99,10 +116,18 @@ class MaintenanceEngine {
 
   // ---- Maintained state (the hashable mirror) ----
   const cluster::Clustering& clustering() const { return clustering_; }
-  const core::NeighborTables& tables() const { return tables_; }
-  const std::vector<core::Coverage>& coverage() const { return coverage_; }
-  const std::vector<core::GatewaySelection>& selection() const {
-    return selection_;
+  /// Mirror CH_HOP1/CH_HOP2 row of `v` (interned; content-shared with
+  /// the nodes' caches).
+  const NodeSet& mirror_hop1(NodeId v) const {
+    return store_.hop1(mirror_hop1_[v]);
+  }
+  const std::vector<core::Hop2Entry>& mirror_hop2(NodeId v) const {
+    return store_.hop2(mirror_hop2_[v]);
+  }
+  /// Mirror selection set of head `v` (empty for non-heads).
+  const NodeSet& mirror_selection(NodeId v) const {
+    const std::uint32_t s = head_slot_[v];
+    return store_.hop1(s != 0 ? head_rows_[s - 1].sel : kEmptyRow);
   }
   /// Union of all selected gateways (maintained by reference counts).
   const NodeSet& gateways() const { return gateways_; }
@@ -116,6 +141,10 @@ class MaintenanceEngine {
 
   const incr::DeltaTracker& tracker() const { return tracker_; }
   const net::Simulator& simulator() const { return *sim_; }
+  /// Scope-filtered deliveries in sharded rounds >= 2 so far — any
+  /// nonzero value is a repair wave escaping its painted region (the
+  /// partition-separation property test asserts 0).
+  std::size_t cross_scope_late() const { return sim_->cross_scope_late(); }
   const MaintenanceNode& node(NodeId v) const;
   std::uint64_t ticks() const { return ticks_; }
 
@@ -147,6 +176,12 @@ class MaintenanceEngine {
 
   MaintenanceNode& node_mut(NodeId v);
   void drain_ledger(MaintTickStats& stats);
+  /// The sharded tick body: region-scoped commit, concurrent region
+  /// runs, deterministic merge. Fills stats.link_changes and returns
+  /// the tick's round count.
+  std::uint32_t run_sharded_tick(MaintTickStats& stats);
+  /// O(1)-per-changed-edge maintenance of deg_/deg_count_/degpos_.
+  void update_degrees(const incr::EdgeDelta& delta);
   /// Divergence forensics: the causal slice of the journal around the
   /// divergent node (and the origin whose state it mirrors wrongly) —
   /// recent events of both plus the parent-link chain of their newest
@@ -157,17 +192,49 @@ class MaintenanceEngine {
   incr::DeltaTracker tracker_;
   Ledger ledger_;
   core::CoverageScratch scratch_;  ///< shared by all nodes (sequential sim)
+  RowStore store_;  ///< interned payload rows (must outlive the nodes)
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<net::Simulator> sim_;
 
-  // The hashable mirror (same shapes as incr::IncrementalBackbone).
+  // The hashable mirror. Same VALUES as incr::IncrementalBackbone's
+  // accessors (state_hash() replicates core::backbone_state_hash
+  // byte-for-byte), but interned storage: per-node table rows are
+  // RowStore refs content-shared with the node caches (a mirror row
+  // costs 8 bytes, not a second copy), and the head-only coverage/
+  // selection rows live in slot-compacted entries of three refs each —
+  // at n = 10^6 this keeps the whole mirror near 20 B/node where the
+  // dense vectors cost ~390 (see DESIGN §9/S33).
   cluster::Clustering clustering_;
-  core::NeighborTables tables_;
-  std::vector<core::Coverage> coverage_;
-  std::vector<core::GatewaySelection> selection_;
+  std::vector<RowRef> mirror_hop1_;  ///< per-node CH_HOP1 row
+  std::vector<RowRef> mirror_hop2_;  ///< per-node CH_HOP2 row
+  /// One head's mirror rows: coverage halves + selection gateways (the
+  /// only selection field any observable reads).
+  struct HeadMirror {
+    RowRef cov2 = kEmptyRow;  ///< Coverage::two_hop
+    RowRef cov3 = kEmptyRow;  ///< Coverage::three_hop
+    RowRef sel = kEmptyRow;   ///< GatewaySelection::gateways
+  };
+  std::vector<std::uint32_t> head_slot_;  ///< slot + 1, 0 = no head rows
+  std::vector<HeadMirror> head_rows_;
+  std::vector<std::uint32_t> free_head_slots_;
   /// selection_refs_[v] = number of heads whose selection contains v.
   std::vector<std::uint32_t> selection_refs_;
   NodeSet gateways_;  ///< {v : selection_refs_[v] > 0}
+
+  // ---- Region-sharded execution (EngineOptions::threads > 0) ----
+  std::vector<std::uint32_t> deg_;     ///< current degree per node
+  std::vector<std::size_t> deg_count_; ///< deg_count_[d] = #nodes at d
+  std::size_t degpos_ = 0;             ///< nodes with degree > 0
+  incr::RegionPartition regions_;
+  std::vector<std::uint32_t> scope_tag_;  ///< active region + 1, else 0
+  std::vector<std::uint32_t> active_;     ///< active region indices
+  std::vector<net::RegionRun> region_runs_;
+  /// Per-active-region change ledgers (deque: growth never moves the
+  /// entries nodes hold pointers to). Drained region-ascending into
+  /// ledger_ at merge, so the mirror refresh is order-deterministic.
+  std::deque<Ledger> region_ledgers_;
+  std::vector<core::CoverageScratch> lane_scratch_;  ///< one per lane
+  std::unique_ptr<incr::WorkerPool> pool_;  ///< threads >= 2 only
 
   std::uint64_t ticks_ = 0;
   obs::Session* obs_ = nullptr;

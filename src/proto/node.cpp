@@ -81,11 +81,13 @@ class CacheSelectionView final : public core::LocalSelectionView {
 
 MaintenanceNode::MaintenanceNode(NodeId id, core::CoverageMode mode,
                                  std::size_t universe, Ledger* ledger,
-                                 core::CoverageScratch* scratch)
+                                 core::CoverageScratch* scratch,
+                                 RowStore* store)
     : id_(id), mode_(mode), universe_(universe), ledger_(ledger),
-      scratch_(scratch), head_(id) {
+      scratch_(scratch), store_(store), head_(id) {
   MANET_REQUIRE(ledger != nullptr, "ledger required");
   MANET_REQUIRE(scratch != nullptr, "coverage scratch required");
+  MANET_REQUIRE(store != nullptr, "row store required");
 }
 
 // ---- Bootstrap ----------------------------------------------------------
@@ -95,14 +97,21 @@ void MaintenanceNode::seed_clustering(NodeId head, cluster::Role role) {
   role_ = role;
 }
 
-void MaintenanceNode::seed_neighbor(const NeighborCache& cache) {
-  const auto it = std::lower_bound(neighbor_ids_.begin(),
-                                   neighbor_ids_.end(), cache.id);
-  MANET_REQUIRE(it == neighbor_ids_.end() || *it != cache.id,
+void MaintenanceNode::seed_neighbor(NodeId id, NodeId head_of,
+                                    const NodeSet& hop1,
+                                    const std::vector<core::Hop2Entry>& hop2) {
+  const auto it =
+      std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), id);
+  MANET_REQUIRE(it == neighbor_ids_.end() || *it != id,
                 "duplicate seeded neighbor");
   const auto idx = it - neighbor_ids_.begin();
-  neighbor_ids_.insert(it, cache.id);
-  neighbors_.insert(neighbors_.begin() + idx, cache);
+  neighbor_ids_.insert(it, id);
+  NeighborCache cache;
+  cache.id = id;
+  cache.head_of = head_of;
+  cache.hop1 = store_->intern_hop1(hop1);
+  cache.hop2 = store_->intern_hop2(hop2);
+  neighbors_.insert(neighbors_.begin() + idx, std::move(cache));
 }
 
 void MaintenanceNode::seed_rows(NodeSet hop1,
@@ -113,17 +122,18 @@ void MaintenanceNode::seed_rows(NodeSet hop1,
 
 void MaintenanceNode::seed_head_rows(core::Coverage cov,
                                      core::GatewaySelection sel) {
-  coverage_ = std::move(cov);
-  selection_ = std::move(sel);
-  last_flooded_ = selection_.gateways;
+  HeadRows& hr = head_rows();
+  hr.coverage = std::move(cov);
+  hr.selection = std::move(sel);
+  hr.last_flooded = hr.selection.gateways;
 }
 
 void MaintenanceNode::seed_origin(NodeId origin, bool selected,
-                                  NodeSet payload) {
+                                  const NodeSet& payload) {
   OriginCache e;
   e.origin = origin;
   e.selected = selected;
-  e.payload = std::move(payload);
+  e.payload = store_->intern_hop1(payload);
   const auto it = std::lower_bound(
       origins_.begin(), origins_.end(), origin,
       [](const OriginCache& a, NodeId b) { return a.origin < b; });
@@ -147,16 +157,14 @@ NodeId MaintenanceNode::cached_head_of(NodeId x) const {
 }
 
 const NodeSet& MaintenanceNode::cached_hop1(NodeId w) const {
-  static const NodeSet kEmpty;
   const NeighborCache* nb = find_neighbor(w);
-  return nb != nullptr ? nb->hop1 : kEmpty;
+  return store_->hop1(nb != nullptr ? nb->hop1 : kEmptyRow);
 }
 
 const std::vector<core::Hop2Entry>& MaintenanceNode::cached_hop2(
     NodeId w) const {
-  static const std::vector<core::Hop2Entry> kEmpty;
   const NeighborCache* nb = find_neighbor(w);
-  return nb != nullptr ? nb->hop2 : kEmpty;
+  return store_->hop2(nb != nullptr ? nb->hop2 : kEmptyRow);
 }
 
 NeighborCache* MaintenanceNode::find_neighbor(NodeId w) {
@@ -168,6 +176,14 @@ NeighborCache* MaintenanceNode::find_neighbor(NodeId w) {
 
 const NeighborCache* MaintenanceNode::find_neighbor(NodeId w) const {
   return const_cast<MaintenanceNode*>(this)->find_neighbor(w);
+}
+
+void MaintenanceNode::mark_neighbor_heard(NodeId w, net::Cause cause) {
+  NeighborCache* nb = find_neighbor(w);
+  MANET_ASSERT(nb != nullptr, "heard mark for an unknown neighbor");
+  if (nb == nullptr) return;
+  nb->heard = true;
+  nb->set_beacon_cause(cause);
 }
 
 OriginCache& MaintenanceNode::origin_entry(NodeId origin) {
@@ -210,7 +226,7 @@ void MaintenanceNode::on_timer(std::uint32_t round, net::Mailbox& out) {
     nb.r1 = kNone;
     nb.r2 = kNone;
   }
-  out.send(net::MaintHelloMsg{is_head(), head_, neighbor_ids_});
+  out.send(net::MaintHelloMsg{is_head(), head_});
   // Stay dispatched through tr1 so the beacon round gets processed even
   // when every link survived; an isolated node has nothing to expire.
   awake_ = !neighbor_ids_.empty();
@@ -241,7 +257,7 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
       add_link(m.from, hello->is_head ? m.from : hello->head, cause);
     } else {
       nb->heard = true;
-      nb->beacon_cause = cause;
+      nb->set_beacon_cause(cause);
       MANET_ASSERT(nb->head_of == hello->head,
                    "cached affiliation diverged from beacon");
     }
@@ -268,7 +284,8 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
     if (created || gw->seq > e->seq) {
       e->seq = gw->seq;
       e->selected = contains_sorted(gw->selected, id_);
-      e->payload = gw->selected;
+      store_->release_hop1(e->payload);
+      e->payload = store_->intern_hop1(gw->selected);
     }
     if (gw->ttl > 1 && gw->seq > e->forwarded) {
       // Everyone forwards once per (origin, seq): second-hop members must
@@ -289,7 +306,7 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
 
   if (const auto* r1 = std::get_if<net::R1StatusMsg>(&m.body)) {
     nb->r1 = r1->final_ ? (r1->survived ? kSurvived : kResigned) : kPending;
-    nb->r1_cause = cause;
+    nb->set_r1_cause(cause);
     // A resignation changes my CH_HOP1 inputs (one fewer adjacent head).
     if (r1->final_ && !r1->survived) rows_dirty_ = true;
     return;
@@ -311,8 +328,10 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
     if (r2->declared) {
       // New heads send no CH_HOP1/CH_HOP2; drop the rows they sent as a
       // member (exactly what the batch tables do for heads).
-      nb->hop1.clear();
-      nb->hop2.clear();
+      store_->release_hop1(nb->hop1);
+      store_->release_hop2(nb->hop2);
+      nb->hop1 = kEmptyRow;
+      nb->hop2 = kEmptyRow;
       rows_dirty_ = true;
       head_inputs_dirty_ = true;
       inputs_this_round_ = true;
@@ -321,7 +340,8 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
   }
 
   if (const auto* h1 = std::get_if<net::ChHop1Msg>(&m.body)) {
-    nb->hop1 = h1->heads;
+    store_->release_hop1(nb->hop1);
+    nb->hop1 = store_->intern_hop1(h1->heads);
     rows_dirty_ = true;       // my CH_HOP2 inputs (3-hop mode)
     head_inputs_dirty_ = true;  // my coverage inputs (if head)
     inputs_this_round_ = true;
@@ -329,7 +349,8 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
   }
 
   if (const auto* h2 = std::get_if<net::ChHop2Msg>(&m.body)) {
-    nb->hop2 = h2->entries;
+    store_->release_hop2(nb->hop2);
+    nb->hop2 = store_->intern_hop2(h2->entries);
     head_inputs_dirty_ = true;
     inputs_this_round_ = true;
     return;
@@ -348,7 +369,7 @@ void MaintenanceNode::add_link(NodeId w, NodeId head_of_w, net::Cause cause) {
   cache.head_of = head_of_w;
   cache.heard = true;
   cache.was_head = head_of_w == w;
-  cache.beacon_cause = cause;
+  cache.set_beacon_cause(cause);
   neighbors_.insert(neighbors_.begin() + idx, std::move(cache));
   // A beacon from a non-head is conclusive about its selection: any
   // cached selected bit from w's past head tenure is dead (the
@@ -362,7 +383,8 @@ void MaintenanceNode::add_link(NodeId w, NodeId head_of_w, net::Cause cause) {
         [](const OriginCache& e, NodeId o) { return e.origin < o; });
     if (oit != origins_.end() && oit->origin == w && oit->selected) {
       oit->selected = false;
-      oit->payload.clear();
+      store_->release_hop1(oit->payload);
+      oit->payload = kEmptyRow;
     }
   }
   insert_sorted(links_formed_, w);
@@ -378,9 +400,13 @@ void MaintenanceNode::remove_link(NodeId w) {
       std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), w);
   MANET_ASSERT(it != neighbor_ids_.end() && *it == w,
                "expiring an unknown link");
-  const auto idx = it - neighbor_ids_.begin();
+  const auto idx =
+      static_cast<std::size_t>(it - neighbor_ids_.begin());
   neighbor_ids_.erase(it);
-  neighbors_.erase(neighbors_.begin() + idx);
+  store_->release_hop1(neighbors_[idx].hop1);
+  store_->release_hop2(neighbors_[idx].hop2);
+  neighbors_.erase(neighbors_.begin() +
+                   static_cast<std::ptrdiff_t>(idx));
   topo_changed_ = true;
   rows_dirty_ = true;
   role_dirty_ = true;
@@ -407,7 +433,7 @@ void MaintenanceNode::process_tick_start(net::Mailbox& out) {
     net::Cause trigger;
     for (const auto& nb : neighbors_) {
       if (!nb.was_head) continue;
-      if (!affected) trigger = nb.beacon_cause;
+      if (!affected) trigger = nb.beacon_cause();
       affected = true;
       if (nb.id < id_) smaller = true;
     }
@@ -439,7 +465,7 @@ void MaintenanceNode::evaluate(std::uint32_t tr, net::Mailbox& out) {
   if (!was_head_ && my_r2_ == kNone && old_head_ != kInvalidNode) {
     const NeighborCache* oh = find_neighbor(old_head_);
     if (oh != nullptr && (oh->r1 == kPending || oh->r1 == kResigned))
-      become_dirty(out, oh->r1_cause);
+      become_dirty(out, oh->r1_cause());
   }
 
   if (my_r2_ == kPending) try_decide_r2(tr, out);
@@ -473,20 +499,23 @@ void MaintenanceNode::try_resolve_r1(std::uint32_t tr, net::Mailbox& out) {
       // resignation — chain the wave through it.
       my_r1_ = kResigned;
       ledger_->stale_ages.push_back(tr);
-      out.send_caused(net::R1StatusMsg{true, false}, nb.r1_cause);
+      out.send_caused(net::R1StatusMsg{true, false}, nb.r1_cause());
       // Step down as a selector: retract the flooded selection so the
-      // selected nodes drop this origin's flag.
-      if (!last_flooded_.empty()) {
-        ++selection_seq_;
-        out.send_caused(net::GatewayMsg{id_, NodeSet{}, 2, selection_seq_},
-                        nb.r1_cause);
-        last_flooded_.clear();
+      // selected nodes drop this origin's flag, then drop the head-only
+      // rows entirely (selection_seq_ stays — a re-declared selection
+      // must outversion this retraction).
+      if (head_rows_ != nullptr) {
+        if (!head_rows_->last_flooded.empty()) {
+          ++selection_seq_;
+          out.send_caused(net::GatewayMsg{id_, NodeSet{}, 2, selection_seq_},
+                          nb.r1_cause());
+        }
+        if (!head_rows_->coverage.empty() ||
+            !(head_rows_->selection == core::GatewaySelection{}))
+          ledger_->head_rows_changed.push_back(id_);
+        head_rows_.reset();
       }
-      if (!coverage_.empty() || !(selection_ == core::GatewaySelection{}))
-        ledger_->head_rows_changed.push_back(id_);
-      coverage_ = core::Coverage{};
-      selection_ = core::GatewaySelection{};
-      become_dirty(out, nb.r1_cause);
+      become_dirty(out, nb.r1_cause());
       return;
     }
     if (nb.r1 != kResigned) all_final = false;  // kNone or kPending
@@ -554,6 +583,7 @@ void MaintenanceNode::try_decide_r2(std::uint32_t tr, net::Mailbox& out) {
     became_head_ = true;
     force_flood_ = true;
     head_inputs_dirty_ = true;
+    for (const auto& e : origins_) store_->release_hop1(e.payload);
     origins_.clear();  // selections never contain heads
     out.send_caused(net::R2StatusMsg{true, id_, true}, my_r2_cause_);
   }
@@ -653,8 +683,9 @@ void MaintenanceNode::settle_rows(net::Mailbox& out) {
     } else {
       for (const auto& e : origins_)
         if (contains_sorted(my_hop1_, e.origin))
-          out.send_caused(net::GatewayMsg{e.origin, e.payload, 1, e.seq},
-                          last_input_cause_);
+          out.send_caused(
+              net::GatewayMsg{e.origin, store_->hop1(e.payload), 1, e.seq},
+              last_input_cause_);
     }
   }
 
@@ -676,12 +707,13 @@ void MaintenanceNode::maybe_reselect(net::Mailbox& out) {
       core::coverage_row(adj, tables, id_, universe_, *scratch_);
   const CacheSelectionView view(*this);
   core::GatewaySelection sel = core::select_gateways_local(view, cov);
-  if (!(cov == coverage_) || !(sel == selection_)) {
+  HeadRows& hr = head_rows();
+  if (!(cov == hr.coverage) || !(sel == hr.selection)) {
     ledger_->head_rows_changed.push_back(id_);
-    coverage_ = std::move(cov);
-    selection_ = std::move(sel);
+    hr.coverage = std::move(cov);
+    hr.selection = std::move(sel);
   }
-  if (selection_.gateways != last_flooded_ || force_flood_)
+  if (hr.selection.gateways != hr.last_flooded || force_flood_)
     flood_selection(out);
   head_inputs_dirty_ = false;
   force_flood_ = false;
@@ -689,14 +721,17 @@ void MaintenanceNode::maybe_reselect(net::Mailbox& out) {
 }
 
 void MaintenanceNode::flood_selection(net::Mailbox& out) {
+  HeadRows& hr = head_rows();
   ++selection_seq_;
-  out.send_caused(net::GatewayMsg{id_, selection_.gateways, 2, selection_seq_},
-                  last_input_cause_);
-  last_flooded_ = selection_.gateways;
+  out.send_caused(
+      net::GatewayMsg{id_, hr.selection.gateways, 2, selection_seq_},
+      last_input_cause_);
+  hr.last_flooded = hr.selection.gateways;
 }
 
 void MaintenanceNode::gc_origins() {
   if (is_head()) {
+    for (const auto& e : origins_) store_->release_hop1(e.payload);
     origins_.clear();
     return;
   }
@@ -711,6 +746,7 @@ void MaintenanceNode::gc_origins() {
     if (contains_sorted(my_hop1_, e.origin)) return false;
     for (const auto& h2 : my_hop2_)
       if (h2.head == e.origin) return false;
+    store_->release_hop1(e.payload);
     return true;
   });
 }

@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -53,6 +54,7 @@
 #include "core/neighbor_tables.hpp"
 #include "core/table_kernels.hpp"
 #include "net/simulator.hpp"
+#include "proto/row_store.hpp"
 
 namespace manet::proto {
 
@@ -74,11 +76,27 @@ struct Ledger {
 
 /// A node's view of one current neighbor, fed by that neighbor's
 /// messages (MAINT_HELLO, repair announcements, row re-broadcasts).
+/// Row payloads are interned refs into the engine's shared RowStore —
+/// a sender's row is broadcast identically to every neighbor, so per-
+/// cache copies would multiply the row bytes by the average degree.
+/// Refcounts are managed at the explicit mutation sites (add/remove/
+/// overwrite) — caches are never copied around.
 struct NeighborCache {
+  // Causal ancestry of this tick's messages from the neighbor, kept so
+  // repair announcements triggered by them can declare their parent
+  // (net::Mailbox::send_caused) and waves chain in the trace/journal.
+  // Stored as flat id + depth fields (not net::Cause) so the two u64s
+  // lead the struct and the entry packs to 48 bytes — this cache is
+  // n * degree entries, the protocol's largest per-node array.
+  std::uint64_t beacon_cause_id = 0;  ///< this tick's MAINT_HELLO
+  std::uint64_t r1_cause_id = 0;      ///< latest R1_STATUS
+
   NodeId id = kInvalidNode;
   NodeId head_of = kInvalidNode;  ///< the neighbor's clusterhead
-  NodeSet hop1;                   ///< its last CH_HOP1 payload
-  std::vector<core::Hop2Entry> hop2;  ///< its last CH_HOP2 payload
+  RowRef hop1 = kEmptyRow;        ///< its last CH_HOP1 payload (interned)
+  RowRef hop2 = kEmptyRow;        ///< its last CH_HOP2 payload (interned)
+  std::uint32_t beacon_cause_depth = 0;
+  std::uint32_t r1_cause_depth = 0;
   bool heard = false;             ///< beacon received this tick
 
   // Per-tick repair bookkeeping (reset by the tick beacon).
@@ -86,41 +104,80 @@ struct NeighborCache {
   std::uint8_t r1 = 0;     ///< kNone/kPending/kSurvived/kResigned
   std::uint8_t r2 = 0;     ///< kNone/kPending/kFinal
 
-  // Causal ancestry of this tick's messages from the neighbor, kept so
-  // repair announcements triggered by them can declare their parent
-  // (net::Mailbox::send_caused) and waves chain in the trace/journal.
-  net::Cause beacon_cause;  ///< this tick's MAINT_HELLO
-  net::Cause r1_cause;      ///< latest R1_STATUS
+  net::Cause beacon_cause() const {
+    return net::Cause{beacon_cause_id, beacon_cause_depth};
+  }
+  void set_beacon_cause(net::Cause c) {
+    beacon_cause_id = c.id;
+    beacon_cause_depth = c.depth;
+  }
+  net::Cause r1_cause() const { return net::Cause{r1_cause_id, r1_cause_depth}; }
+  void set_r1_cause(net::Cause c) {
+    r1_cause_id = c.id;
+    r1_cause_depth = c.depth;
+  }
 
   bool is_head() const { return head_of == id; }
 };
 
 /// Cached gateway-selection status from one clusterhead origin (soft
-/// state behind the node's backbone-membership flag).
+/// state behind the node's backbone-membership flag). The payload is an
+/// interned ref: one origin's selection set lands identically in every
+/// selected node's cache.
 struct OriginCache {
   NodeId origin = kInvalidNode;
   std::uint32_t seq = 0;        ///< freshest selection version seen
   std::uint32_t forwarded = 0;  ///< highest seq this node forwarded
   bool selected = false;        ///< this node is in origin's selection
-  NodeSet payload;              ///< full selected set (for re-sends on
-                                ///< link formation)
+  RowRef payload = kEmptyRow;   ///< full selected set, interned (for
+                                ///< re-sends on link formation)
+};
+
+/// Head-only working state: coverage, selection, and what was last
+/// flooded. Hoisted behind a pointer because only clusterheads (a
+/// minority at any degree) carry non-empty rows — the structs are ~150
+/// bytes of empty vectors on every other node, which at n = 10^6 is the
+/// difference between fitting the RSS budget and not. Created on head
+/// seed/declaration, destroyed on resignation (the selection sequence
+/// number survives in the node so re-declared selections stay
+/// monotonically versioned for receivers).
+struct HeadRows {
+  core::Coverage coverage;
+  core::GatewaySelection selection;
+  NodeSet last_flooded;  ///< selection last flooded
 };
 
 /// The maintenance-phase state machine of one node.
 class MaintenanceNode final : public net::NodeProcess {
  public:
   /// `universe` sizes the coverage bitsets (total node count); `scratch`
-  /// is shared across all nodes by the engine (the simulator dispatches
-  /// nodes sequentially, so one scratch serves every head).
+  /// is shared across all nodes dispatched on one lane (the simulator
+  /// dispatches a lane's nodes sequentially, so one scratch serves every
+  /// head on it); `store` interns all cached payload rows and is shared
+  /// engine-wide.
   MaintenanceNode(NodeId id, core::CoverageMode mode, std::size_t universe,
-                  Ledger* ledger, core::CoverageScratch* scratch);
+                  Ledger* ledger, core::CoverageScratch* scratch,
+                  RowStore* store);
 
   // ---- Bootstrap (engine-seeded; nodes join a converged backbone) ----
   void seed_clustering(NodeId head, cluster::Role role);
-  void seed_neighbor(const NeighborCache& cache);
+  void seed_neighbor(NodeId id, NodeId head_of, const NodeSet& hop1,
+                     const std::vector<core::Hop2Entry>& hop2);
   void seed_rows(NodeSet hop1, std::vector<core::Hop2Entry> hop2);
   void seed_head_rows(core::Coverage cov, core::GatewaySelection sel);
-  void seed_origin(NodeId origin, bool selected, NodeSet payload);
+  void seed_origin(NodeId origin, bool selected, const NodeSet& payload);
+
+  // ---- Region-sharded dispatch hooks (engine-managed) ----
+  /// Redirect change notifications to a per-region ledger for the
+  /// duration of one tick's region execution.
+  void set_ledger(Ledger* ledger) { ledger_ = ledger; }
+  /// Redirect coverage scratch to the executing lane's instance.
+  void set_scratch(core::CoverageScratch* scratch) { scratch_ = scratch; }
+  /// Engine fast path for quiescent senders: replicate the only effect a
+  /// skipped neighbor's beacon has on this node — the heard mark and its
+  /// causal id — without delivering a message. Asserts the cached head
+  /// state matches what the beacon would have carried (identity tick).
+  void mark_neighbor_heard(NodeId w, net::Cause cause);
 
   // ---- NodeProcess interface ----
   void start(net::Mailbox& /*out*/) override {}
@@ -137,8 +194,14 @@ class MaintenanceNode final : public net::NodeProcess {
   const NodeSet& neighbors() const { return neighbor_ids_; }
   const NodeSet& hop1_row() const { return my_hop1_; }
   const std::vector<core::Hop2Entry>& hop2_row() const { return my_hop2_; }
-  const core::Coverage& coverage() const { return coverage_; }
-  const core::GatewaySelection& selection() const { return selection_; }
+  const core::Coverage& coverage() const {
+    static const core::Coverage kEmpty;
+    return head_rows_ != nullptr ? head_rows_->coverage : kEmpty;
+  }
+  const core::GatewaySelection& selection() const {
+    static const core::GatewaySelection kEmpty;
+    return head_rows_ != nullptr ? head_rows_->selection : kEmpty;
+  }
   /// Soft-state backbone-membership flag: selected by any cached origin.
   bool gateway_flag() const;
   const std::vector<OriginCache>& origins() const { return origins_; }
@@ -166,6 +229,11 @@ class MaintenanceNode final : public net::NodeProcess {
   NeighborCache* find_neighbor(NodeId w);
   const NeighborCache* find_neighbor(NodeId w) const;
   OriginCache& origin_entry(NodeId origin);
+  /// The head-only rows, created on first use (head seed/declaration).
+  HeadRows& head_rows() {
+    if (head_rows_ == nullptr) head_rows_ = std::make_unique<HeadRows>();
+    return *head_rows_;
+  }
 
   void ingest(const net::Message& m, net::Mailbox& out);
   void process_tick_start(net::Mailbox& out);
@@ -198,6 +266,7 @@ class MaintenanceNode final : public net::NodeProcess {
   std::size_t universe_;
   Ledger* ledger_;
   core::CoverageScratch* scratch_;
+  RowStore* store_;
 
   // ---- Persistent protocol state ----
   NodeId head_ = kInvalidNode;
@@ -206,9 +275,7 @@ class MaintenanceNode final : public net::NodeProcess {
   std::vector<NeighborCache> neighbors_;  ///< parallel to neighbor_ids_
   NodeSet my_hop1_;
   std::vector<core::Hop2Entry> my_hop2_;
-  core::Coverage coverage_;          ///< heads only
-  core::GatewaySelection selection_; ///< heads only
-  NodeSet last_flooded_;             ///< selection last flooded
+  std::unique_ptr<HeadRows> head_rows_;  ///< heads only (see HeadRows)
   std::uint32_t selection_seq_ = 0;  ///< own GATEWAY version counter
   std::vector<OriginCache> origins_; ///< sorted by origin id
 

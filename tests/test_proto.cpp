@@ -4,8 +4,10 @@
 // protocol on the bitwise state the snapshot-driven incremental engine
 // maintains (both mobility models, both coverage modes).
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 
 #include "core/state_hash.hpp"
 #include "exp/churn.hpp"
+#include "exp/mobility_mix.hpp"
 #include "exp/msg_churn.hpp"
 #include "geom/point.hpp"
 #include "incr/pipeline.hpp"
@@ -283,6 +286,152 @@ TEST(ProtoConvergence, ConvMetricsBitwiseEqualAcrossThreads) {
       expected = json;
     else
       EXPECT_EQ(json, expected) << "snapshot diverged at threads=" << threads;
+  }
+}
+
+// ---- Region-sharded execution ----
+
+exp::ChurnConfig sharded_base(exp::ChurnConfig::Model model,
+                              std::uint64_t seed) {
+  exp::ChurnConfig base;
+  base.nodes = 80;
+  base.degree = 6.0;
+  base.ticks = 120;
+  base.move_fraction = 0.04;
+  base.model = model;
+  base.mode = core::CoverageMode::kTwoPointFiveHop;
+  base.seed = seed;
+  base.connect_attempts = 5;
+  return base;
+}
+
+// Lockstep hash soak: the sharded engine (at several thread counts) must
+// hold the sequential engine's exact state hash after every tick, under
+// both mobility models. The sequential engine is itself crosschecked
+// against the incremental pipeline elsewhere, so this transitively pins
+// the sharded state to the whole equivalence tower.
+TEST(ProtoSharded, LockstepMatchesSequentialEngine) {
+  for (const auto model : {exp::ChurnConfig::Model::kWaypoint,
+                           exp::ChurnConfig::Model::kRandomDirection}) {
+    const exp::ChurnConfig base = sharded_base(model, 41);
+    exp::MobilityMix seq_mix(base);
+    proto::EngineOptions seq_opts;
+    seq_opts.mode = base.mode;
+    proto::MaintenanceEngine sequential(seq_mix.positions(), seq_mix.range(),
+                                        base.width, base.height, seq_opts);
+
+    std::vector<std::unique_ptr<exp::MobilityMix>> mixes;
+    std::vector<std::unique_ptr<proto::MaintenanceEngine>> engines;
+    const std::size_t thread_counts[] = {1, 2, 8};
+    for (const std::size_t threads : thread_counts) {
+      mixes.push_back(std::make_unique<exp::MobilityMix>(base));
+      proto::EngineOptions opts;
+      opts.mode = base.mode;
+      opts.threads = threads;
+      engines.push_back(std::make_unique<proto::MaintenanceEngine>(
+          mixes.back()->positions(), mixes.back()->range(), base.width,
+          base.height, opts));
+    }
+
+    for (std::size_t tick = 0; tick < base.ticks; ++tick) {
+      const std::span<const NodeId> moved =
+          seq_mix.advance(seq_mix.movers_per_tick());
+      for (const NodeId v : moved)
+        sequential.stage_move(v, seq_mix.positions()[v]);
+      sequential.tick();
+      const std::uint64_t expect = sequential.state_hash();
+      for (std::size_t i = 0; i < engines.size(); ++i) {
+        const std::span<const NodeId> m =
+            mixes[i]->advance(mixes[i]->movers_per_tick());
+        for (const NodeId v : m)
+          engines[i]->stage_move(v, mixes[i]->positions()[v]);
+        engines[i]->tick();
+        ASSERT_EQ(engines[i]->state_hash(), expect)
+            << "threads=" << thread_counts[i] << " diverged at tick "
+            << tick + 1 << " (model "
+            << (model == exp::ChurnConfig::Model::kWaypoint ? "waypoint"
+                                                            : "direction")
+            << ")";
+        ASSERT_EQ(engines[i]->cross_scope_late(), 0u);
+      }
+    }
+  }
+}
+
+// The sharded engine under its own oracle: every tick's repaired state
+// field-by-field equal to the from-scratch rebuild, plus the lockstep
+// crosscheck against the incremental pipeline — run_msg_churn with
+// engine_threads set. Both coverage modes.
+TEST(ProtoSharded, OracleSoakBothModes) {
+  for (const core::CoverageMode mode :
+       {core::CoverageMode::kTwoPointFiveHop, core::CoverageMode::kThreeHop}) {
+    exp::MsgChurnConfig config =
+        make_soak(exp::ChurnConfig::Model::kWaypoint, mode, 11);
+    config.base.ticks = 100;
+    config.engine_threads = 2;
+    const exp::MsgChurnResult r = exp::run_msg_churn(config);
+    EXPECT_EQ(r.ticks, 100u);
+    EXPECT_DOUBLE_EQ(r.hello_rate, 1.0);
+  }
+}
+
+// Deterministic metrics — the net.* delivery layer and the proto.conv.*
+// convergence families — must be byte-identical whether the protocol
+// runs sequentially or sharded at any thread count, under both mobility
+// models. This is the strongest observable-equivalence claim: the bulk
+// accounting of everything the scopes skip has to be exact, not close.
+TEST(ProtoSharded, MetricsBitwiseEqualAcrossThreads) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  for (const auto model : {exp::ChurnConfig::Model::kWaypoint,
+                           exp::ChurnConfig::Model::kRandomDirection}) {
+    std::string expected;
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{2}, std::size_t{8}}) {
+      exp::MsgChurnConfig config;
+      config.base = sharded_base(model, 17);
+      config.base.ticks = 80;
+      config.crosscheck = false;
+      config.oracle_check = false;
+      config.engine_threads = threads;
+      obs::Session session;
+      config.base.obs = &session;
+      exp::run_msg_churn(config);
+      const std::string json =
+          session.registry.snapshot().deterministic().to_json();
+      EXPECT_NE(json.find("net.msg.maint_hello"), std::string::npos);
+      EXPECT_NE(json.find("proto.conv.wave_depth"), std::string::npos);
+      if (expected.empty())
+        expected = json;
+      else
+        EXPECT_EQ(json, expected)
+            << "deterministic snapshot diverged at engine_threads=" << threads;
+    }
+  }
+}
+
+// Partition separation, message level: within a tick, no message may
+// cross a repair-region boundary after round 1 (round-1 boundary beacons
+// are the expected, bulk-accounted exception). The engine counts every
+// scope-filtered late delivery; a soak with heavy churn must end at
+// exactly zero — the painted growth of 7 cells strictly contains the
+// deepest repair wave the protocol can launch.
+TEST(ProtoSharded, NoCrossRegionMessageWithinTick) {
+  exp::ChurnConfig base = sharded_base(exp::ChurnConfig::Model::kWaypoint, 23);
+  base.nodes = 150;
+  base.ticks = 150;
+  base.move_fraction = 0.08;  // many concurrent regions per tick
+  exp::MobilityMix mix(base);
+  proto::EngineOptions opts;
+  opts.mode = core::CoverageMode::kTwoPointFiveHop;
+  opts.threads = 2;
+  proto::MaintenanceEngine engine(mix.positions(), mix.range(), base.width,
+                                  base.height, opts);
+  for (std::size_t tick = 0; tick < base.ticks; ++tick) {
+    const std::span<const NodeId> moved = mix.advance(mix.movers_per_tick());
+    for (const NodeId v : moved) engine.stage_move(v, mix.positions()[v]);
+    engine.tick();
+    ASSERT_EQ(engine.cross_scope_late(), 0u)
+        << "a repair wave escaped its painted region at tick " << tick + 1;
   }
 }
 
