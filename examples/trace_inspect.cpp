@@ -81,35 +81,52 @@ std::optional<obs::JournalEvent> parse_line(const std::string& line,
   return e;
 }
 
+/// Parent-link walk result: the retained slice of a wave, oldest first.
+/// When the walk hits a parent id that is no longer in the window (the
+/// journal ring wrapped past it), `missing_ancestor` records that id so
+/// the output can say exactly where — and why — the chain stops.
+struct Chain {
+  std::vector<obs::JournalEvent> events;
+  std::uint64_t missing_ancestor = 0;
+};
+
 /// Parent-link walk from `trace_id` back to the wave root, oldest first.
-std::vector<obs::JournalEvent> chain_of(
-    const std::vector<obs::JournalEvent>& events,
-    const std::unordered_map<std::uint64_t, std::size_t>& by_trace,
-    std::uint64_t trace_id) {
-  std::vector<obs::JournalEvent> chain;
+Chain chain_of(const std::vector<obs::JournalEvent>& events,
+               const std::unordered_map<std::uint64_t, std::size_t>& by_trace,
+               std::uint64_t trace_id) {
+  Chain chain;
   std::uint64_t cursor = trace_id;
-  while (cursor != 0 && chain.size() <= events.size()) {
+  while (cursor != 0 && chain.events.size() <= events.size()) {
     const auto it = by_trace.find(cursor);
-    if (it == by_trace.end()) break;  // ancestor outside the window
-    chain.push_back(events[it->second]);
+    if (it == by_trace.end()) {
+      // Ancestor evicted by ring wrap: stop here and report it, rather
+      // than pretending the retained prefix is the whole wave.
+      chain.missing_ancestor = cursor;
+      break;
+    }
+    chain.events.push_back(events[it->second]);
     cursor = events[it->second].parent_id;
   }
-  std::reverse(chain.begin(), chain.end());
+  std::reverse(chain.events.begin(), chain.events.end());
   return chain;
 }
 
-void print_chain(const std::vector<obs::JournalEvent>& chain) {
-  if (chain.empty()) {
+void print_chain(const Chain& chain) {
+  if (chain.events.empty()) {
     std::puts("  (trace id not in the journal window)");
     return;
   }
-  for (std::size_t i = 0; i < chain.size(); ++i)
+  if (chain.missing_ancestor != 0)
+    std::printf("  (ancestor trace %llu evicted from the journal ring — "
+                "older part of the wave is lost)\n",
+                static_cast<unsigned long long>(chain.missing_ancestor));
+  for (std::size_t i = 0; i < chain.events.size(); ++i)
     std::printf("  %*s%s\n", static_cast<int>(2 * i), "",
-                obs::Journal::format_event(chain[i]).c_str());
+                obs::Journal::format_event(chain.events[i]).c_str());
   std::printf("  wave: %zu message(s), depth %u, %s -> final sender %u\n",
-              chain.size(), chain.back().depth,
-              chain.front().parent_id == 0 ? "rooted" : "truncated",
-              chain.back().node);
+              chain.events.size(), chain.events.back().depth,
+              chain.events.front().parent_id == 0 ? "rooted" : "truncated",
+              chain.events.back().node);
 }
 
 int inspect(const std::vector<obs::JournalEvent>& events,

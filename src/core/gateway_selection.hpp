@@ -24,6 +24,7 @@
 #include "common/ids.hpp"
 #include "core/coverage.hpp"
 #include "core/neighbor_tables.hpp"
+#include "graph/bitset.hpp"
 #include "graph/graph.hpp"
 
 namespace manet::core {
@@ -64,6 +65,19 @@ struct GatewaySelection {
       default;
 };
 
+/// Reusable bitset scratch for the selection greedy, mirroring
+/// CoverageScratch: remaining-target membership and the accumulating
+/// gateway set live in bitsets sized to the widest id ever targeted.
+/// Hot loops (the batch build over all heads, the incremental reselect
+/// lanes, the protocol engine's per-lane dispatch) keep one per thread so
+/// the O(universe/64)-word allocation + zero-fill happens once, not per
+/// head. Every select_gateways_local call requires the scratch clean (all
+/// bits reset) and returns it clean, erasing bits through the result
+/// lists in O(result).
+struct SelectionScratch {
+  graph::NodeBitset remaining2, remaining3, gateways;
+};
+
 /// Runs the selection process for clusterhead `head` against `targets`.
 /// `targets.two_hop`/`targets.three_hop` must be subsets of the head's
 /// coverage set (callers pass the full coverage for the static backbone,
@@ -72,6 +86,13 @@ GatewaySelection select_gateways(const graph::Graph& g,
                                  const cluster::Clustering& c,
                                  const NeighborTables& tables, NodeId head,
                                  const Coverage& targets);
+
+/// Same, reusing the caller's scratch across a loop over heads.
+GatewaySelection select_gateways(const graph::Graph& g,
+                                 const cluster::Clustering& c,
+                                 const NeighborTables& tables, NodeId head,
+                                 const Coverage& targets,
+                                 SelectionScratch& scratch);
 
 /// Read-only view of the information a clusterhead actually possesses
 /// when it selects: its neighbor list and the CH_HOP1/CH_HOP2 messages
@@ -93,6 +114,11 @@ class LocalSelectionView {
 /// distributed code paths).
 GatewaySelection select_gateways_local(const LocalSelectionView& view,
                                        const Coverage& targets);
+
+/// Same, reusing the caller's scratch (must be clean; returned clean).
+GatewaySelection select_gateways_local(const LocalSelectionView& view,
+                                       const Coverage& targets,
+                                       SelectionScratch& scratch);
 
 /// Checks that `selection` actually connects `head` to every target (each
 /// 2-hop target adjacent to a selected neighbor of head; each 3-hop target

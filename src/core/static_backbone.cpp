@@ -26,9 +26,10 @@ StaticBackbone build_static_backbone(const graph::Graph& g,
   // gateway is O(k) each, O(k²) over the build — measurable well before
   // the 100k-node sweep this path baselines.
   graph::NodeBitset gateway_bits(g.order());
+  SelectionScratch scratch;  // reused across heads (allocated/zeroed once)
   for (NodeId h : b.clustering.heads) {
     b.selection[h] = select_gateways(g, b.clustering, b.tables, h,
-                                     b.coverage[h]);
+                                     b.coverage[h], scratch);
     for (NodeId v : b.selection[h].gateways) gateway_bits.set(v);
   }
   b.gateways = gateway_bits.to_node_set();

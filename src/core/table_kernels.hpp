@@ -91,20 +91,26 @@ Coverage coverage_row(const Adj& g, const Tables& tables, NodeId head,
     scratch.three = graph::NodeBitset(universe);
   }
   Coverage cov;
-  // Collect membership in bitsets (O(1) insert) and materialize the
-  // sorted NodeSets once, instead of insert_sorted per report (O(k^2)).
+  // Collect membership in bitsets (O(1) insert, duplicates dropped by the
+  // fresh-bit return of set()) and sort the harvested lists once, instead
+  // of insert_sorted per report (O(k^2)). Harvesting on first insertion —
+  // rather than to_node_set() at the end — keeps the whole kernel
+  // O(row + result log result): to_node_set scans every word of the
+  // universe-sized scratch, which at 10M nodes is 156k words *per head*
+  // and dominated the cold start.
   // C²: union of the neighbors' CH_HOP1 reports, minus u itself.
   for (NodeId v : g.neighbors(head))
     for (NodeId w : tables.ch_hop1[v])
-      if (w != head) scratch.two.set(w);
-  cov.two_hop = scratch.two.to_node_set();
+      if (w != head && scratch.two.set(w)) cov.two_hop.push_back(w);
+  std::sort(cov.two_hop.begin(), cov.two_hop.end());
 
   // C³: union of the neighbors' CH_HOP2 heads, minus C² duplicates and u.
   for (NodeId v : g.neighbors(head))
     for (const auto& e : tables.ch_hop2[v])
-      if (e.head != head && !scratch.two.test(e.head))
-        scratch.three.set(e.head);
-  cov.three_hop = scratch.three.to_node_set();
+      if (e.head != head && !scratch.two.test(e.head) &&
+          scratch.three.set(e.head))
+        cov.three_hop.push_back(e.head);
+  std::sort(cov.three_hop.begin(), cov.three_hop.end());
 
   // Hand the scratch back clean in O(result), not O(universe): the
   // materialized sets list exactly the bits that were set.

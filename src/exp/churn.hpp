@@ -83,6 +83,15 @@ struct ChurnConfig {
   /// n. Changes node labels (a different but equally distributed run),
   /// so head-to-head hash comparisons must use it on both sides.
   bool cell_order = false;
+  /// Generate the initial placement cell-by-cell
+  /// (geom::generate_unit_disk_cell_order) and check connectivity with
+  /// a union-find sweep instead of building a throwaway graph per
+  /// rejection-sampling attempt: the cold start's working memory is
+  /// O(occupied cells) beyond the positions themselves. The layout
+  /// comes out cell-major already, so this subsumes `cell_order`
+  /// (a different but equally distributed run than the non-streaming
+  /// path — hash comparisons must use it on both sides).
+  bool streaming_placement = false;
 };
 
 /// Aggregated outcome of one churn run.

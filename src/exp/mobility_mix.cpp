@@ -30,11 +30,7 @@ MobilityMix::MobilityMix(const ChurnConfig& config) : dt_(config.dt) {
   // just as well (clusters and coverage are per-component anyway).
   const std::size_t attempt_budget =
       std::max<std::size_t>(1, config.connect_attempts);
-  auto network = geom::generate_connected_unit_disk(net, topo_rng,
-                                                    attempt_budget,
-                                                    &attempts_used_);
-  connected_ = network.has_value();
-  if (!network) {
+  const auto reject_connectivity = [&] {
     MANET_REQUIRE(!config.require_connected,
                   "churn: no connected topology in " +
                       std::to_string(attempt_budget) + " attempts (n=" +
@@ -42,11 +38,33 @@ MobilityMix::MobilityMix(const ChurnConfig& config) : dt_(config.dt) {
                       std::to_string(config.degree) +
                       ") — raise connect_attempts, raise the degree, or "
                       "drop require_connected");
-    network = geom::generate_unit_disk(net, topo_rng);
+  };
+  std::vector<geom::Point> layout;
+  if (config.streaming_placement) {
+    // Streaming cold start: placement lands cell-major straight out of
+    // the rng, and each rejection-sampling attempt checks connectivity
+    // with a union-find sweep instead of a throwaway graph build. On an
+    // exhausted budget the last attempt's layout is kept (one draw
+    // fewer than the non-streaming path — a different stream anyway).
+    for (attempts_used_ = 0; attempts_used_ < attempt_budget && !connected_;) {
+      layout = geom::generate_unit_disk_cell_order(net, topo_rng);
+      ++attempts_used_;
+      connected_ = geom::unit_disk_connected(layout, net.range, config.grid);
+    }
+    if (!connected_) reject_connectivity();
+  } else {
+    auto network = geom::generate_connected_unit_disk(net, topo_rng,
+                                                      attempt_budget,
+                                                      &attempts_used_);
+    connected_ = network.has_value();
+    if (!network) {
+      reject_connectivity();
+      network = geom::generate_unit_disk(net, topo_rng);
+    }
+    layout = std::move(network->positions);
+    if (config.cell_order)
+      layout = geom::cell_order_layout(layout, net.range, config.grid);
   }
-  if (config.cell_order)
-    network->positions =
-        geom::cell_order_layout(network->positions, net.range, config.grid);
 
   Rng mover_rng(derive_seed(config.seed, 0, 1));
   if (config.model == ChurnConfig::Model::kWaypoint) {
@@ -54,13 +72,13 @@ MobilityMix::MobilityMix(const ChurnConfig& config) : dt_(config.dt) {
     mc.width = config.width;
     mc.height = config.height;
     mover_.emplace(std::in_place_type<mobility::WaypointModel>,
-                   std::move(network->positions), mc, mover_rng);
+                   std::move(layout), mc, mover_rng);
   } else {
     mobility::RandomDirectionConfig mc;
     mc.width = config.width;
     mc.height = config.height;
     mover_.emplace(std::in_place_type<mobility::RandomDirectionModel>,
-                   std::move(network->positions), mc, mover_rng);
+                   std::move(layout), mc, mover_rng);
   }
   sample_rng_ = Rng(derive_seed(config.seed, 0, 2));
 

@@ -126,6 +126,100 @@ std::vector<Point> cell_order_layout(const std::vector<Point>& positions,
   return out;
 }
 
+std::vector<Point> generate_unit_disk_cell_order(const UnitDiskConfig& config,
+                                                 Rng& rng) {
+  MANET_REQUIRE(config.nodes > 0, "network size must be positive");
+  MANET_REQUIRE(config.range > 0.0, "transmission range must be positive");
+  MANET_REQUIRE(config.width > 0.0 && config.height > 0.0,
+                "area must be positive");
+  const std::size_t n = config.nodes;
+
+  // Square cells of side >= range, row-major over the working space.
+  // Capping the cell count at O(n) only widens cells — the order is a
+  // valid cell-major order at any resolution — and keeps the offset
+  // table from outgrowing the points it is ordering.
+  const std::size_t cell_cap = std::max<std::size_t>(64, n);
+  const auto dim = [&](double extent) {
+    const double cells = extent / config.range;
+    if (!(cells > 1.0)) return std::size_t{1};
+    if (cells >= static_cast<double>(cell_cap)) return cell_cap;
+    return std::max<std::size_t>(1, static_cast<std::size_t>(cells));
+  };
+  std::size_t cols = dim(config.width);
+  std::size_t rows = dim(config.height);
+  while (cols * rows > cell_cap) {
+    if (cols >= rows)
+      cols = (cols + 1) / 2;
+    else
+      rows = (rows + 1) / 2;
+  }
+  const double inv_x = static_cast<double>(cols) / config.width;
+  const double inv_y = static_cast<double>(rows) / config.height;
+  const auto cell_of = [&](double x, double y) {
+    const std::size_t c =
+        x <= 0.0 ? 0
+                 : std::min(cols - 1, static_cast<std::size_t>(x * inv_x));
+    const std::size_t r =
+        y <= 0.0 ? 0
+                 : std::min(rows - 1, static_cast<std::size_t>(y * inv_y));
+    return r * cols + c;
+  };
+
+  // Pass 1 on a copy of the rng: per-cell occupancy, then exclusive
+  // prefix sums so offsets[c] is cell c's first slot.
+  std::vector<std::uint64_t> offsets(cols * rows + 1, 0);
+  Rng replay = rng;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = replay.uniform(0.0, config.width);
+    const double y = replay.uniform(0.0, config.height);
+    ++offsets[cell_of(x, y) + 1];
+  }
+  for (std::size_t c = 1; c < offsets.size(); ++c)
+    offsets[c] += offsets[c - 1];
+
+  // Pass 2 on the caller's rng: identical draws, scattered through the
+  // per-cell cursors. Draw order is ascending within each cell, so the
+  // layout matches cell_order_layout's within-cell convention.
+  std::vector<Point> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, config.width);
+    const double y = rng.uniform(0.0, config.height);
+    out[offsets[cell_of(x, y)]++] = {x, y};
+  }
+  return out;
+}
+
+bool unit_disk_connected(const std::vector<Point>& positions, double range,
+                         GridIndex index) {
+  MANET_REQUIRE(range > 0.0, "transmission range must be positive");
+  const std::size_t n = positions.size();
+  if (n <= 1) return true;
+  const SpatialGrid grid(positions, range, index);
+  std::vector<std::uint32_t> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // halve the path
+      x = parent[x];
+    }
+    return x;
+  };
+  std::size_t components = n;
+  // Slot-space union-find: connectivity is label-invariant, so the
+  // sweep's slot indices serve directly.
+  sweep_in_range_pairs(grid, range * range,
+                       [&](std::size_t k, std::size_t j) {
+                         const std::uint32_t a =
+                             find(static_cast<std::uint32_t>(k));
+                         const std::uint32_t b =
+                             find(static_cast<std::uint32_t>(j));
+                         if (a == b) return;
+                         parent[std::max(a, b)] = std::min(a, b);
+                         --components;
+                       });
+  return components == 1;
+}
+
 graph::Graph unit_disk_graph_reference(const std::vector<Point>& positions,
                                        double range) {
   MANET_REQUIRE(range > 0.0, "transmission range must be positive");

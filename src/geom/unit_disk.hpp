@@ -72,6 +72,27 @@ std::vector<Point> cell_order_layout(const std::vector<Point>& positions,
                                      double cell_size,
                                      GridIndex index = GridIndex::kAuto);
 
+/// Streaming cell-major placement: draws the exact same uniform point
+/// stream as generate_unit_disk (`rng` is advanced identically) but
+/// writes each point straight into its row-major lattice-cell slot —
+/// square cells of side >= range over [0, width] x [0, height], cell
+/// count capped at O(n) like the dense grid. Two passes over a replayed
+/// copy of the rng (count per-cell occupancy, prefix-sum, re-draw and
+/// scatter), so the only working memory beyond the returned vector is
+/// the per-cell offset table: no intermediate layout copy, no
+/// SpatialGrid, no graph. The result is a cell-major relabeling of an
+/// i.i.d. uniform placement — the distribution cell_order_layout
+/// produces, without ever materializing the unordered layout.
+std::vector<Point> generate_unit_disk_cell_order(const UnitDiskConfig& config,
+                                                 Rng& rng);
+
+/// Connectivity of the unit-disk graph induced by `positions`, without
+/// materializing the graph: a union-find over the grid sweep's in-range
+/// pairs. Equivalent to graph::is_connected(unit_disk_graph(positions,
+/// range, index)) at O(n) working memory instead of O(n + m).
+bool unit_disk_connected(const std::vector<Point>& positions, double range,
+                         GridIndex index = GridIndex::kAuto);
+
 /// Reference O(n^2) pair-scan implementation. Kept for cross-checking the
 /// grid-based unit_disk_graph (tests assert identical edge sets) and as
 /// the baseline for bench/micro_pipeline speedup numbers.

@@ -186,12 +186,14 @@ void IncrementalBackbone::clear_head_rows(NodeId v, NodeSet& cds_candidates) {
 
 IncrementalBackbone::HeadRow IncrementalBackbone::compute_head_row(
     const graph::DynamicAdjacency& g, NodeId h,
-    core::CoverageScratch& scratch) const {
+    core::CoverageScratch& scratch,
+    core::SelectionScratch& sel_scratch) const {
   // Reads g, the frozen table rows and the clustering only — safe to run
-  // for distinct heads concurrently with a per-lane scratch.
+  // for distinct heads concurrently with per-lane scratches.
   HeadRow row;
   row.cov = core::coverage_row(g, tables_, h, g.order(), scratch);
-  row.sel = core::select_gateways_local(OverlayView(g, tables_, h), row.cov);
+  row.sel = core::select_gateways_local(OverlayView(g, tables_, h), row.cov,
+                                        sel_scratch);
   return row;
 }
 
@@ -323,8 +325,9 @@ TickStats IncrementalBackbone::apply(const graph::DynamicAdjacency& g,
     span.set_arg(recompute.size());
     for (const NodeId h : recompute)
       commit_head_row(h, /*was_head=*/!declared_bits.test(h),
-                      compute_head_row(g, h, lane_scratch_[0]), stats,
-                      cds_candidates);
+                      compute_head_row(g, h, lane_scratch_[0],
+                                       lane_sel_scratch_[0]),
+                      stats, cds_candidates);
     // Resignations leave stale head rows behind; release their reference
     // counts (guard against a same-tick re-declaration, which rule 2 makes
     // impossible today but cheap to stay safe against).
@@ -374,6 +377,7 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
 
   const std::size_t lanes = pool.lanes();
   if (lane_scratch_.size() < lanes) lane_scratch_.resize(lanes);
+  if (lane_sel_scratch_.size() < lanes) lane_sel_scratch_.resize(lanes);
 
   // Workers buffer their spans (TraceRecorder is single-writer) and the
   // caller flushes them after each join, one trace track per lane.
@@ -582,7 +586,8 @@ TickStats IncrementalBackbone::apply_parallel(const graph::DynamicAdjacency& g,
     std::vector<HeadRow> rows(recompute.size());
     pool.run(recompute.size(), [&](std::size_t i, std::size_t lane) {
       timed(lane, "head_row", recompute[i], [&] {
-        rows[i] = compute_head_row(g, recompute[i], lane_scratch_[lane]);
+        rows[i] = compute_head_row(g, recompute[i], lane_scratch_[lane],
+                                   lane_sel_scratch_[lane]);
       });
     });
     for (std::size_t i = 0; i < recompute.size(); ++i)

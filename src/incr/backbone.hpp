@@ -164,7 +164,8 @@ class IncrementalBackbone {
   };
 
   HeadRow compute_head_row(const graph::DynamicAdjacency& g, NodeId h,
-                           core::CoverageScratch& scratch) const;
+                           core::CoverageScratch& scratch,
+                           core::SelectionScratch& sel_scratch) const;
   void commit_head_row(NodeId h, bool was_head, HeadRow&& row,
                        TickStats& stats, NodeSet& cds_candidates);
   void clear_head_rows(NodeId v, NodeSet& cds_candidates);
@@ -185,9 +186,11 @@ class IncrementalBackbone {
   bool defer_trace_ = false;
   std::vector<TraceSpanRec> trace_buf_;
   std::uint64_t ticks_applied_ = 0;  ///< trace span "tick" argument
-  /// Reusable coverage bitsets: [0] serves the sequential path, one per
-  /// lane serves apply_parallel (sized on first parallel tick).
+  /// Reusable coverage + selection bitsets: [0] serves the sequential
+  /// path, one per lane serves apply_parallel (sized on first parallel
+  /// tick).
   std::vector<core::CoverageScratch> lane_scratch_{1};
+  std::vector<core::SelectionScratch> lane_sel_scratch_{1};
 };
 
 }  // namespace manet::incr

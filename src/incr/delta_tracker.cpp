@@ -367,9 +367,7 @@ EdgeDelta DeltaTracker::commit(const CommitOptions& opts) {
   normalize(delta.touched);
 
   if (!opts.defer_adjacency) apply_delta(delta);
-  if (opts.regions)
-    build_regions(delta, old_slots, opts.growth_cells, opts.region_scopes,
-                  *opts.regions);
+  if (opts.regions) build_regions(delta, old_slots, opts, *opts.regions);
   staged_.clear();
   maybe_compact();
   return delta;
@@ -436,7 +434,7 @@ std::uint32_t DeltaTracker::paint_get(std::uint64_t key) const {
 
 void DeltaTracker::build_regions(const EdgeDelta& delta,
                                  const std::vector<std::uint32_t>& old_slots,
-                                 std::size_t growth_cells, bool scopes,
+                                 const CommitOptions& opts,
                                  RegionPartition& out) {
   // Union-find over staged indices. One label covers BOTH of a mover's
   // blocks (old and new cell), so a teleporting node can never straddle
@@ -456,18 +454,60 @@ void DeltaTracker::build_regions(const EdgeDelta& delta,
     if (a != b) union_parent_[std::max(a, b)] = std::min(a, b);
   };
 
-  // Paint each staged node's two 3x3 blocks grown by growth_cells;
+  // Per-mover paint growth. Without tiering (head_of empty) every mover
+  // paints growth_cells, the historical behavior. With tiering, a mover
+  // paints for the repair wave its OWN changed edges can launch: the
+  // full chain only when one of its edges touches a tick-start
+  // clusterhead, the member tier when its edges connect only members,
+  // and the quiet tier when it kept every link. Waves launched by other
+  // movers are contained by those movers' paint, so the per-mover bound
+  // is sound region-wide; any paint overlap merges the regions.
+  const bool tiered = !opts.head_of.empty();
+  std::vector<std::size_t> growth_of;
+  if (tiered) {
+    growth_of.assign(staged_.size(), opts.quiet_growth_cells);
+    // Staged indices sorted by node id, so delta endpoints (node ids)
+    // can be mapped back to their staged slot by binary search.
+    std::vector<std::uint32_t> by_id(staged_.size());
+    for (std::uint32_t i = 0; i < by_id.size(); ++i) by_id[i] = i;
+    std::sort(by_id.begin(), by_id.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return staged_[a] < staged_[b];
+              });
+    const auto bump = [&](NodeId x, std::size_t g) {
+      const auto it = std::lower_bound(
+          by_id.begin(), by_id.end(), x,
+          [&](std::uint32_t a, NodeId b) { return staged_[a] < b; });
+      if (it != by_id.end() && staged_[*it] == x)
+        growth_of[*it] = std::max(growth_of[*it], g);
+    };
+    const auto classify = [&](const std::pair<NodeId, NodeId>& e) {
+      const bool head = opts.head_of[e.first] == e.first ||
+                        opts.head_of[e.second] == e.second;
+      const std::size_t g =
+          head ? opts.growth_cells : opts.member_growth_cells;
+      bump(e.first, g);
+      bump(e.second, g);
+    };
+    for (const auto& e : delta.added) classify(e);
+    for (const auto& e : delta.removed) classify(e);
+  }
+
+  // Paint each staged node's two 3x3 blocks grown by its growth tier;
   // blocks that land on an already-painted cell merge with its label.
   // Non-overlap of grown blocks then guarantees core cells of distinct
-  // regions are >= 2*growth_cells+1 apart (Chebyshev). The paint
-  // map is keyed by cell key, so unoccupied cells paint (and merge) the
-  // same way they did on the dense per-cell arrays.
-  const std::size_t kReach = 1 + growth_cells;
+  // regions are >= g_a + g_b + 1 apart (Chebyshev) for the two movers'
+  // tiers. The paint map is keyed by cell key, so unoccupied cells
+  // paint (and merge) the same way they did on the dense per-cell
+  // arrays.
+  //
   // Sized for the common heavily-overlapping case (a few cells per
   // mover); paint_insert doubles on demand up to the true worst case of
-  // 2 * (2*kReach+1)^2 distinct cells per mover.
+  // 2 * (2*reach+1)^2 distinct cells per mover.
   paint_reset(4 * staged_.size() + 64);
   for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const std::size_t kReach =
+        1 + (tiered ? growth_of[i] : opts.growth_cells);
     const std::uint64_t centers[2] = {key_of_slot(old_slots[i]),
                                       key_of_slot(cell_of_node_[staged_[i]])};
     for (int which = 0; which < (centers[0] == centers[1] ? 1 : 2);
@@ -528,11 +568,13 @@ void DeltaTracker::build_regions(const EdgeDelta& delta,
   }
 
   // Per-region node scopes: the occupants of every painted (grown) cell,
-  // attributed to the cell's final region. With growth >= 6 every node a
+  // attributed to the cell's final region. With each mover's growth
+  // sized one cell past its wave's receiver bound, every node a
   // region's repair wave can touch this tick — senders AND receivers —
-  // lives in a painted cell, so messages never cross region boundaries
-  // (the message-level independence the sharded protocol engine runs on).
-  if (scopes) {
+  // lives strictly inside the paint, so messages never cross region
+  // boundaries and the outermost painted ring stays quiescent (the
+  // message-level independence the sharded protocol engine runs on).
+  if (opts.region_scopes) {
     out.scopes.resize(out.count);
     for (std::size_t h = 0; h < paint_keys_.size(); ++h) {
       if (paint_keys_[h] == ~std::uint64_t{0}) continue;

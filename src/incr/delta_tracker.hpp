@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -66,8 +67,9 @@ struct RegionPartition {
   /// Per-region sorted node ids living in the region's painted (grown)
   /// cells, filled only when CommitOptions::region_scopes is set. Every
   /// node belongs to at most one region's scope (painted areas are
-  /// disjoint); nodes outside every scope sit >= growth_cells - 1 cells
-  /// from any changed edge, hence at least that many unit-disk hops.
+  /// disjoint); a node outside every scope sits at least (g - 1) cells
+  /// — hence at least that many unit-disk hops — from any changed edge
+  /// painted with growth g, for every growth tier in play.
   std::vector<std::vector<NodeId>> scopes;
   std::size_t cols = 1;            ///< grid shape, for cell geometry
   std::size_t rows = 1;
@@ -95,6 +97,22 @@ struct CommitOptions {
   std::size_t growth_cells = kRegionGrowthCells;
   /// Also fill RegionPartition::scopes (nodes per painted region).
   bool region_scopes = false;
+  /// Optional per-mover growth tiering. When `head_of` is non-empty
+  /// (head_of[v] == v marks v a clusterhead as of the start of the
+  /// tick), a staged node paints `growth_cells` only if one of its OWN
+  /// changed edges touches a clusterhead — those edges can launch the
+  /// full resignation / re-affiliation / reselection / flood chain. A
+  /// mover whose changed edges connect only ordinary members paints
+  /// `member_growth_cells` (its wave stops at the TTL-2 flood of an
+  /// adjacent head), and a mover with no changed edges at all paints
+  /// `quiet_growth_cells` (it launches no wave; the paint exists only
+  /// so overlapping repair merges regions). Each mover's paint has to
+  /// contain only the wave its own edges can start: waves from other
+  /// movers are contained by those movers' paint, and any overlap
+  /// between paints unions the regions.
+  std::span<const NodeId> head_of = {};
+  std::size_t member_growth_cells = kRegionGrowthCells;
+  std::size_t quiet_growth_cells = kRegionGrowthCells;
 };
 
 /// Maintains node positions, a mutable cell grid over a fixed working
@@ -217,14 +235,13 @@ class DeltaTracker {
   /// Label of the painter of `key`; asserts the cell was painted.
   std::uint32_t paint_get(std::uint64_t key) const;
 
-  /// Paints the grown dirty blocks (growth `growth_cells`), unions
-  /// overlapping labels, and fills `out` from the committed `delta`.
-  /// `old_slots[i]` is the slot staged_[i] occupied before migration.
-  /// `scopes` additionally lists each region's painted-cell occupants.
+  /// Paints the grown dirty blocks (per-mover growth per CommitOptions'
+  /// tiering), unions overlapping labels, and fills `out` from the
+  /// committed `delta`. `old_slots[i]` is the slot staged_[i] occupied
+  /// before migration.
   void build_regions(const EdgeDelta& delta,
                      const std::vector<std::uint32_t>& old_slots,
-                     std::size_t growth_cells, bool scopes,
-                     RegionPartition& out);
+                     const CommitOptions& opts, RegionPartition& out);
 
   std::vector<geom::Point> positions_;
   graph::DynamicAdjacency adjacency_;

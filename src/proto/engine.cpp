@@ -15,17 +15,34 @@
 namespace manet::proto {
 namespace {
 
-/// Paint growth for the message-driven engine's repair regions. A
-/// tick's repair wave around a region's movers: head_of writes land
-/// within 1 hop of a changed edge, the CH_HOP1 re-broadcasts they
-/// trigger are sent from 2 hops (received at 3), CH_HOP2 from 3
-/// (received at 4), head reselection reads at 4, and the TTL-2 gateway
-/// flood it triggers is received up to 6 hops out. Senders therefore
-/// sit within 5 hops — at most 6 cells, one unit-disk hop never
-/// crossing more than one cell boundary — and receivers within 7 cells
-/// of a mover's cell. Painting with growth 7 (reach 8 cells) covers
-/// both with a cell to spare.
-constexpr std::size_t kShardGrowthCells = 7;
+/// Paint growth for the message-driven engine's repair regions, tiered
+/// by what a mover's own changed edges can set off (the spare outermost
+/// painted ring in each bound keeps the paint boundary quiescent, which
+/// is what lets a neighboring region synthesize those nodes' beacons
+/// from the tick-start mirror).
+///
+/// Head tier — a changed edge touching a tick-start clusterhead (this
+/// covers every head-link loss, since the lost head IS an endpoint):
+/// head_of writes land within 1 hop of the edge, the CH_HOP1
+/// re-broadcasts they trigger are sent from 2 hops (received at 3),
+/// CH_HOP2 from 3 (received at 4), head reselection reads at 4, and
+/// the TTL-2 gateway flood it triggers is received up to 6 hops out.
+/// One unit-disk hop never crosses more than one cell boundary and the
+/// edge endpoint sits within 1 cell of the mover, so receivers sit
+/// within 7 cells of the mover's cell: growth 7 = reach 8.
+constexpr std::size_t kShardGrowthHeadCells = 7;
+/// Member tier — every changed edge connects two tick-start members:
+/// no rule-1/rule-2 can fire and no hop-1 row changes (CH_HOP1 lists
+/// adjacent *heads*), so only the endpoints' CH_HOP2 rows change.
+/// Endpoints re-broadcast (received at 1 hop), heads within 1 hop
+/// reselect, and their TTL-2 flood is received up to 3 hops from the
+/// endpoint — 4 cells from the mover: growth 4 = reach 5.
+constexpr std::size_t kShardGrowthMemberCells = 4;
+/// Quiet tier — the mover kept every link: no wave at all. Its region
+/// is inactive unless the paint overlaps an active mover's (in which
+/// case they merge and the bigger paint contains the traffic); growth
+/// 1 keeps the mover's whole neighborhood in its scope.
+constexpr std::size_t kShardGrowthQuietCells = 1;
 
 }  // namespace
 
@@ -89,19 +106,10 @@ MaintenanceEngine::MaintenanceEngine(std::vector<geom::Point> positions,
       head_rows_.push_back(hm);
     }
   }
-  // Heads keep their full GatewaySelection (greedy steps included — the
-  // reselect compares whole objects), so those move out before the
-  // dense vectors die. clustering_.heads is sorted ascending, matching
-  // the seeding loop's encounter order below.
-  struct SeedHeadRows {
-    core::Coverage cov;
-    core::GatewaySelection sel;
-  };
-  std::vector<SeedHeadRows> head_seed(clustering_.heads.size());
-  for (std::size_t i = 0; i < clustering_.heads.size(); ++i) {
-    const NodeId h = clustering_.heads[i];
-    head_seed[i] = {std::move(seed.coverage[h]), std::move(seed.selection[h])};
-  }
+  // Node seeding below reads everything back out of the store by ref
+  // (the nodes no longer hold dense rows — their own rows, coverage and
+  // selection are interned refs sharing the mirror's slabs), so the
+  // whole dense seed dies here, before any node is allocated.
   seed = core::StaticBackbone{};
 
   topo_ = std::make_unique<AdjacencyTopology>(tracker_.adjacency());
@@ -115,26 +123,33 @@ MaintenanceEngine::MaintenanceEngine(std::vector<geom::Point> positions,
 
   // Seed every node's protocol state from the converged backbone: its
   // affiliation, its neighbors' affiliations and cached rows, its own
-  // rows, and (heads) coverage + selection.
-  std::size_t head_idx = 0;
+  // rows, and (heads) coverage + selection — all as retained refs into
+  // the rows the mirror just interned, so the bootstrap never re-hashes
+  // row content and node caches share slabs with the mirror from the
+  // first byte.
   for (NodeId v = 0; v < n; ++v) {
     MaintenanceNode& nd = node_mut(v);
     nd.seed_clustering(clustering_.head_of[v], clustering_.roles[v]);
-    for (const NodeId w : tracker_.adjacency().neighbors(v))
-      nd.seed_neighbor(w, clustering_.head_of[w], mirror_hop1(w),
-                       mirror_hop2(w));
-    nd.seed_rows(mirror_hop1(v), mirror_hop2(v));
+    const auto nb = tracker_.adjacency().neighbors(v);
+    nd.reserve_neighbors(nb.size());
+    for (const NodeId w : nb) nd.seed_neighbor(w, clustering_.head_of[w],
+                                               mirror_hop1_[w],
+                                               mirror_hop2_[w]);
+    nd.seed_rows(mirror_hop1_[v], mirror_hop2_[v]);
     if (clustering_.is_head(v)) {
-      nd.seed_head_rows(std::move(head_seed[head_idx].cov),
-                        std::move(head_seed[head_idx].sel));
-      ++head_idx;
+      const std::uint32_t s = head_slot_[v];
+      const HeadMirror hm = s != 0 ? head_rows_[s - 1] : HeadMirror{};
+      nd.seed_head_rows(hm.cov2, hm.cov3, hm.sel);
     }
   }
   // Gateway-selection soft state: exactly the selected nodes hold an
   // entry for the selecting origin (seq 0 = the bootstrap flood).
-  for (const NodeId h : clustering_.heads)
-    for (const NodeId w : mirror_selection(h))
-      node_mut(w).seed_origin(h, true, mirror_selection(h));
+  for (const NodeId h : clustering_.heads) {
+    const std::uint32_t s = head_slot_[h];
+    const RowRef sel = s != 0 ? head_rows_[s - 1].sel : kEmptyRow;
+    for (const NodeId w : store_.hop1(sel))
+      node_mut(w).seed_origin(h, true, sel);
+  }
 
   if (options_.inject_stale_gateway_fault)
     for (NodeId v = 0; v < n; ++v) node_mut(v).inject_stale_gateway_fault();
@@ -323,7 +338,12 @@ MaintTickStats MaintenanceEngine::tick() {
 std::uint32_t MaintenanceEngine::run_sharded_tick(MaintTickStats& stats) {
   incr::CommitOptions copts;
   copts.regions = &regions_;
-  copts.growth_cells = kShardGrowthCells;
+  copts.growth_cells = kShardGrowthHeadCells;
+  copts.member_growth_cells = kShardGrowthMemberCells;
+  copts.quiet_growth_cells = kShardGrowthQuietCells;
+  // drain_ledger hasn't run yet, so head_of is the tick-start
+  // clustering the growth tiers are derived against.
+  copts.head_of = clustering_.head_of;
   copts.region_scopes = true;
   const incr::EdgeDelta delta = tracker_.commit(copts);
   stats.link_changes = delta.added.size() + delta.removed.size();
@@ -361,7 +381,7 @@ std::uint32_t MaintenanceEngine::run_sharded_tick(MaintTickStats& stats) {
     rr.region = static_cast<std::uint32_t>(a);
     rr.region_count = A;
     Ledger* const ledger = &region_ledgers_[a];
-    core::CoverageScratch* const scratch = &lane_scratch_[lane];
+    KernelScratch* const scratch = &lane_scratch_[lane];
     const std::uint32_t tag = static_cast<std::uint32_t>(a) + 1;
     const auto before = [this, ledger, scratch](NodeId v) {
       MaintenanceNode& nd = node_mut(v);
@@ -485,14 +505,21 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
   for (const NodeId v : ledger_.rows_changed) {
     const MaintenanceNode& nd = node(v);
     ++stats.rows_changed;
-    // Intern the fresh row before releasing the old one so unchanged
-    // content re-finds its slot instead of churning a free/alloc pair.
-    const RowRef h1 = store_.intern_hop1(nd.hop1_row());
-    store_.release_hop1(mirror_hop1_[v]);
-    mirror_hop1_[v] = h1;
-    const RowRef h2 = store_.intern_hop2(nd.hop2_row());
-    store_.release_hop2(mirror_hop2_[v]);
-    mirror_hop2_[v] = h2;
+    // The node's own rows are interned in the same store — the mirror
+    // just retains the node's ref (ref equality is content equality, so
+    // an unchanged ref means nothing to do).
+    const RowRef h1 = nd.hop1_ref();
+    if (h1 != mirror_hop1_[v]) {
+      store_.retain_hop1(h1);
+      store_.release_hop1(mirror_hop1_[v]);
+      mirror_hop1_[v] = h1;
+    }
+    const RowRef h2 = nd.hop2_ref();
+    if (h2 != mirror_hop2_[v]) {
+      store_.retain_hop2(h2);
+      store_.release_hop2(mirror_hop2_[v]);
+      mirror_hop2_[v] = h2;
+    }
   }
   ledger_.rows_changed.clear();
 
@@ -500,8 +527,8 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
   for (const NodeId v : ledger_.head_rows_changed) {
     const MaintenanceNode& nd = node(v);
     ++stats.heads_refreshed;
-    const core::Coverage& cov = nd.coverage();
-    const NodeSet& fresh = nd.selection().gateways;
+    const HeadRows refs = nd.head_refs();
+    const NodeSet& fresh = store_.hop1(refs.sel);
     const NodeSet& stale = mirror_selection(v);
     if (fresh != stale) {
       for (const NodeId w : stale)
@@ -511,9 +538,10 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
         if (!contains_sorted(stale, w) && selection_refs_[w]++ == 0)
           insert_sorted(gateways_, w);
     }
-    // Re-intern the three head rows into the slot; allocate it on first
-    // head refresh, recycle it when the node resigned (all rows empty).
-    const bool keep = !cov.empty() || !fresh.empty();
+    // Retain the node's three head refs into the slot; allocate it on
+    // first head refresh, recycle it when the node resigned (all rows
+    // empty).
+    const bool keep = !refs.empty();
     std::uint32_t slot = head_slot_[v];
     if (keep) {
       if (slot == 0) {
@@ -527,15 +555,15 @@ void MaintenanceEngine::drain_ledger(MaintTickStats& stats) {
         head_slot_[v] = slot;
       }
       HeadMirror& hm = head_rows_[slot - 1];
-      const RowRef c2 = store_.intern_hop1(cov.two_hop);
-      store_.release_hop1(hm.cov2);
-      hm.cov2 = c2;
-      const RowRef c3 = store_.intern_hop1(cov.three_hop);
-      store_.release_hop1(hm.cov3);
-      hm.cov3 = c3;
-      const RowRef sl = store_.intern_hop1(fresh);
-      store_.release_hop1(hm.sel);
-      hm.sel = sl;
+      const auto adopt = [this](RowRef& into, RowRef fresh_ref) {
+        if (into == fresh_ref) return;
+        store_.retain_hop1(fresh_ref);
+        store_.release_hop1(into);
+        into = fresh_ref;
+      };
+      adopt(hm.cov2, refs.cov2);
+      adopt(hm.cov3, refs.cov3);
+      adopt(hm.sel, refs.sel);
     } else if (slot != 0) {
       HeadMirror& hm = head_rows_[slot - 1];
       store_.release_hop1(hm.cov2);

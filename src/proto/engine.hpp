@@ -140,6 +140,9 @@ class MaintenanceEngine {
   std::uint64_t state_hash() const;
 
   const incr::DeltaTracker& tracker() const { return tracker_; }
+  /// The engine-wide interned row store (leak/recycling diagnostics:
+  /// live row counts must track the structure, not the churn history).
+  const RowStore& store() const { return store_; }
   const net::Simulator& simulator() const { return *sim_; }
   /// Scope-filtered deliveries in sharded rounds >= 2 so far — any
   /// nonzero value is a repair wave escaping its painted region (the
@@ -191,7 +194,7 @@ class MaintenanceEngine {
   EngineOptions options_;
   incr::DeltaTracker tracker_;
   Ledger ledger_;
-  core::CoverageScratch scratch_;  ///< shared by all nodes (sequential sim)
+  KernelScratch scratch_;  ///< shared by all nodes (sequential sim)
   RowStore store_;  ///< interned payload rows (must outlive the nodes)
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<net::Simulator> sim_;
@@ -233,7 +236,7 @@ class MaintenanceEngine {
   /// entries nodes hold pointers to). Drained region-ascending into
   /// ledger_ at merge, so the mirror refresh is order-deterministic.
   std::deque<Ledger> region_ledgers_;
-  std::vector<core::CoverageScratch> lane_scratch_;  ///< one per lane
+  std::vector<KernelScratch> lane_scratch_;  ///< one per lane
   std::unique_ptr<incr::WorkerPool> pool_;  ///< threads >= 2 only
 
   std::uint64_t ticks_ = 0;

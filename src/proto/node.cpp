@@ -81,12 +81,11 @@ class CacheSelectionView final : public core::LocalSelectionView {
 
 MaintenanceNode::MaintenanceNode(NodeId id, core::CoverageMode mode,
                                  std::size_t universe, Ledger* ledger,
-                                 core::CoverageScratch* scratch,
-                                 RowStore* store)
-    : id_(id), mode_(mode), universe_(universe), ledger_(ledger),
-      scratch_(scratch), store_(store), head_(id) {
+                                 KernelScratch* scratch, RowStore* store)
+    : id_(id), head_(id), ledger_(ledger), scratch_(scratch), store_(store),
+      universe_(static_cast<std::uint32_t>(universe)), mode_(mode) {
   MANET_REQUIRE(ledger != nullptr, "ledger required");
-  MANET_REQUIRE(scratch != nullptr, "coverage scratch required");
+  MANET_REQUIRE(scratch != nullptr, "kernel scratch required");
   MANET_REQUIRE(store != nullptr, "row store required");
 }
 
@@ -97,9 +96,13 @@ void MaintenanceNode::seed_clustering(NodeId head, cluster::Role role) {
   role_ = role;
 }
 
-void MaintenanceNode::seed_neighbor(NodeId id, NodeId head_of,
-                                    const NodeSet& hop1,
-                                    const std::vector<core::Hop2Entry>& hop2) {
+void MaintenanceNode::reserve_neighbors(std::size_t count) {
+  neighbor_ids_.reserve(count);
+  neighbors_.reserve(count);
+}
+
+void MaintenanceNode::seed_neighbor(NodeId id, NodeId head_of, RowRef hop1,
+                                    RowRef hop2) {
   const auto it =
       std::lower_bound(neighbor_ids_.begin(), neighbor_ids_.end(), id);
   MANET_REQUIRE(it == neighbor_ids_.end() || *it != id,
@@ -109,45 +112,60 @@ void MaintenanceNode::seed_neighbor(NodeId id, NodeId head_of,
   NeighborCache cache;
   cache.id = id;
   cache.head_of = head_of;
-  cache.hop1 = store_->intern_hop1(hop1);
-  cache.hop2 = store_->intern_hop2(hop2);
+  store_->retain_hop1(hop1);
+  store_->retain_hop2(hop2);
+  cache.hop1 = hop1;
+  cache.hop2 = hop2;
   neighbors_.insert(neighbors_.begin() + idx, std::move(cache));
 }
 
-void MaintenanceNode::seed_rows(NodeSet hop1,
-                                std::vector<core::Hop2Entry> hop2) {
-  my_hop1_ = std::move(hop1);
-  my_hop2_ = std::move(hop2);
+void MaintenanceNode::seed_rows(RowRef hop1, RowRef hop2) {
+  store_->retain_hop1(hop1);
+  store_->retain_hop2(hop2);
+  my_hop1_ = hop1;
+  my_hop2_ = hop2;
 }
 
-void MaintenanceNode::seed_head_rows(core::Coverage cov,
-                                     core::GatewaySelection sel) {
-  HeadRows& hr = head_rows();
-  hr.coverage = std::move(cov);
-  hr.selection = std::move(sel);
-  hr.last_flooded = hr.selection.gateways;
+void MaintenanceNode::seed_head_rows(RowRef cov2, RowRef cov3, RowRef sel) {
+  store_->retain_hop1(cov2);
+  store_->retain_hop1(cov3);
+  store_->retain_hop1(sel);
+  store_->retain_hop1(sel);  // once for sel, once for last_flooded
+  head_rows_.cov2 = cov2;
+  head_rows_.cov3 = cov3;
+  head_rows_.sel = sel;
+  head_rows_.last_flooded = sel;
 }
 
 void MaintenanceNode::seed_origin(NodeId origin, bool selected,
-                                  const NodeSet& payload) {
+                                  RowRef payload) {
   OriginCache e;
   e.origin = origin;
   e.selected = selected;
-  e.payload = store_->intern_hop1(payload);
+  store_->retain_hop1(payload);
+  e.payload = payload;
+  auto& origins = origins_mut();
   const auto it = std::lower_bound(
-      origins_.begin(), origins_.end(), origin,
+      origins.begin(), origins.end(), origin,
       [](const OriginCache& a, NodeId b) { return a.origin < b; });
-  MANET_REQUIRE(it == origins_.end() || it->origin != origin,
+  MANET_REQUIRE(it == origins.end() || it->origin != origin,
                 "duplicate seeded origin");
-  origins_.insert(it, std::move(e));
+  origins.insert(it, std::move(e));
 }
 
 // ---- Accessors ----------------------------------------------------------
 
 bool MaintenanceNode::gateway_flag() const {
-  for (const auto& e : origins_)
+  if (origins_ == nullptr) return false;
+  for (const auto& e : *origins_)
     if (e.selected) return true;
   return false;
+}
+
+void MaintenanceNode::clear_origins() {
+  if (origins_ == nullptr) return;
+  for (const auto& e : *origins_) store_->release_hop1(e.payload);
+  origins_.reset();
 }
 
 NodeId MaintenanceNode::cached_head_of(NodeId x) const {
@@ -186,16 +204,6 @@ void MaintenanceNode::mark_neighbor_heard(NodeId w, net::Cause cause) {
   nb->set_beacon_cause(cause);
 }
 
-OriginCache& MaintenanceNode::origin_entry(NodeId origin) {
-  const auto it = std::lower_bound(
-      origins_.begin(), origins_.end(), origin,
-      [](const OriginCache& a, NodeId b) { return a.origin < b; });
-  if (it != origins_.end() && it->origin == origin) return *it;
-  OriginCache e;
-  e.origin = origin;
-  return *origins_.insert(it, std::move(e));
-}
-
 // ---- Tick pacing --------------------------------------------------------
 
 void MaintenanceNode::on_timer(std::uint32_t round, net::Mailbox& out) {
@@ -207,14 +215,13 @@ void MaintenanceNode::on_timer(std::uint32_t round, net::Mailbox& out) {
   was_head_ = is_head();
   old_head_ = head_;
   topo_changed_ = false;
-  links_formed_.clear();
+  links_formed_ = false;
   rows_dirty_ = false;
   role_dirty_ = false;
   head_inputs_dirty_ = false;
   inputs_this_round_ = false;
   settled_ = false;
   head_changed_ = false;
-  became_head_ = false;
   force_flood_ = false;
   link_resends_done_ = false;
   rows_forced_ = false;
@@ -269,16 +276,17 @@ void MaintenanceNode::ingest(const net::Message& m, net::Mailbox& out) {
     bool created = false;
     OriginCache* e;
     {
+      auto& origins = origins_mut();
       const auto it = std::lower_bound(
-          origins_.begin(), origins_.end(), gw->origin,
+          origins.begin(), origins.end(), gw->origin,
           [](const OriginCache& a, NodeId b) { return a.origin < b; });
-      if (it != origins_.end() && it->origin == gw->origin) {
+      if (it != origins.end() && it->origin == gw->origin) {
         e = &*it;
       } else {
         created = true;
         OriginCache fresh;
         fresh.origin = gw->origin;
-        e = &*origins_.insert(it, std::move(fresh));
+        e = &*origins.insert(it, std::move(fresh));
       }
     }
     if (created || gw->seq > e->seq) {
@@ -377,17 +385,17 @@ void MaintenanceNode::add_link(NodeId w, NodeId head_of_w, net::Cause cause) {
   // stays, so a fresher flood from a re-declared w still applies.
   // (fault_stale_gateway_ skips the fix — the PR 7 bug, kept reachable
   // for the divergence-forensics test only.)
-  if (head_of_w != w && !origins_.empty() && !fault_stale_gateway_) {
+  if (head_of_w != w && origins_ != nullptr && !fault_stale_gateway_) {
     const auto oit = std::lower_bound(
-        origins_.begin(), origins_.end(), w,
+        origins_->begin(), origins_->end(), w,
         [](const OriginCache& e, NodeId o) { return e.origin < o; });
-    if (oit != origins_.end() && oit->origin == w && oit->selected) {
+    if (oit != origins_->end() && oit->origin == w && oit->selected) {
       oit->selected = false;
       store_->release_hop1(oit->payload);
       oit->payload = kEmptyRow;
     }
   }
-  insert_sorted(links_formed_, w);
+  links_formed_ = true;
   topo_changed_ = true;
   rows_dirty_ = true;
   role_dirty_ = true;
@@ -504,17 +512,17 @@ void MaintenanceNode::try_resolve_r1(std::uint32_t tr, net::Mailbox& out) {
       // selected nodes drop this origin's flag, then drop the head-only
       // rows entirely (selection_seq_ stays — a re-declared selection
       // must outversion this retraction).
-      if (head_rows_ != nullptr) {
-        if (!head_rows_->last_flooded.empty()) {
-          ++selection_seq_;
-          out.send_caused(net::GatewayMsg{id_, NodeSet{}, 2, selection_seq_},
-                          nb.r1_cause());
-        }
-        if (!head_rows_->coverage.empty() ||
-            !(head_rows_->selection == core::GatewaySelection{}))
-          ledger_->head_rows_changed.push_back(id_);
-        head_rows_.reset();
+      if (head_rows_.last_flooded != kEmptyRow) {
+        ++selection_seq_;
+        out.send_caused(net::GatewayMsg{id_, NodeSet{}, 2, selection_seq_},
+                        nb.r1_cause());
       }
+      if (!head_rows_.empty()) ledger_->head_rows_changed.push_back(id_);
+      store_->release_hop1(head_rows_.cov2);
+      store_->release_hop1(head_rows_.cov3);
+      store_->release_hop1(head_rows_.sel);
+      store_->release_hop1(head_rows_.last_flooded);
+      head_rows_ = HeadRows{};
       become_dirty(out, nb.r1_cause());
       return;
     }
@@ -580,11 +588,9 @@ void MaintenanceNode::try_decide_r2(std::uint32_t tr, net::Mailbox& out) {
     MANET_ASSERT(my_r1_ != kResigned,
                  "a resigned head must find its blocker to join");
     head_ = id_;
-    became_head_ = true;
     force_flood_ = true;
     head_inputs_dirty_ = true;
-    for (const auto& e : origins_) store_->release_hop1(e.payload);
-    origins_.clear();  // selections never contain heads
+    clear_origins();  // selections never contain heads
     out.send_caused(net::R2StatusMsg{true, id_, true}, my_r2_cause_);
   }
   my_r2_ = kFinal;
@@ -642,9 +648,11 @@ void MaintenanceNode::settle_rows(net::Mailbox& out) {
   }
 
   if (is_head()) {
-    if (!my_hop1_.empty() || !my_hop2_.empty()) {
-      my_hop1_.clear();
-      my_hop2_.clear();
+    if (my_hop1_ != kEmptyRow || my_hop2_ != kEmptyRow) {
+      store_->release_hop1(my_hop1_);
+      store_->release_hop2(my_hop2_);
+      my_hop1_ = kEmptyRow;
+      my_hop2_ = kEmptyRow;
       ledger_->rows_changed.push_back(id_);
     }
   } else {
@@ -653,20 +661,27 @@ void MaintenanceNode::settle_rows(net::Mailbox& out) {
     NodeSet h1 = core::hop1_row(adj, clust, id_);
     std::vector<core::Hop2Entry> h2 =
         core::hop2_row(adj, clust, mode_, Hop1Proxy{this}, id_);
-    const bool h1_changed = h1 != my_hop1_;
-    const bool h2_changed = h2 != my_hop2_;
+    // Intern-then-compare: ref equality is content equality, so an
+    // unchanged row re-finds its slot (+1/-1 on the same refcount) and
+    // the change test is two integer compares, not a row diff.
+    const RowRef r1 = store_->intern_hop1(h1);
+    const RowRef r2 = store_->intern_hop2(h2);
+    const bool h1_changed = r1 != my_hop1_;
+    const bool h2_changed = r2 != my_hop2_;
     if (h1_changed || h2_changed) ledger_->rows_changed.push_back(id_);
     // New links get a full row re-send once per tick; afterwards only
     // changed rows go out (re-broadcasting unchanged rows between two
     // nodes that both formed links would ping-pong forever).
-    const bool force = !links_formed_.empty() && !rows_forced_;
+    const bool force = links_formed_ && !rows_forced_;
     if (force) rows_forced_ = true;
-    if (h1_changed || force) out.send_caused(net::ChHop1Msg{h1},
-                                             last_input_cause_);
-    if (h2_changed || force) out.send_caused(net::ChHop2Msg{h2},
-                                             last_input_cause_);
-    my_hop1_ = std::move(h1);
-    my_hop2_ = std::move(h2);
+    if (h1_changed || force)
+      out.send_caused(net::ChHop1Msg{std::move(h1)}, last_input_cause_);
+    if (h2_changed || force)
+      out.send_caused(net::ChHop2Msg{std::move(h2)}, last_input_cause_);
+    store_->release_hop1(my_hop1_);
+    store_->release_hop2(my_hop2_);
+    my_hop1_ = r1;
+    my_hop2_ = r2;
   }
 
   // Link-formation re-announcements, once per tick: a new neighbor (and
@@ -675,14 +690,15 @@ void MaintenanceNode::settle_rows(net::Mailbox& out) {
   // with a forced flood; members re-send their cached entries for the
   // origins they are adjacent to (every 2-hop path from an origin to a
   // new ball member crosses one of the two rules).
-  if (!links_formed_.empty() && !link_resends_done_) {
+  if (links_formed_ && !link_resends_done_) {
     link_resends_done_ = true;
     if (is_head()) {
       force_flood_ = true;
       head_inputs_dirty_ = true;
-    } else {
-      for (const auto& e : origins_)
-        if (contains_sorted(my_hop1_, e.origin))
+    } else if (origins_ != nullptr) {
+      const NodeSet& h1 = store_->hop1(my_hop1_);
+      for (const auto& e : *origins_)
+        if (contains_sorted(h1, e.origin))
           out.send_caused(
               net::GatewayMsg{e.origin, store_->hop1(e.payload), 1, e.seq},
               last_input_cause_);
@@ -704,35 +720,41 @@ void MaintenanceNode::maybe_reselect(net::Mailbox& out) {
   const SelfAdj adj{*this, id_};
   const TablesView tables{Hop1Proxy{this}, Hop2Proxy{this}};
   core::Coverage cov =
-      core::coverage_row(adj, tables, id_, universe_, *scratch_);
+      core::coverage_row(adj, tables, id_, universe_, scratch_->cov);
   const CacheSelectionView view(*this);
-  core::GatewaySelection sel = core::select_gateways_local(view, cov);
-  HeadRows& hr = head_rows();
-  if (!(cov == hr.coverage) || !(sel == hr.selection)) {
+  core::GatewaySelection sel =
+      core::select_gateways_local(view, cov, scratch_->sel);
+  const RowRef c2 = store_->intern_hop1(cov.two_hop);
+  const RowRef c3 = store_->intern_hop1(cov.three_hop);
+  const RowRef sl = store_->intern_hop1(sel.gateways);
+  if (c2 != head_rows_.cov2 || c3 != head_rows_.cov3 ||
+      sl != head_rows_.sel)
     ledger_->head_rows_changed.push_back(id_);
-    hr.coverage = std::move(cov);
-    hr.selection = std::move(sel);
-  }
-  if (hr.selection.gateways != hr.last_flooded || force_flood_)
+  store_->release_hop1(head_rows_.cov2);
+  store_->release_hop1(head_rows_.cov3);
+  store_->release_hop1(head_rows_.sel);
+  head_rows_.cov2 = c2;
+  head_rows_.cov3 = c3;
+  head_rows_.sel = sl;
+  if (head_rows_.sel != head_rows_.last_flooded || force_flood_)
     flood_selection(out);
   head_inputs_dirty_ = false;
   force_flood_ = false;
-  became_head_ = false;
 }
 
 void MaintenanceNode::flood_selection(net::Mailbox& out) {
-  HeadRows& hr = head_rows();
   ++selection_seq_;
   out.send_caused(
-      net::GatewayMsg{id_, hr.selection.gateways, 2, selection_seq_},
+      net::GatewayMsg{id_, store_->hop1(head_rows_.sel), 2, selection_seq_},
       last_input_cause_);
-  hr.last_flooded = hr.selection.gateways;
+  store_->retain_hop1(head_rows_.sel);
+  store_->release_hop1(head_rows_.last_flooded);
+  head_rows_.last_flooded = head_rows_.sel;
 }
 
 void MaintenanceNode::gc_origins() {
   if (is_head()) {
-    for (const auto& e : origins_) store_->release_hop1(e.payload);
-    origins_.clear();
+    clear_origins();
     return;
   }
   // Reachability GC is only sound with 3-hop tables, where my 2-hop ball
@@ -741,14 +763,17 @@ void MaintenanceNode::gc_origins() {
   // can be invisible (its member's own head differs), so entries must be
   // kept — worst case a stale flag on a node the origin can no longer
   // reach, which the oracle's consistency check accounts for.
-  if (mode_ != core::CoverageMode::kThreeHop) return;
-  std::erase_if(origins_, [&](const OriginCache& e) {
-    if (contains_sorted(my_hop1_, e.origin)) return false;
-    for (const auto& h2 : my_hop2_)
-      if (h2.head == e.origin) return false;
+  if (mode_ != core::CoverageMode::kThreeHop || origins_ == nullptr) return;
+  const NodeSet& h1 = store_->hop1(my_hop1_);
+  const auto& h2 = store_->hop2(my_hop2_);
+  std::erase_if(*origins_, [&](const OriginCache& e) {
+    if (contains_sorted(h1, e.origin)) return false;
+    for (const auto& entry : h2)
+      if (entry.head == e.origin) return false;
     store_->release_hop1(e.payload);
     return true;
   });
+  if (origins_->empty()) origins_.reset();
 }
 
 }  // namespace manet::proto

@@ -86,8 +86,10 @@ struct NeighborCache {
   // repair announcements triggered by them can declare their parent
   // (net::Mailbox::send_caused) and waves chain in the trace/journal.
   // Stored as flat id + depth fields (not net::Cause) so the two u64s
-  // lead the struct and the entry packs to 48 bytes — this cache is
-  // n * degree entries, the protocol's largest per-node array.
+  // lead the struct and the entry packs to 40 bytes — this cache is
+  // n * degree entries, the protocol's largest per-node array. Beacons
+  // carry no depth field: a MAINT_HELLO is always a wave root (sent
+  // uncaused by on_timer), so its depth is 0 by construction.
   std::uint64_t beacon_cause_id = 0;  ///< this tick's MAINT_HELLO
   std::uint64_t r1_cause_id = 0;      ///< latest R1_STATUS
 
@@ -95,7 +97,6 @@ struct NeighborCache {
   NodeId head_of = kInvalidNode;  ///< the neighbor's clusterhead
   RowRef hop1 = kEmptyRow;        ///< its last CH_HOP1 payload (interned)
   RowRef hop2 = kEmptyRow;        ///< its last CH_HOP2 payload (interned)
-  std::uint32_t beacon_cause_depth = 0;
   std::uint32_t r1_cause_depth = 0;
   bool heard = false;             ///< beacon received this tick
 
@@ -105,12 +106,9 @@ struct NeighborCache {
   std::uint8_t r2 = 0;     ///< kNone/kPending/kFinal
 
   net::Cause beacon_cause() const {
-    return net::Cause{beacon_cause_id, beacon_cause_depth};
+    return net::Cause{beacon_cause_id, 0};
   }
-  void set_beacon_cause(net::Cause c) {
-    beacon_cause_id = c.id;
-    beacon_cause_depth = c.depth;
-  }
+  void set_beacon_cause(net::Cause c) { beacon_cause_id = c.id; }
   net::Cause r1_cause() const { return net::Cause{r1_cause_id, r1_cause_depth}; }
   void set_r1_cause(net::Cause c) {
     r1_cause_id = c.id;
@@ -133,18 +131,39 @@ struct OriginCache {
                                 ///< re-sends on link formation)
 };
 
-/// Head-only working state: coverage, selection, and what was last
-/// flooded. Hoisted behind a pointer because only clusterheads (a
-/// minority at any degree) carry non-empty rows — the structs are ~150
-/// bytes of empty vectors on every other node, which at n = 10^6 is the
-/// difference between fitting the RSS budget and not. Created on head
-/// seed/declaration, destroyed on resignation (the selection sequence
-/// number survives in the node so re-declared selections stay
+/// Head-only working state: coverage halves, selection gateways, and
+/// what was last flooded — four interned refs, 16 bytes inline on every
+/// node. PR 9 hoisted the dense structs (~150 bytes of vectors) behind
+/// a heads-only pointer; interning collapses them further, drops the
+/// per-head allocation, and shares slabs with the engine mirror (whose
+/// rows are the same content). The greedy's SelectionStep trace is no
+/// longer retained between reselects — no observable reads it (mirror,
+/// oracle diff and floods consume only coverage halves + the gateway
+/// set), and ref equality is content equality, so change detection
+/// stays exact. All refs released on resignation (the selection
+/// sequence number survives in the node so re-declared selections stay
 /// monotonically versioned for receivers).
 struct HeadRows {
-  core::Coverage coverage;
-  core::GatewaySelection selection;
-  NodeSet last_flooded;  ///< selection last flooded
+  RowRef cov2 = kEmptyRow;          ///< Coverage::two_hop (interned)
+  RowRef cov3 = kEmptyRow;          ///< Coverage::three_hop (interned)
+  RowRef sel = kEmptyRow;           ///< selection gateway set (interned)
+  RowRef last_flooded = kEmptyRow;  ///< selection last flooded
+
+  /// No head state at all (ref 0 is the canonical empty row, so a head
+  /// with genuinely empty coverage and selection also reads as empty —
+  /// exactly the condition under which the mirror recycles its slot).
+  bool empty() const {
+    return cov2 == kEmptyRow && cov3 == kEmptyRow && sel == kEmptyRow;
+  }
+};
+
+/// Per-lane kernel scratch: the coverage + selection bitsets a head
+/// reuses across recomputations, bundled so the node spends one pointer
+/// on both. One instance serves every node dispatched on a lane (the
+/// simulator runs a lane's nodes sequentially).
+struct KernelScratch {
+  core::CoverageScratch cov;
+  core::SelectionScratch sel;
 };
 
 /// The maintenance-phase state machine of one node.
@@ -156,23 +175,28 @@ class MaintenanceNode final : public net::NodeProcess {
   /// head on it); `store` interns all cached payload rows and is shared
   /// engine-wide.
   MaintenanceNode(NodeId id, core::CoverageMode mode, std::size_t universe,
-                  Ledger* ledger, core::CoverageScratch* scratch,
-                  RowStore* store);
+                  Ledger* ledger, KernelScratch* scratch, RowStore* store);
 
   // ---- Bootstrap (engine-seeded; nodes join a converged backbone) ----
+  // Row-shaped state arrives as refs into the shared store (the engine
+  // already interned the converged rows for its mirror); each call
+  // retains what it keeps, so the bootstrap never re-hashes content.
   void seed_clustering(NodeId head, cluster::Role role);
-  void seed_neighbor(NodeId id, NodeId head_of, const NodeSet& hop1,
-                     const std::vector<core::Hop2Entry>& hop2);
-  void seed_rows(NodeSet hop1, std::vector<core::Hop2Entry> hop2);
-  void seed_head_rows(core::Coverage cov, core::GatewaySelection sel);
-  void seed_origin(NodeId origin, bool selected, const NodeSet& payload);
+  /// Reserve the neighbor arrays exactly before seeding: one-at-a-time
+  /// inserts double capacity, and at mean degree ~6 the overshoot is
+  /// ~2 cache entries per node — tens of MB of pure waste at 10M.
+  void reserve_neighbors(std::size_t count);
+  void seed_neighbor(NodeId id, NodeId head_of, RowRef hop1, RowRef hop2);
+  void seed_rows(RowRef hop1, RowRef hop2);
+  void seed_head_rows(RowRef cov2, RowRef cov3, RowRef sel);
+  void seed_origin(NodeId origin, bool selected, RowRef payload);
 
   // ---- Region-sharded dispatch hooks (engine-managed) ----
   /// Redirect change notifications to a per-region ledger for the
   /// duration of one tick's region execution.
   void set_ledger(Ledger* ledger) { ledger_ = ledger; }
-  /// Redirect coverage scratch to the executing lane's instance.
-  void set_scratch(core::CoverageScratch* scratch) { scratch_ = scratch; }
+  /// Redirect kernel scratch to the executing lane's instance.
+  void set_scratch(KernelScratch* scratch) { scratch_ = scratch; }
   /// Engine fast path for quiescent senders: replicate the only effect a
   /// skipped neighbor's beacon has on this node — the heard mark and its
   /// causal id — without delivering a message. Asserts the cached head
@@ -192,19 +216,31 @@ class MaintenanceNode final : public net::NodeProcess {
   bool is_head() const { return head_ == id_; }
   cluster::Role role() const { return role_; }
   const NodeSet& neighbors() const { return neighbor_ids_; }
-  const NodeSet& hop1_row() const { return my_hop1_; }
-  const std::vector<core::Hop2Entry>& hop2_row() const { return my_hop2_; }
-  const core::Coverage& coverage() const {
-    static const core::Coverage kEmpty;
-    return head_rows_ != nullptr ? head_rows_->coverage : kEmpty;
+  const NodeSet& hop1_row() const { return store_->hop1(my_hop1_); }
+  const std::vector<core::Hop2Entry>& hop2_row() const {
+    return store_->hop2(my_hop2_);
   }
-  const core::GatewaySelection& selection() const {
-    static const core::GatewaySelection kEmpty;
-    return head_rows_ != nullptr ? head_rows_->selection : kEmpty;
+  /// Interned refs of the node's own rows (the engine mirror retains
+  /// these directly instead of re-interning content).
+  RowRef hop1_ref() const { return my_hop1_; }
+  RowRef hop2_ref() const { return my_hop2_; }
+  /// The head-only interned refs (all kEmptyRow on non-heads).
+  HeadRows head_refs() const { return head_rows_; }
+  const NodeSet& coverage_two_hop() const {
+    return store_->hop1(head_rows_.cov2);
+  }
+  const NodeSet& coverage_three_hop() const {
+    return store_->hop1(head_rows_.cov3);
+  }
+  const NodeSet& selection_gateways() const {
+    return store_->hop1(head_rows_.sel);
   }
   /// Soft-state backbone-membership flag: selected by any cached origin.
   bool gateway_flag() const;
-  const std::vector<OriginCache>& origins() const { return origins_; }
+  const std::vector<OriginCache>& origins() const {
+    static const std::vector<OriginCache> kEmpty;
+    return origins_ != nullptr ? *origins_ : kEmpty;
+  }
 
   /// Test hook: re-enables the PR 7 stale-gateway soft-state bug (a
   /// cached `selected` flag from an ex-head is NOT cleared on hearing
@@ -228,12 +264,17 @@ class MaintenanceNode final : public net::NodeProcess {
 
   NeighborCache* find_neighbor(NodeId w);
   const NeighborCache* find_neighbor(NodeId w) const;
-  OriginCache& origin_entry(NodeId origin);
-  /// The head-only rows, created on first use (head seed/declaration).
-  HeadRows& head_rows() {
-    if (head_rows_ == nullptr) head_rows_ = std::make_unique<HeadRows>();
-    return *head_rows_;
+  /// The origin-cache vector, materialized on first use. Most nodes
+  /// most of the time cache nothing (only nodes near a selecting head
+  /// hold entries), so the empty state costs one pointer, not a vector
+  /// header.
+  std::vector<OriginCache>& origins_mut() {
+    if (origins_ == nullptr)
+      origins_ = std::make_unique<std::vector<OriginCache>>();
+    return *origins_;
   }
+  /// Releases every cached origin payload and drops the vector.
+  void clear_origins();
 
   void ingest(const net::Message& m, net::Mailbox& out);
   void process_tick_start(net::Mailbox& out);
@@ -261,44 +302,28 @@ class MaintenanceNode final : public net::NodeProcess {
   /// this node (declarations by larger ids invisible).
   bool head_at_scan(const NeighborCache& w) const;
 
+  // Members are packed by alignment class (pointers, u32s, then the
+  // flag bytes) — the node is an n-sized array, so padding is RSS.
   NodeId id_;
-  core::CoverageMode mode_;
-  std::size_t universe_;
+  NodeId head_ = kInvalidNode;  ///< persistent: current affiliation
   Ledger* ledger_;
-  core::CoverageScratch* scratch_;
+  KernelScratch* scratch_;
   RowStore* store_;
+  std::uint32_t universe_;  ///< coverage bitset size (total node count)
 
   // ---- Persistent protocol state ----
-  NodeId head_ = kInvalidNode;
-  cluster::Role role_ = cluster::Role::kOrdinary;
+  std::uint32_t selection_seq_ = 0;  ///< own GATEWAY version counter
   NodeSet neighbor_ids_;                  ///< sorted current neighbors
   std::vector<NeighborCache> neighbors_;  ///< parallel to neighbor_ids_
-  NodeSet my_hop1_;
-  std::vector<core::Hop2Entry> my_hop2_;
-  std::unique_ptr<HeadRows> head_rows_;  ///< heads only (see HeadRows)
-  std::uint32_t selection_seq_ = 0;  ///< own GATEWAY version counter
-  std::vector<OriginCache> origins_; ///< sorted by origin id
+  RowRef my_hop1_ = kEmptyRow;  ///< own CH_HOP1 row (interned)
+  RowRef my_hop2_ = kEmptyRow;  ///< own CH_HOP2 row (interned)
+  HeadRows head_rows_;          ///< head-only refs (see HeadRows)
+  /// Gateway-origin soft state, sorted by origin id; nullptr when empty.
+  std::unique_ptr<std::vector<OriginCache>> origins_;
 
   // ---- Per-tick state ----
   std::uint32_t tick_base_ = 0;  ///< round of the tick's on_timer
-  bool awake_ = false;
-  bool tick_open_ = false;       ///< tr1 processing still due
-  std::uint8_t my_r1_ = kNone;   ///< own rule-1 state (previous heads)
-  std::uint8_t my_r2_ = kNone;   ///< own rule-2 state
-  bool was_head_ = false;        ///< head status at tick start
   NodeId old_head_ = kInvalidNode;  ///< affiliation at tick start
-  bool topo_changed_ = false;
-  NodeSet links_formed_;         ///< new neighbors this tick
-  bool rows_dirty_ = false;      ///< own row inputs changed
-  bool role_dirty_ = false;
-  bool head_inputs_dirty_ = false;  ///< coverage/selection inputs changed
-  bool inputs_this_round_ = false;  ///< defers reselection one quiet round
-  bool settled_ = false;         ///< repair settled, refresh phase active
-  bool head_changed_ = false;    ///< own R2 decision changed affiliation
-  bool became_head_ = false;     ///< declared this tick
-  bool force_flood_ = false;     ///< flood selection even if unchanged
-  bool link_resends_done_ = false;  ///< origin re-sends sent this tick
-  bool rows_forced_ = false;     ///< full row re-send to new links done
 
   // ---- Causal attribution (observability) ----
   /// The message currently being ingested (or the last one this
@@ -309,6 +334,25 @@ class MaintenanceNode final : public net::NodeProcess {
   /// Parent of this node's own R2 wave (the message that made it dirty);
   /// all R2_STATUS sends chain from it.
   net::Cause my_r2_cause_;
+
+  core::CoverageMode mode_;
+  cluster::Role role_ = cluster::Role::kOrdinary;
+  std::uint8_t my_r1_ = kNone;   ///< own rule-1 state (previous heads)
+  std::uint8_t my_r2_ = kNone;   ///< own rule-2 state
+  bool awake_ = false;
+  bool tick_open_ = false;       ///< tr1 processing still due
+  bool was_head_ = false;        ///< head status at tick start
+  bool topo_changed_ = false;
+  bool links_formed_ = false;    ///< any new neighbor this tick
+  bool rows_dirty_ = false;      ///< own row inputs changed
+  bool role_dirty_ = false;
+  bool head_inputs_dirty_ = false;  ///< coverage/selection inputs changed
+  bool inputs_this_round_ = false;  ///< defers reselection one quiet round
+  bool settled_ = false;         ///< repair settled, refresh phase active
+  bool head_changed_ = false;    ///< own R2 decision changed affiliation
+  bool force_flood_ = false;     ///< flood selection even if unchanged
+  bool link_resends_done_ = false;  ///< origin re-sends sent this tick
+  bool rows_forced_ = false;     ///< full row re-send to new links done
 
   bool fault_stale_gateway_ = false;  ///< see inject_stale_gateway_fault
 };

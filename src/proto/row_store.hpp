@@ -127,6 +127,11 @@ class InternTable {
   std::size_t live() const { return live_; }
   /// Slots ever allocated (the slab high-water mark).
   std::size_t slots() const { return count_; }
+  /// Chunks allocated in the slab — the actual slab footprint, in units
+  /// of kChunkSize rows. Chunks are claimed densely and never returned,
+  /// so a flat chunk count under sustained churn is the free list doing
+  /// its job: released slots are recycled before the slab grows.
+  std::size_t chunks() const { return (count_ + kChunkSize - 1) >> kChunkBits; }
 
  private:
   static constexpr std::size_t kChunkBits = 10;  // 1024 rows per chunk
@@ -224,6 +229,8 @@ class RowStore {
   std::size_t live_hop2() const { return hop2_.live(); }
   std::size_t slots_hop1() const { return hop1_.slots(); }
   std::size_t slots_hop2() const { return hop2_.slots(); }
+  std::size_t chunks_hop1() const { return hop1_.chunks(); }
+  std::size_t chunks_hop2() const { return hop2_.chunks(); }
 
  private:
   detail::InternTable<NodeSet> hop1_;

@@ -377,6 +377,93 @@ TEST(DeltaTrackerPropertyTest, RegionPartitionIsValidAndSeparatedSparse) {
   region_partition_soak(geom::GridIndex::kSparse, 506);
 }
 
+TEST(DeltaTrackerPropertyTest, TieredGrowthPartitionsExactlyAndShrinksScopes) {
+  // Two-tier paint growth (the message engine's 7/4/1 head/member/quiet
+  // tiers): the per-region slices must still partition the delta
+  // exactly, every touched node must land in its region's scope, and
+  // tiering can only shrink scopes relative to uniform growth. With
+  // every node a head, tiering degenerates to the uniform partition.
+  Rng rng(907);
+  const std::size_t n = 400;
+  const double range = geom::range_for_average_degree(6.0, n, 100, 100);
+  auto positions = random_layout(n, rng);
+  DeltaTracker uniform(positions, range, 100, 100);
+  DeltaTracker tiered(positions, range, 100, 100);
+  DeltaTracker all_heads(positions, range, 100, 100);
+
+  std::vector<NodeId> nobody_head(n), everybody_head(n);
+  for (NodeId v = 0; v < n; ++v) {
+    nobody_head[v] = v == 0 ? 1 : 0;  // head_of[v] != v for every v
+    everybody_head[v] = v;
+  }
+
+  RegionPartition pu, pt, ph;
+  CommitOptions base;
+  base.growth_cells = 7;
+  base.region_scopes = true;
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t movers = 1 + rng.index(8);
+    for (std::size_t j = 0; j < movers; ++j) {
+      const auto v = static_cast<NodeId>(rng.index(n));
+      positions[v] = {rng.uniform(0, 100), rng.uniform(0, 100)};
+      uniform.stage_move(v, positions[v]);
+      tiered.stage_move(v, positions[v]);
+      all_heads.stage_move(v, positions[v]);
+    }
+    CommitOptions uopts = base;
+    uopts.regions = &pu;
+    CommitOptions topts = base;
+    topts.regions = &pt;
+    topts.head_of = nobody_head;
+    topts.member_growth_cells = 4;
+    topts.quiet_growth_cells = 1;
+    CommitOptions hopts = topts;
+    hopts.regions = &ph;
+    hopts.head_of = everybody_head;
+    const EdgeDelta du = uniform.commit(uopts);
+    const EdgeDelta dt = tiered.commit(topts);
+    const EdgeDelta dh = all_heads.commit(hopts);
+    ASSERT_EQ(dt.added, du.added);
+    ASSERT_EQ(dt.removed, du.removed);
+
+    // Tiered slices still partition the delta, and every touched node
+    // of a slice sits in that region's scope.
+    std::vector<std::pair<NodeId, NodeId>> added, removed;
+    for (std::size_t r = 0; r < pt.count; ++r) {
+      const EdgeDelta& slice = pt.deltas[r];
+      added.insert(added.end(), slice.added.begin(), slice.added.end());
+      removed.insert(removed.end(), slice.removed.begin(),
+                     slice.removed.end());
+      for (const NodeId v : slice.touched)
+        ASSERT_TRUE(std::binary_search(pt.scopes[r].begin(),
+                                       pt.scopes[r].end(), v))
+            << "touched node " << v << " outside its region scope";
+    }
+    std::sort(added.begin(), added.end());
+    std::sort(removed.begin(), removed.end());
+    EXPECT_EQ(added, dt.added);
+    EXPECT_EQ(removed, dt.removed);
+
+    // Member/quiet paints are subsets of the uniform paint, so regions
+    // can only split (never merge further) and total scope can only
+    // shrink.
+    std::size_t scope_u = 0, scope_t = 0;
+    for (const auto& s : pu.scopes) scope_u += s.size();
+    for (const auto& s : pt.scopes) scope_t += s.size();
+    EXPECT_LE(scope_t, scope_u);
+    EXPECT_GE(pt.count, pu.count);
+
+    // All-heads tiering is the uniform partition, bit for bit.
+    ASSERT_EQ(ph.count, pu.count);
+    for (std::size_t r = 0; r < pu.count; ++r) {
+      EXPECT_EQ(ph.scopes[r], pu.scopes[r]);
+      EXPECT_EQ(ph.core_cells[r], pu.core_cells[r]);
+      EXPECT_EQ(ph.deltas[r].added, pu.deltas[r].added);
+      EXPECT_EQ(ph.deltas[r].removed, pu.deltas[r].removed);
+    }
+  }
+}
+
 TEST(DeltaTrackerPropertyTest, TeleportOldAndNewBlocksShareOneRegion) {
   // A teleporting node's removed edges live near its old position and
   // its added edges near the new one — both must land in one region so

@@ -335,6 +335,36 @@ TEST(ObsJournalTest, RingQueriesAndCausalChain) {
   EXPECT_NE(line.find("trace=100"), std::string::npos);
 }
 
+TEST(ObsJournalTest, TinyRingWrapTruncatesChainAtEvictedAncestor) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  // Regression for the trace_inspect ancestor walk: a deep wave recorded
+  // through a tiny ring loses its oldest ancestors, and the chain query
+  // must terminate at the first evicted parent — returning the retained
+  // suffix oldest-first with a nonzero leading parent_id (the truncation
+  // marker the CLI reports on) instead of looping or dying.
+  obs::Journal journal(4);
+  for (std::uint64_t id = 1; id <= 6; ++id)
+    journal.record(0, static_cast<std::uint32_t>(id), "GATEWAY", id, id - 1,
+                   static_cast<std::uint32_t>(id - 1), 0, 0);
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.total_recorded(), 6u);
+  EXPECT_FALSE(journal.find_trace(2).has_value());
+
+  const auto chain = journal.causal_chain(6);
+  ASSERT_EQ(chain.size(), 4u);
+  for (std::size_t i = 0; i < chain.size(); ++i)
+    EXPECT_EQ(chain[i].trace_id, 3 + i);
+  // The leading event's parent points at the evicted trace 2 — the walk
+  // stopped there, it did not silently re-root the wave.
+  EXPECT_EQ(chain.front().parent_id, 2u);
+
+  // A walk from mid-window truncates the same way.
+  const auto mid = journal.causal_chain(4);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid.front().trace_id, 3u);
+  EXPECT_EQ(mid.front().parent_id, 2u);
+}
+
 TEST(ObsJournalTest, JsonlExportOneObjectPerLine) {
   if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
   obs::Journal journal(8);

@@ -161,6 +161,71 @@ TEST(UnitDiskTest, CellOrderLayoutIsIdentityOnRegrid) {
   }
 }
 
+TEST(UnitDiskTest, CellOrderGeneratorMatchesDrawStreamAndOrder) {
+  // generate_unit_disk_cell_order's contract: (a) it places the exact
+  // multiset of points generate_unit_disk draws from the same rng state,
+  // (b) the caller's rng advances identically, and (c) the output is
+  // sorted by row-major cell of its own lattice with draw order
+  // preserved within a cell.
+  Rng plain_rng(23), stream_rng(23);
+  UnitDiskConfig cfg;
+  cfg.nodes = 900;
+  cfg.range = range_for_average_degree(6.0, cfg.nodes, cfg.width, cfg.height);
+  const auto net = generate_unit_disk(cfg, plain_rng);
+  const auto layout = generate_unit_disk_cell_order(cfg, stream_rng);
+  ASSERT_EQ(layout.size(), net.positions.size());
+
+  auto original = net.positions;
+  auto streamed = layout;
+  const auto lt = [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  };
+  std::sort(original.begin(), original.end(), lt);
+  std::sort(streamed.begin(), streamed.end(), lt);
+  EXPECT_EQ(original, streamed);
+
+  // Both generators consumed the same number of draws.
+  EXPECT_EQ(plain_rng(), stream_rng());
+
+  // Cell-major: keys over the [0,width]x[0,height] lattice at cell side
+  // >= range are nondecreasing along the layout.
+  const auto cols = static_cast<std::size_t>(cfg.width / cfg.range);
+  const auto rows = static_cast<std::size_t>(cfg.height / cfg.range);
+  const auto key = [&](const Point& p) {
+    const std::size_t c = std::min(
+        cols - 1, static_cast<std::size_t>(
+                      p.x * (static_cast<double>(cols) / cfg.width)));
+    const std::size_t r = std::min(
+        rows - 1, static_cast<std::size_t>(
+                      p.y * (static_cast<double>(rows) / cfg.height)));
+    return r * cols + c;
+  };
+  for (std::size_t i = 1; i < layout.size(); ++i)
+    ASSERT_GE(key(layout[i]), key(layout[i - 1])) << "slot " << i;
+}
+
+TEST(UnitDiskTest, UnionFindConnectivityMatchesGraphCheck) {
+  // unit_disk_connected must agree with the materialized-graph check on
+  // both connected and fragmented layouts, in both index modes.
+  Rng rng(29);
+  UnitDiskConfig cfg;
+  cfg.nodes = 300;
+  for (const double degree : {2.0, 6.0, 12.0}) {
+    cfg.range =
+        range_for_average_degree(degree, cfg.nodes, cfg.width, cfg.height);
+    for (int round = 0; round < 10; ++round) {
+      const auto net = generate_unit_disk(cfg, rng);
+      const bool expect = graph::is_connected(net.graph);
+      for (const auto index : {GridIndex::kDense, GridIndex::kSparse})
+        EXPECT_EQ(unit_disk_connected(net.positions, cfg.range, index),
+                  expect)
+            << "degree " << degree << " round " << round;
+    }
+  }
+  EXPECT_TRUE(unit_disk_connected({{5.0, 5.0}}, 1.0));
+  EXPECT_FALSE(unit_disk_connected({{0.0, 0.0}, {99.0, 99.0}}, 1.0));
+}
+
 TEST(UnitDiskTest, AchievedDegreeTracksCalibration) {
   // Average over many random 100x100 topologies: the realized mean degree
   // should land near the target (slightly below, due to border effects).
